@@ -1,0 +1,132 @@
+// Command capuchin-bench regenerates the tables and figures of the
+// Capuchin paper's evaluation from the simulator.
+//
+// Usage:
+//
+//	capuchin-bench [-exp all|fig1|fig2|fig3|fig8a|fig8b|table2|table3|fig9|fig10|overhead|ablations]
+//	               [-device p100|v100|t4] [-mem GiB] [-iters N] [-quick] [-markdown]
+//
+// Each experiment prints a table with a note recalling the paper's
+// reported numbers for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"capuchin/internal/bench"
+	"capuchin/internal/hw"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig8a, fig8b, table2, table3, fig9, fig10, overhead, capacity, extensions, sensitivity, ablations")
+	device := flag.String("device", "p100", "device model: p100, v100, t4")
+	mem := flag.Int64("mem", 0, "override device memory in GiB (0 = device default)")
+	iters := flag.Int("iters", 0, "iterations per timed run (0 = default 8)")
+	quick := flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
+	markdown := flag.Bool("markdown", false, "emit Markdown tables instead of aligned text")
+	tsv := flag.Bool("tsv", false, "emit tab-separated values (plot-ready; single experiments only)")
+	flag.Parse()
+
+	var dev hw.DeviceSpec
+	switch strings.ToLower(*device) {
+	case "p100":
+		dev = hw.P100()
+	case "v100":
+		dev = hw.V100()
+	case "t4":
+		dev = hw.T4()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *device)
+		os.Exit(2)
+	}
+	if *mem > 0 {
+		dev = dev.WithMemory(*mem * hw.GiB)
+	}
+	o := bench.Options{Device: dev, Iterations: *iters, Quick: *quick}
+
+	write := func(t *bench.Table) {
+		var err error
+		switch {
+		case *tsv:
+			err = t.WriteTSV(os.Stdout)
+		case *markdown:
+			err = t.WriteMarkdown(os.Stdout)
+		default:
+			err = t.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	writeAll := func(ts []*bench.Table) {
+		for _, t := range ts {
+			write(t)
+		}
+	}
+
+	switch strings.ToLower(*exp) {
+	case "all":
+		if *markdown {
+			writeAllMarkdown(os.Stdout, o)
+			return
+		}
+		if err := bench.WriteAll(os.Stdout, o); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "fig1":
+		write(bench.Fig1(o))
+	case "fig2":
+		write(bench.Fig2(o))
+	case "fig3":
+		write(bench.Fig3(o))
+	case "fig8a":
+		write(bench.Fig8a(o))
+	case "fig8b":
+		write(bench.Fig8b(o))
+	case "table2":
+		write(bench.Table2(o))
+	case "table3":
+		write(bench.Table3(o))
+	case "fig9":
+		writeAll(bench.Fig9(o))
+	case "fig10":
+		writeAll(bench.Fig10(o))
+	case "overhead":
+		write(bench.Overhead(o))
+	case "capacity":
+		write(bench.CapacitySweep(o))
+	case "extensions":
+		write(bench.TableExtensions(o))
+	case "sensitivity":
+		write(bench.DeviceSensitivity(o))
+	case "ablations":
+		writeAll(bench.Ablations(o))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// writeAllMarkdown mirrors bench.WriteAll with Markdown output.
+func writeAllMarkdown(w io.Writer, o bench.Options) {
+	tables := []*bench.Table{
+		bench.Fig1(o), bench.Fig2(o), bench.Fig3(o),
+		bench.Fig8a(o), bench.Fig8b(o), bench.Table2(o), bench.Table3(o),
+	}
+	tables = append(tables, bench.Fig9(o)...)
+	tables = append(tables, bench.Fig10(o)...)
+	tables = append(tables, bench.Overhead(o), bench.CapacitySweep(o), bench.TableExtensions(o), bench.DeviceSensitivity(o))
+	tables = append(tables, bench.Ablations(o)...)
+	for _, t := range tables {
+		if err := t.WriteMarkdown(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command capuchin-trace dumps tensor access traces and stream timelines
+// as TSV, the raw material for the paper's timeline figures (Fig. 1 swap
+// overlap, Fig. 3 access regularity).
+//
+// Usage:
+//
+//	capuchin-trace -model resnet50 -batch 32 -iters 3 [-tensors id1,id2]
+//	               [-spans compute|h2d|d2h] [-system tf-ori]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/graph"
+	"capuchin/internal/hw"
+	"capuchin/internal/models"
+	"capuchin/internal/trace"
+)
+
+func main() {
+	model := flag.String("model", "resnet50", "workload: "+strings.Join(models.Names(), ", "))
+	batch := flag.Int64("batch", 32, "batch size")
+	iters := flag.Int("iters", 3, "iterations to trace")
+	tensors := flag.String("tensors", "", "comma-separated tensor IDs to trace (empty = all)")
+	spans := flag.String("spans", "", "dump stream spans instead: compute, h2d or d2h")
+	memGiB := flag.Int64("mem", 64, "device memory in GiB (large default = no pressure)")
+	flag.Parse()
+
+	spec, err := models.Get(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	g, err := spec.Build(*batch, graph.GraphModeOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var filter func(exec.Access) bool
+	if *tensors != "" {
+		want := make(map[string]bool)
+		for _, id := range strings.Split(*tensors, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		filter = func(acc exec.Access) bool { return want[acc.Tensor.ID] }
+	}
+	rec := trace.NewRecorder(nil, filter)
+
+	dev := hw.P100().WithMemory(*memGiB * hw.GiB)
+	s, err := exec.NewSession(g, exec.Config{Device: dev, Policy: rec, RecordSpans: *spans != ""})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if _, err := s.Run(*iters); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *spans != "" {
+		compute, h2d, d2h := s.Streams()
+		var err error
+		switch *spans {
+		case "compute":
+			err = trace.WriteSpansTSV(os.Stdout, "compute", compute.Spans())
+		case "h2d":
+			err = trace.WriteSpansTSV(os.Stdout, "h2d", h2d.Spans())
+		case "d2h":
+			err = trace.WriteSpansTSV(os.Stdout, "d2h", d2h.Spans())
+		default:
+			err = fmt.Errorf("unknown stream %q", *spans)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := rec.WriteTSV(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

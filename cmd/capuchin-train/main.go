@@ -1,0 +1,108 @@
+// Command capuchin-train runs one simulated training job and prints
+// per-iteration statistics: the quickest way to see a policy's behaviour
+// on a single workload.
+//
+// Usage:
+//
+//	capuchin-train -model resnet50 -batch 400 -system capuchin [-iters 8]
+//	               [-mode graph|eager] [-device p100|v100|t4] [-mem GiB]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"capuchin/internal/bench"
+	"capuchin/internal/exec"
+	"capuchin/internal/hw"
+	"capuchin/internal/models"
+)
+
+func main() {
+	model := flag.String("model", "resnet50", "workload: "+strings.Join(models.Names(), ", "))
+	batch := flag.Int64("batch", 256, "batch size")
+	system := flag.String("system", "capuchin", "memory system: tf-ori, vdnn, openai-m, openai-s, capuchin, capuchin-swap, capuchin-recomp")
+	iters := flag.Int("iters", 8, "iterations to simulate")
+	mode := flag.String("mode", "graph", "execution mode: graph or eager")
+	device := flag.String("device", "p100", "device model: p100, v100, t4")
+	mem := flag.Int64("mem", 0, "override device memory in GiB")
+	showPlan := flag.Bool("plan", false, "dump Capuchin's per-tensor plan after the run")
+	savePlan := flag.String("save-plan", "", "write Capuchin's plan as JSON to this file after the run")
+	flag.Parse()
+
+	var dev hw.DeviceSpec
+	switch strings.ToLower(*device) {
+	case "p100":
+		dev = hw.P100()
+	case "v100":
+		dev = hw.V100()
+	case "t4":
+		dev = hw.T4()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *device)
+		os.Exit(2)
+	}
+	if *mem > 0 {
+		dev = dev.WithMemory(*mem * hw.GiB)
+	}
+	m := exec.GraphMode
+	if strings.ToLower(*mode) == "eager" {
+		m = exec.EagerMode
+	}
+
+	r := bench.Run(bench.RunConfig{
+		Model:      *model,
+		Batch:      *batch,
+		System:     bench.System(*system),
+		Device:     dev,
+		Mode:       m,
+		Iterations: *iters,
+	})
+	fmt.Printf("%s, batch %d, %s mode, %s (%.1f GiB)\n",
+		*model, *batch, m, dev.Name, float64(dev.MemoryBytes)/float64(hw.GiB))
+	for _, st := range r.Stats {
+		fmt.Printf("  %s (%.1f samples/s)\n", st, st.Throughput(*batch))
+	}
+	if !r.OK {
+		fmt.Printf("FAILED: %v\n", r.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("steady state: %.1f samples/s, iteration %v, device peak %.2f GiB, host peak %.2f GiB\n",
+		r.Throughput, r.Steady.Duration,
+		float64(r.Steady.PeakBytes)/float64(hw.GiB),
+		float64(r.Steady.HostPeak)/float64(hw.GiB))
+	if r.Plan.Planned {
+		fmt.Println(r.Plan)
+	}
+	if *showPlan {
+		if cap, ok := r.CapuchinPolicy(); ok {
+			fmt.Println()
+			if err := cap.WritePlan(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Println("(-plan applies to capuchin systems only)")
+		}
+	}
+	if *savePlan != "" {
+		cap, ok := r.CapuchinPolicy()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "-save-plan applies to capuchin systems only")
+			os.Exit(2)
+		}
+		f, err := os.Create(*savePlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := cap.ExportPlan(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("plan written to %s\n", *savePlan)
+	}
+}

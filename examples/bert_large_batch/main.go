@@ -1,0 +1,46 @@
+// BERT large batch: the paper's headline NLP result (§1, Table 2).
+//
+// Original TensorFlow tops out around batch 64 when training BERT on a
+// 16 GB card; Capuchin reaches 7x that by swapping attention matrices and
+// recomputing cheap activations. This example finds both limits on the
+// simulated P100 and shows throughput across the extended batch range —
+// including the counterintuitive effect the paper reports in §6.3.2: BERT
+// gets *faster* per sample as the batch grows, because larger kernels
+// saturate the GPU.
+//
+// Run with:
+//
+//	go run ./examples/bert_large_batch
+package main
+
+import (
+	"fmt"
+
+	"capuchin/internal/bench"
+	"capuchin/internal/hw"
+)
+
+func main() {
+	dev := hw.P100()
+	fmt.Printf("BERT-Base (seq 384) on %s\n\n", dev.Name)
+
+	tfMax := bench.MaxBatch(bench.RunConfig{Model: "bert", System: bench.SystemTF, Device: dev})
+	capMax := bench.MaxBatch(bench.RunConfig{Model: "bert", System: bench.SystemCapuchin, Device: dev})
+	fmt.Printf("maximum batch, original framework: %d\n", tfMax)
+	fmt.Printf("maximum batch, Capuchin:           %d (%.1fx)\n\n", capMax, float64(capMax)/float64(tfMax))
+
+	fmt.Println("batch   system     samples/s   GPU-saturation effect")
+	for _, b := range []int64{tfMax / 2, tfMax, tfMax * 2, tfMax * 4, capMax * 3 / 4} {
+		r := bench.Run(bench.RunConfig{Model: "bert", Batch: b, System: bench.SystemCapuchin, Device: dev, Iterations: 6})
+		cell := "OOM"
+		if r.OK {
+			cell = fmt.Sprintf("%8.1f", r.Throughput)
+		}
+		note := ""
+		if b > tfMax {
+			note = "beyond the framework's limit"
+		}
+		fmt.Printf("%5d   capuchin   %9s   %s\n", b, cell, note)
+	}
+	fmt.Println("\npaper: TF-ori 64 vs Capuchin 450 (7x); throughput rises with batch as utilization climbs 31.7% -> 73.7%")
+}

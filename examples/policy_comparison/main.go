@@ -1,0 +1,60 @@
+// Policy comparison: every memory-management system side by side on one
+// workload under the same memory oversubscription (the comparison behind
+// the paper's Fig. 9).
+//
+// Run with:
+//
+//	go run ./examples/policy_comparison [-model inceptionv3] [-batch 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"capuchin/internal/bench"
+	"capuchin/internal/hw"
+	"capuchin/internal/models"
+)
+
+func main() {
+	model := flag.String("model", "inceptionv3", "workload: "+strings.Join(models.Names(), ", "))
+	batch := flag.Int64("batch", 0, "batch size (0 = 1.5x the framework's maximum)")
+	flag.Parse()
+
+	dev := hw.P100()
+	tfMax := bench.MaxBatch(bench.RunConfig{Model: *model, System: bench.SystemTF, Device: dev})
+	b := *batch
+	if b == 0 {
+		b = tfMax * 3 / 2
+	}
+	fmt.Printf("%s on %s; framework max batch %d, comparing at batch %d\n\n", *model, dev.Name, tfMax, b)
+	fmt.Printf("%-22s %12s %12s %10s %10s %10s\n",
+		"system", "samples/s", "iter time", "swapped", "recompute", "stall")
+
+	systems := []bench.System{
+		bench.SystemTF,
+		bench.SystemVDNN,
+		bench.SystemSuperNeurons,
+		bench.SystemOpenAIMemory,
+		bench.SystemOpenAISpeed,
+		bench.SystemCapuchinSwap,
+		bench.SystemCapuchinRecompute,
+		bench.SystemCapuchin,
+	}
+	for _, sys := range systems {
+		if *model == "bert" && sys == bench.SystemVDNN {
+			continue
+		}
+		r := bench.Run(bench.RunConfig{Model: *model, Batch: b, System: sys, Device: dev, Iterations: 8})
+		if !r.OK {
+			fmt.Printf("%-22s %12s\n", sys, "OOM")
+			continue
+		}
+		fmt.Printf("%-22s %12.1f %12v %9dM %10d %10v\n",
+			sys, r.Throughput, r.Steady.Duration,
+			r.Steady.SwapOutBytes>>20, r.Steady.RecomputeCount, r.Steady.StallTime)
+	}
+	fmt.Println("\npaper: Capuchin consistently best; vDNN suffers layer-wise sync stalls;")
+	fmt.Println("checkpointing pays recompute time for every dropped tensor")
+}

@@ -1,0 +1,3 @@
+module capuchin
+
+go 1.22

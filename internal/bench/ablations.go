@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// AblationDecoupledSwap isolates the decoupled computation/swapping
+// optimization (§5.3): the same Capuchin swap plan executed with and
+// without layer-wise swap-out synchronization.
+func AblationDecoupledSwap(o Options) *Table {
+	o = o.fill()
+	t := &Table{
+		Title:  "Ablation: decoupled vs coupled swap-out synchronization (ResNet-50)",
+		Header: []string{"batch", "coupled (img/s)", "decoupled (img/s)", "gain"},
+	}
+	tfMax := MaxBatch(RunConfig{Model: "resnet50", System: SystemTF, Device: o.Device})
+	for _, b := range []int64{tfMax * 5 / 4, tfMax * 7 / 4} {
+		coupled := Run(RunConfig{Model: "resnet50", Batch: b, System: SystemCapuchinSwap,
+			Device: o.Device, Iterations: o.Iterations, ForceCoupledSwap: true})
+		decoupled := Run(RunConfig{Model: "resnet50", Batch: b, System: SystemCapuchinSwap,
+			Device: o.Device, Iterations: o.Iterations})
+		gain := "-"
+		if coupled.OK && decoupled.OK && coupled.Throughput > 0 {
+			gain = fmt.Sprintf("%.1f%%", (decoupled.Throughput/coupled.Throughput-1)*100)
+		}
+		t.AddRow(fmt.Sprintf("%d", b), speedCell(coupled), speedCell(decoupled), gain)
+	}
+	return t
+}
+
+// AblationFeedback isolates the feedback-driven in-trigger adjustment
+// (§4.4) on InceptionV3.
+func AblationFeedback(o Options) *Table {
+	o = o.fill()
+	t := &Table{
+		Title:  "Ablation: feedback-driven in-trigger adjustment (InceptionV3)",
+		Header: []string{"batch", "no feedback (img/s)", "feedback (img/s)", "gain"},
+	}
+	tfMax := MaxBatch(RunConfig{Model: "inceptionv3", System: SystemTF, Device: o.Device})
+	iters := o.Iterations
+	if iters < 8 {
+		iters = 8 // feedback needs iterations to converge
+	}
+	for _, b := range []int64{tfMax * 5 / 4, tfMax * 2} {
+		off := Run(RunConfig{Model: "inceptionv3", Batch: b, System: SystemCapuchinSwapNoFA,
+			Device: o.Device, Iterations: iters})
+		on := Run(RunConfig{Model: "inceptionv3", Batch: b, System: SystemCapuchinSwap,
+			Device: o.Device, Iterations: iters})
+		gain := "-"
+		if off.OK && on.OK && off.Throughput > 0 {
+			gain = fmt.Sprintf("%.1f%%", (on.Throughput/off.Throughput-1)*100)
+		}
+		t.AddRow(fmt.Sprintf("%d", b), speedCell(off), speedCell(on), gain)
+	}
+	return t
+}
+
+// AblationCollectiveRecompute isolates collective recomputation (§5.3).
+func AblationCollectiveRecompute(o Options) *Table {
+	o = o.fill()
+	t := &Table{
+		Title:  "Ablation: collective recomputation (ResNet-50, recompute-only)",
+		Header: []string{"batch", "without CR (img/s)", "with CR (img/s)", "replays w/o CR", "replays w/ CR"},
+	}
+	tfMax := MaxBatch(RunConfig{Model: "resnet50", System: SystemTF, Device: o.Device})
+	for _, b := range []int64{tfMax * 5 / 4, tfMax * 7 / 4} {
+		off := Run(RunConfig{Model: "resnet50", Batch: b, System: SystemCapuchinRecompNoCR,
+			Device: o.Device, Iterations: o.Iterations})
+		on := Run(RunConfig{Model: "resnet50", Batch: b, System: SystemCapuchinRecompute,
+			Device: o.Device, Iterations: o.Iterations})
+		t.AddRow(fmt.Sprintf("%d", b), speedCell(off), speedCell(on),
+			fmt.Sprintf("%d", off.Steady.RecomputeCount), fmt.Sprintf("%d", on.Steady.RecomputeCount))
+	}
+	return t
+}
+
+// AblationHybrid compares the full hybrid policy against swap-only and
+// recompute-only at matched memory pressure, the design choice at the
+// heart of Algorithm 1.
+func AblationHybrid(o Options) *Table {
+	o = o.fill()
+	t := &Table{
+		Title:  "Ablation: hybrid vs swap-only vs recompute-only (ResNet-50)",
+		Header: []string{"batch", "swap-only", "recompute-only", "hybrid"},
+	}
+	tfMax := MaxBatch(RunConfig{Model: "resnet50", System: SystemTF, Device: o.Device})
+	for _, b := range []int64{tfMax * 3 / 2, tfMax * 3} {
+		row := []string{fmt.Sprintf("%d", b)}
+		for _, sys := range []System{SystemCapuchinSwap, SystemCapuchinRecompute, SystemCapuchin} {
+			row = append(row, speedCell(Run(RunConfig{Model: "resnet50", Batch: b, System: sys,
+				Device: o.Device, Iterations: o.Iterations})))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// AblationAllocator compares the BFC allocator with a naive first-fit
+// free list under Capuchin's churn.
+func AblationAllocator(o Options) *Table {
+	o = o.fill()
+	t := &Table{
+		Title:  "Ablation: BFC vs first-fit allocator (ResNet-50, Capuchin)",
+		Header: []string{"allocator", "max batch", "img/s at 1.5x TF max"},
+	}
+	tfMax := MaxBatch(RunConfig{Model: "resnet50", System: SystemTF, Device: o.Device})
+	b := tfMax * 3 / 2
+	for _, alloc := range []string{"bfc", "firstfit"} {
+		mb := MaxBatch(RunConfig{Model: "resnet50", System: SystemCapuchin, Device: o.Device, Allocator: alloc})
+		r := Run(RunConfig{Model: "resnet50", Batch: b, System: SystemCapuchin,
+			Device: o.Device, Iterations: o.Iterations, Allocator: alloc})
+		t.AddRow(alloc, fmt.Sprintf("%d", mb), speedCell(r))
+	}
+	return t
+}
+
+// Ablations runs the full ablation suite.
+func Ablations(o Options) []*Table {
+	return []*Table{
+		AblationDecoupledSwap(o),
+		AblationFeedback(o),
+		AblationCollectiveRecompute(o),
+		AblationHybrid(o),
+		AblationAllocator(o),
+	}
+}

@@ -1,0 +1,222 @@
+// Package bench is the experiment harness: it assembles sessions for every
+// system the paper compares (original framework, vDNN, OpenAI gradient
+// checkpointing, Capuchin and its ablations), searches maximum batch sizes,
+// measures steady-state training speed, and formats the tables and figure
+// series of the paper's evaluation (§6).
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"capuchin/internal/core"
+	"capuchin/internal/exec"
+	"capuchin/internal/graph"
+	"capuchin/internal/hw"
+	"capuchin/internal/models"
+	"capuchin/internal/policy/checkpoint"
+	"capuchin/internal/policy/superneurons"
+	"capuchin/internal/policy/vdnn"
+)
+
+// System names a memory-management configuration under test.
+type System string
+
+// The systems of the paper's evaluation (§6.1) plus Capuchin's breakdown
+// configurations (§6.2).
+const (
+	SystemTF                 System = "tf-ori"
+	SystemVDNN               System = "vdnn"
+	SystemSuperNeurons       System = "superneurons"
+	SystemOpenAIMemory       System = "openai-m"
+	SystemOpenAISpeed        System = "openai-s"
+	SystemCapuchin           System = "capuchin"
+	SystemCapuchinSwap       System = "capuchin-swap"        // ATP+DS+FA, swap only
+	SystemCapuchinSwapNoFA   System = "capuchin-swap-nofa"   // ATP+DS
+	SystemCapuchinRecompute  System = "capuchin-recomp"      // ATP+CR, recompute only
+	SystemCapuchinRecompNoCR System = "capuchin-recomp-nocr" // ATP
+)
+
+// RunConfig describes one simulated training run.
+type RunConfig struct {
+	Model  string
+	Batch  int64
+	System System
+	Device hw.DeviceSpec
+	Mode   exec.Mode
+	// Iterations to run; 0 means 3 (one measured + two guided).
+	Iterations int
+	// Allocator selects "bfc" (default) or "firstfit".
+	Allocator string
+	// RecordSpans enables stream span recording (timeline figures).
+	RecordSpans bool
+	// HostMemory overrides the 256 GiB pinned-host default.
+	HostMemory int64
+	// ForceCoupledSwap enables layer-wise swap synchronization regardless
+	// of system (the decoupled-swap ablation).
+	ForceCoupledSwap bool
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config RunConfig
+	// OK is false when the run failed (OOM for the given system).
+	OK  bool
+	Err error
+	// Stats holds per-iteration statistics; Steady is the last iteration
+	// (the guided, post-plan regime for Capuchin).
+	Stats  []exec.IterStats
+	Steady exec.IterStats
+	// Throughput is steady-state samples/second.
+	Throughput float64
+	// Plan summarizes Capuchin's decisions when applicable.
+	Plan core.PlanSummary
+	// Session remains accessible for span and allocator inspection.
+	Session *exec.Session
+
+	capuchin *core.Capuchin
+}
+
+// CapuchinPolicy returns the run's Capuchin policy instance when the
+// configured system was a Capuchin variant, for plan inspection.
+func (r Result) CapuchinPolicy() (*core.Capuchin, bool) {
+	return r.capuchin, r.capuchin != nil
+}
+
+// buildOptions returns the graph build options for an execution mode.
+func buildOptions(mode exec.Mode) graph.BuildOptions {
+	if mode == exec.EagerMode {
+		return graph.EagerModeOptions()
+	}
+	return graph.GraphModeOptions()
+}
+
+// Run executes one configuration.
+func Run(cfg RunConfig) Result {
+	res := Result{Config: cfg}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 3
+	}
+	spec, err := models.Get(cfg.Model)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	g, err := spec.Build(cfg.Batch, buildOptions(cfg.Mode))
+	if err != nil {
+		res.Err = err
+		return res
+	}
+
+	ec := exec.Config{
+		Device:      cfg.Device,
+		Mode:        cfg.Mode,
+		Allocator:   cfg.Allocator,
+		RecordSpans: cfg.RecordSpans,
+		HostMemory:  cfg.HostMemory,
+	}
+	var cap *core.Capuchin
+	switch cfg.System {
+	case SystemTF:
+		ec.Policy = exec.NullPolicy{}
+	case SystemVDNN:
+		ec.Policy = vdnn.New(g, vdnn.ConvOnly)
+		ec.CoupledSwap = true // layer-wise synchronization (§3.1)
+	case SystemSuperNeurons:
+		ec.Policy = superneurons.New(g)
+		ec.CollectiveRecompute = true
+	case SystemOpenAIMemory:
+		ec.Policy = checkpoint.New(g, checkpoint.Memory)
+		ec.CollectiveRecompute = true // segment-wise recompute
+	case SystemOpenAISpeed:
+		ec.Policy = checkpoint.New(g, checkpoint.Speed)
+		ec.CollectiveRecompute = true
+	case SystemCapuchin:
+		cap = core.New(core.Options{})
+		ec.Policy = cap
+		ec.CollectiveRecompute = true
+	case SystemCapuchinSwap:
+		cap = core.New(core.Options{SwapOnly: true})
+		ec.Policy = cap
+	case SystemCapuchinSwapNoFA:
+		cap = core.New(core.Options{SwapOnly: true, DisableFeedback: true})
+		ec.Policy = cap
+	case SystemCapuchinRecompute:
+		cap = core.New(core.Options{RecomputeOnly: true})
+		ec.Policy = cap
+		ec.CollectiveRecompute = true
+	case SystemCapuchinRecompNoCR:
+		cap = core.New(core.Options{RecomputeOnly: true})
+		ec.Policy = cap
+		ec.CollectiveRecompute = false
+	default:
+		res.Err = fmt.Errorf("bench: unknown system %q", cfg.System)
+		return res
+	}
+
+	if cfg.ForceCoupledSwap {
+		ec.CoupledSwap = true
+	}
+	s, err := exec.NewSession(g, ec)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Session = s
+	stats, err := s.Run(cfg.Iterations)
+	res.Stats = stats
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.OK = true
+	res.Steady = stats[len(stats)-1]
+	res.Throughput = res.Steady.Throughput(cfg.Batch)
+	if cap != nil {
+		res.Plan = cap.Summary()
+		res.capuchin = cap
+	}
+	return res
+}
+
+// Fits reports whether the configuration completes without OOM.
+func Fits(cfg RunConfig) bool {
+	r := Run(cfg)
+	return r.OK && !errors.Is(r.Err, exec.ErrIterationOOM)
+}
+
+// maxBatchCeiling bounds the exponential search.
+const maxBatchCeiling = 4096
+
+// MaxBatch finds the largest batch size that completes for the
+// configuration (cfg.Batch is ignored). Exponential probe then binary
+// search; returns 0 when even batch 1 fails.
+func MaxBatch(cfg RunConfig) int64 {
+	probe := func(b int64) bool {
+		c := cfg
+		c.Batch = b
+		return Fits(c)
+	}
+	if !probe(1) {
+		return 0
+	}
+	lo := int64(1)
+	hi := int64(2)
+	for hi <= maxBatchCeiling && probe(hi) {
+		lo = hi
+		hi *= 2
+	}
+	if hi > maxBatchCeiling {
+		return lo
+	}
+	// Invariant: probe(lo) ok, probe(hi) fails.
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if probe(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

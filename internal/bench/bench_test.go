@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/hw"
+)
+
+// smallDev keeps harness tests fast: a scaled-down P100.
+func smallDev() hw.DeviceSpec {
+	return hw.P100().WithMemory(2 * hw.GiB)
+}
+
+func TestRunSystems(t *testing.T) {
+	for _, sys := range []System{
+		SystemTF, SystemVDNN, SystemSuperNeurons, SystemOpenAIMemory, SystemOpenAISpeed,
+		SystemCapuchin, SystemCapuchinSwap, SystemCapuchinSwapNoFA,
+		SystemCapuchinRecompute, SystemCapuchinRecompNoCR,
+	} {
+		r := Run(RunConfig{Model: "resnet50", Batch: 8, System: sys, Device: smallDev(), Iterations: 2})
+		if !r.OK {
+			t.Errorf("%s failed at batch 8: %v", sys, r.Err)
+			continue
+		}
+		if r.Throughput <= 0 {
+			t.Errorf("%s: zero throughput", sys)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if r := Run(RunConfig{Model: "nope", Batch: 8, System: SystemTF, Device: smallDev()}); r.OK || r.Err == nil {
+		t.Error("unknown model accepted")
+	}
+	if r := Run(RunConfig{Model: "resnet50", Batch: 8, System: "warp-drive", Device: smallDev()}); r.OK || r.Err == nil {
+		t.Error("unknown system accepted")
+	}
+	if r := Run(RunConfig{Model: "resnet50", Batch: 0, System: SystemTF, Device: smallDev()}); r.OK {
+		t.Error("zero batch accepted")
+	}
+}
+
+func TestFingerprintsAgreeAcrossSystems(t *testing.T) {
+	// The central oracle at harness level: every system computes the same
+	// training step.
+	ref := Run(RunConfig{Model: "resnet50", Batch: 8, System: SystemTF,
+		Device: hw.P100().WithMemory(64 * hw.GiB), Iterations: 2})
+	if !ref.OK {
+		t.Fatal(ref.Err)
+	}
+	for _, sys := range []System{SystemVDNN, SystemSuperNeurons, SystemOpenAIMemory, SystemOpenAISpeed, SystemCapuchin} {
+		r := Run(RunConfig{Model: "resnet50", Batch: 8, System: sys, Device: smallDev(), Iterations: 2})
+		if !r.OK {
+			t.Errorf("%s: %v", sys, r.Err)
+			continue
+		}
+		for i := range r.Stats {
+			if r.Stats[i].ParamFingerprint != ref.Stats[i].ParamFingerprint {
+				t.Errorf("%s iter %d: fingerprint diverged from reference", sys, i)
+			}
+		}
+	}
+}
+
+func TestMaxBatchMonotonicOrdering(t *testing.T) {
+	dev := hw.P100().WithMemory(4 * hw.GiB)
+	tf := MaxBatch(RunConfig{Model: "resnet50", System: SystemTF, Device: dev})
+	cp := MaxBatch(RunConfig{Model: "resnet50", System: SystemCapuchin, Device: dev})
+	if tf <= 0 {
+		t.Fatalf("TF max batch = %d", tf)
+	}
+	if cp <= tf {
+		t.Errorf("Capuchin max (%d) should exceed TF max (%d)", cp, tf)
+	}
+	// More memory, larger max batch.
+	tf8 := MaxBatch(RunConfig{Model: "resnet50", System: SystemTF, Device: hw.P100().WithMemory(8 * hw.GiB)})
+	if tf8 <= tf {
+		t.Errorf("max batch did not grow with memory: %d at 4 GiB vs %d at 8 GiB", tf, tf8)
+	}
+}
+
+func TestMaxBatchZeroWhenNothingFits(t *testing.T) {
+	dev := hw.P100().WithMemory(150 * hw.MiB) // params fit, batch 1 does not
+	if got := MaxBatch(RunConfig{Model: "resnet50", System: SystemTF, Device: dev}); got != 0 {
+		t.Errorf("MaxBatch = %d, want 0", got)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.AddNote("n=%d", 7)
+	var text, md strings.Builder
+	if err := tbl.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "## T") || !strings.Contains(text.String(), "note: n=7") {
+		t.Errorf("text output:\n%s", text.String())
+	}
+	if !strings.Contains(md.String(), "| a | bb |") || !strings.Contains(md.String(), "| --- | --- |") {
+		t.Errorf("markdown output:\n%s", md.String())
+	}
+}
+
+func TestQuickExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests take a few seconds")
+	}
+	o := Options{Device: hw.P100().WithMemory(4 * hw.GiB), Quick: true, Iterations: 2}
+	checks := []struct {
+		name string
+		tbl  *Table
+	}{
+		{"fig2", Fig2(o)},
+		{"fig3", Fig3(o)},
+		{"table3", Table3(o)},
+		{"overhead", Overhead(o)},
+	}
+	for _, c := range checks {
+		if len(c.tbl.Rows) == 0 {
+			t.Errorf("%s produced no rows (notes: %v)", c.name, c.tbl.Notes)
+		}
+	}
+	t2 := Table2(o)
+	if len(t2.Rows) != 2 {
+		t.Errorf("quick Table2 rows = %d, want 2", len(t2.Rows))
+	}
+	f9 := Fig9(o)
+	if len(f9) != 1 || len(f9[0].Rows) == 0 {
+		t.Errorf("quick Fig9 shape wrong: %d tables", len(f9))
+	}
+}
+
+func TestBatchLadder(t *testing.T) {
+	l := batchLadder(100, 1000, false)
+	if len(l) < 4 {
+		t.Fatalf("ladder too short: %v", l)
+	}
+	for i := 1; i < len(l); i++ {
+		if l[i] <= l[i-1] {
+			t.Fatalf("ladder not increasing: %v", l)
+		}
+	}
+	if l[0] != 70 || l[1] != 100 {
+		t.Errorf("ladder start = %v, want 70, 100, ...", l[:2])
+	}
+	if last := l[len(l)-1]; last > 1000 {
+		t.Errorf("ladder exceeds capuchin max: %d", last)
+	}
+	// Degenerate input.
+	l0 := batchLadder(0, 0, true)
+	if len(l0) == 0 {
+		t.Error("empty ladder for degenerate input")
+	}
+}
+
+func TestForceCoupledSwapSlower(t *testing.T) {
+	dev := hw.P100().WithMemory(3 * hw.GiB)
+	dec := Run(RunConfig{Model: "resnet50", Batch: 40, System: SystemCapuchinSwap, Device: dev, Iterations: 3})
+	cou := Run(RunConfig{Model: "resnet50", Batch: 40, System: SystemCapuchinSwap, Device: dev, Iterations: 3, ForceCoupledSwap: true})
+	if !dec.OK || !cou.OK {
+		t.Fatalf("runs failed: %v / %v", dec.Err, cou.Err)
+	}
+	if cou.Steady.Duration < dec.Steady.Duration {
+		t.Errorf("coupled (%v) beat decoupled (%v)", cou.Steady.Duration, dec.Steady.Duration)
+	}
+}
+
+func TestEagerModeRuns(t *testing.T) {
+	r := Run(RunConfig{Model: "densenet", Batch: 8, System: SystemCapuchin,
+		Device: smallDev(), Mode: exec.EagerMode, Iterations: 2})
+	if !r.OK {
+		t.Fatalf("eager capuchin failed: %v", r.Err)
+	}
+}
+
+func TestExtensionWorkloadsUnderCapuchin(t *testing.T) {
+	// The zoo extensions (unrolled LSTM, MobileNetV2) run under memory
+	// pressure with Capuchin and stay bit-identical to the uncapped run.
+	for _, m := range []string{"lstm", "mobilenetv2"} {
+		ref := Run(RunConfig{Model: m, Batch: 16, System: SystemTF,
+			Device: hw.P100().WithMemory(64 * hw.GiB), Iterations: 2})
+		if !ref.OK {
+			t.Fatalf("%s reference: %v", m, ref.Err)
+		}
+		capMem := ref.Session.Pool().Peak() * 3 / 5
+		if capMem < 512*hw.MiB {
+			capMem = 512 * hw.MiB
+		}
+		r := Run(RunConfig{Model: m, Batch: 16, System: SystemCapuchin,
+			Device: hw.P100().WithMemory(capMem), Iterations: 3})
+		if !r.OK {
+			t.Fatalf("%s capuchin: %v", m, r.Err)
+		}
+		for i := 0; i < 2; i++ {
+			if r.Stats[i].ParamFingerprint != ref.Stats[i].ParamFingerprint {
+				t.Errorf("%s iter %d: fingerprint diverged", m, i)
+			}
+		}
+	}
+}
+
+func TestCapuchinPolicyAccessor(t *testing.T) {
+	r := Run(RunConfig{Model: "resnet50", Batch: 8, System: SystemCapuchin,
+		Device: smallDev(), Iterations: 2})
+	if !r.OK {
+		t.Fatal(r.Err)
+	}
+	if _, ok := r.CapuchinPolicy(); !ok {
+		t.Error("CapuchinPolicy not exposed for a capuchin run")
+	}
+	r2 := Run(RunConfig{Model: "resnet50", Batch: 8, System: SystemTF,
+		Device: smallDev(), Iterations: 1})
+	if _, ok := r2.CapuchinPolicy(); ok {
+		t.Error("CapuchinPolicy exposed for a TF run")
+	}
+}
+
+func TestCapacitySweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity sweep takes a few seconds")
+	}
+	tbl := CapacitySweep(Options{Device: hw.P100(), Quick: true, Iterations: 2})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("quick sweep rows = %d, want 2", len(tbl.Rows))
+	}
+}

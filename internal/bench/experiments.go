@@ -1,0 +1,512 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/graph"
+	"capuchin/internal/hw"
+	"capuchin/internal/models"
+	"capuchin/internal/ops"
+	"capuchin/internal/sim"
+	"capuchin/internal/tensor"
+	"capuchin/internal/trace"
+)
+
+// Options configures the experiment suite.
+type Options struct {
+	// Device defaults to the paper's P100.
+	Device hw.DeviceSpec
+	// Iterations per timed run; 0 means 8 (enough for feedback to act).
+	Iterations int
+	// Quick trims sweeps for use inside unit tests.
+	Quick bool
+}
+
+func (o Options) fill() Options {
+	if o.Device.MemoryBytes == 0 {
+		o.Device = hw.P100()
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 8
+		if o.Quick {
+			o.Iterations = 3
+		}
+	}
+	return o
+}
+
+// speedCell formats a throughput cell, marking OOM failures.
+func speedCell(r Result) string {
+	if !r.OK {
+		return "OOM"
+	}
+	return fmt.Sprintf("%.1f", r.Throughput)
+}
+
+// Fig1 reproduces Figure 1: vDNN's layer-wise synchronization overhead on
+// VGG16. It runs vDNN coupled at a large batch, extracts the largest
+// swap's timeline against the compute stream, and reports the slowdown
+// versus an ideal (uncapped) run at the same batch.
+func Fig1(o Options) *Table {
+	o = o.fill()
+	t := &Table{
+		Title:  "Fig 1: vDNN synchronization overhead on VGG16",
+		Header: []string{"metric", "value"},
+	}
+	batch := MaxBatch(RunConfig{Model: "vgg16", System: SystemVDNN, Device: o.Device})
+	if batch == 0 {
+		t.AddNote("vDNN cannot run VGG16 at any batch on this device")
+		return t
+	}
+	ideal := Run(RunConfig{Model: "vgg16", Batch: batch, System: SystemTF,
+		Device: o.Device.WithMemory(256 * hw.GiB), Iterations: 2})
+	vd := Run(RunConfig{Model: "vgg16", Batch: batch, System: SystemVDNN,
+		Device: o.Device, Iterations: 2, RecordSpans: true})
+	if !vd.OK || !ideal.OK {
+		t.AddNote("run failed: vdnn=%v ideal=%v", vd.Err, ideal.Err)
+		return t
+	}
+	_, _, d2h := vd.Session.Streams()
+	var largest sim.Span
+	for _, sp := range d2h.Spans() {
+		if sp.Duration() > largest.Duration() {
+			largest = sp
+		}
+	}
+	loss := (float64(vd.Steady.Duration)/float64(ideal.Steady.Duration) - 1) * 100
+	t.AddRow("batch size", fmt.Sprintf("%d", batch))
+	t.AddRow("ideal iteration", ideal.Steady.Duration.String())
+	t.AddRow("vDNN iteration", vd.Steady.Duration.String())
+	t.AddRow("performance loss", fmt.Sprintf("%.1f%%", loss))
+	t.AddRow("sync stall per iteration", vd.Steady.StallTime.String())
+	t.AddRow("largest swap transfer", largest.Duration().String())
+	t.AddNote("paper: total performance loss 41.3%%; swap ~3x the overlapped layer time")
+	return t
+}
+
+// Fig2 reproduces Figure 2: the execution-time spread of InceptionV3's
+// convolution layers under the cost model.
+func Fig2(o Options) *Table {
+	o = o.fill()
+	t := &Table{
+		Title:  "Fig 2: InceptionV3 convolution layer execution times",
+		Header: []string{"metric", "value"},
+	}
+	g, err := models.InceptionV3(64, graph.GraphModeOptions())
+	if err != nil {
+		t.AddNote("build failed: %v", err)
+		return t
+	}
+	var durs []sim.Time
+	for _, n := range g.ForwardNodes() {
+		if _, ok := n.Op.(ops.Conv2D); !ok {
+			continue
+		}
+		durs = append(durs, n.Op.Algorithms(o.Device, inputShapes(n))[0].Duration)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	if len(durs) == 0 {
+		t.AddNote("no convolutions found")
+		return t
+	}
+	under3ms := 0
+	for _, d := range durs {
+		if d < 3*sim.Millisecond {
+			under3ms++
+		}
+	}
+	min, max := durs[0], durs[len(durs)-1]
+	t.AddRow("convolution layers", fmt.Sprintf("%d", len(durs)))
+	t.AddRow("min layer time", min.String())
+	t.AddRow("median layer time", durs[len(durs)/2].String())
+	t.AddRow("max layer time", max.String())
+	t.AddRow("max/min ratio", fmt.Sprintf("%.1fx", float64(max)/float64(min)))
+	t.AddRow("share under 3ms", fmt.Sprintf("%.1f%%", 100*float64(under3ms)/float64(len(durs))))
+	t.AddNote("paper: 94 layers, 474us..17.7ms (37x), 95.7%% under 3ms")
+	return t
+}
+
+// inputShapes collects a node's input shapes.
+func inputShapes(n *graph.Node) []tensor.Shape {
+	out := make([]tensor.Shape, len(n.Inputs))
+	for i, in := range n.Inputs {
+		out[i] = in.Shape
+	}
+	return out
+}
+
+// Fig3 reproduces Figure 3: tensor accesses recur at fixed offsets within
+// every iteration. It traces three multi-access ResNet-50 tensors over 16
+// iterations and reports the per-iteration timestamp spread.
+func Fig3(o Options) *Table {
+	o = o.fill()
+	t := &Table{
+		Title:  "Fig 3: ResNet-50 tensor access timeline regularity",
+		Header: []string{"tensor", "accesses/iter", "timestamps in iter 5 (ms)", "max spread across iters 5..15"},
+	}
+	g, err := models.ResNet50(32, graph.GraphModeOptions())
+	if err != nil {
+		t.AddNote("build failed: %v", err)
+		return t
+	}
+	// Pick three interesting tensors: large feature maps with 4+ accesses.
+	type pick struct {
+		id   string
+		uses int
+	}
+	var picks []pick
+	for _, n := range g.ForwardNodes() {
+		for _, out := range n.Outputs {
+			if out.Persistent || out.Bytes() < 1<<20 {
+				continue
+			}
+			uses := g.ConsumerCount(out) + 1
+			if uses >= 4 {
+				picks = append(picks, pick{out.ID, uses})
+			}
+		}
+	}
+	sort.Slice(picks, func(i, j int) bool { return picks[i].id < picks[j].id })
+	if len(picks) > 3 {
+		picks = picks[:3]
+	}
+	want := make(map[string]bool)
+	for _, p := range picks {
+		want[p.id] = true
+	}
+	rec := trace.NewRecorder(nil, func(acc exec.Access) bool {
+		return acc.Kind != exec.Dealloc && want[acc.Tensor.ID]
+	})
+	s, err := exec.NewSession(g, exec.Config{Device: o.Device.WithMemory(64 * hw.GiB), Policy: rec})
+	if err != nil {
+		t.AddNote("session failed: %v", err)
+		return t
+	}
+	iters := 16
+	if o.Quick {
+		iters = 6
+	}
+	if _, err := s.Run(iters); err != nil {
+		t.AddNote("run failed: %v", err)
+		return t
+	}
+	// Group events: tensor -> iter -> offsets from iteration start.
+	iterStart := map[int]sim.Time{}
+	for _, e := range rec.Events() {
+		if st, ok := iterStart[e.Iter]; !ok || e.At < st {
+			iterStart[e.Iter] = e.At
+		}
+	}
+	offsets := map[string]map[int][]sim.Time{}
+	for _, e := range rec.Events() {
+		if offsets[e.TensorID] == nil {
+			offsets[e.TensorID] = map[int][]sim.Time{}
+		}
+		offsets[e.TensorID][e.Iter] = append(offsets[e.TensorID][e.Iter], e.At-iterStart[e.Iter])
+	}
+	probeIters := []int{5, 10, 15}
+	if o.Quick {
+		probeIters = []int{2, 3, 4}
+	}
+	for _, p := range picks {
+		byIter := offsets[p.id]
+		ref := byIter[probeIters[0]]
+		stamps := ""
+		for i, off := range ref {
+			if i > 0 {
+				stamps += " "
+			}
+			stamps += fmt.Sprintf("%.2f", off.Milliseconds())
+		}
+		var spread sim.Time
+		for _, it := range probeIters[1:] {
+			cur := byIter[it]
+			for i := range ref {
+				if i < len(cur) {
+					d := cur[i] - ref[i]
+					if d < 0 {
+						d = -d
+					}
+					if d > spread {
+						spread = d
+					}
+				}
+			}
+		}
+		t.AddRow(p.id, fmt.Sprintf("%d", len(ref)), stamps, spread.String())
+	}
+	t.AddNote("paper: occurrence counts and timestamps fixed; variance < 1ms across iterations")
+	return t
+}
+
+// Fig8a reproduces Figure 8a: the swap-mechanism breakdown on InceptionV3
+// — vDNN versus Capuchin's measured-execution swapping (ATP+DS) and the
+// feedback adjustment (ATP+DS+FA) — at a moderate and a large batch.
+func Fig8a(o Options) *Table {
+	o = o.fill()
+	t := &Table{
+		Title:  "Fig 8a: swap breakdown on InceptionV3 (images/sec)",
+		Header: []string{"batch", "vDNN", "ATP+DS", "ATP+DS+FA"},
+	}
+	vmax := MaxBatch(RunConfig{Model: "inceptionv3", System: SystemVDNN, Device: o.Device})
+	if vmax == 0 {
+		t.AddNote("vDNN cannot run InceptionV3 here")
+		return t
+	}
+	batches := []int64{vmax / 2, vmax}
+	for _, b := range batches {
+		row := []string{fmt.Sprintf("%d", b)}
+		for _, sys := range []System{SystemVDNN, SystemCapuchinSwapNoFA, SystemCapuchinSwap} {
+			row = append(row, speedCell(Run(RunConfig{
+				Model: "inceptionv3", Batch: b, System: sys,
+				Device: o.Device, Iterations: o.Iterations,
+			})))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper (batch 200): ATP+DS beats vDNN by 73.9%%, FA adds 21.9%%; at vDNN's max batch the gain shrinks to ~5.5%%")
+	return t
+}
+
+// Fig8b reproduces Figure 8b: the recomputation breakdown on ResNet-50 —
+// OpenAI speed/memory modes versus Capuchin's measured recomputation (ATP)
+// and collective recomputation (ATP+CR).
+func Fig8b(o Options) *Table {
+	o = o.fill()
+	t := &Table{
+		Title:  "Fig 8b: recomputation breakdown on ResNet-50 (images/sec)",
+		Header: []string{"batch", "OpenAI-S", "OpenAI-M", "ATP", "ATP+CR"},
+	}
+	smax := MaxBatch(RunConfig{Model: "resnet50", System: SystemOpenAISpeed, Device: o.Device})
+	mmax := MaxBatch(RunConfig{Model: "resnet50", System: SystemOpenAIMemory, Device: o.Device})
+	for _, b := range []int64{smax, mmax} {
+		if b == 0 {
+			continue
+		}
+		row := []string{fmt.Sprintf("%d", b)}
+		for _, sys := range []System{SystemOpenAISpeed, SystemOpenAIMemory, SystemCapuchinRecompNoCR, SystemCapuchinRecompute} {
+			row = append(row, speedCell(Run(RunConfig{
+				Model: "resnet50", Batch: b, System: sys,
+				Device: o.Device, Iterations: o.Iterations,
+			})))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: at OpenAI-S max batch ATP wins by 37.9%%; at OpenAI-M max batch ATP adds 10.7%% and CR another 7.1%%")
+	return t
+}
+
+// Table2 reproduces Table 2: maximum batch sizes in graph mode.
+func Table2(o Options) *Table {
+	o = o.fill()
+	t := &Table{
+		Title:  "Table 2: maximum batch size, graph mode",
+		Header: []string{"model", "TF-ori", "vDNN", "OpenAI", "Capuchin", "Capuchin/TF", "Capuchin/2nd-best"},
+	}
+	modelsList := []string{"vgg16", "resnet50", "resnet152", "inceptionv3", "inceptionv4", "bert"}
+	if o.Quick {
+		modelsList = []string{"resnet50", "bert"}
+	}
+	for _, m := range modelsList {
+		tf := MaxBatch(RunConfig{Model: m, System: SystemTF, Device: o.Device})
+		vd := int64(0)
+		if m != "bert" { // vDNN targets CNNs only (§6.1)
+			vd = MaxBatch(RunConfig{Model: m, System: SystemVDNN, Device: o.Device})
+		}
+		om := MaxBatch(RunConfig{Model: m, System: SystemOpenAIMemory, Device: o.Device})
+		os := MaxBatch(RunConfig{Model: m, System: SystemOpenAISpeed, Device: o.Device})
+		oa := om
+		if os > oa {
+			oa = os
+		}
+		cp := MaxBatch(RunConfig{Model: m, System: SystemCapuchin, Device: o.Device})
+		second := vd
+		if oa > second {
+			second = oa
+		}
+		vdCell := "-"
+		if m != "bert" {
+			vdCell = fmt.Sprintf("%d", vd)
+		}
+		ratioTF, ratio2 := "-", "-"
+		if tf > 0 {
+			ratioTF = fmt.Sprintf("%.2fx", float64(cp)/float64(tf))
+		}
+		if second > 0 {
+			ratio2 = fmt.Sprintf("%.2fx", float64(cp)/float64(second))
+		}
+		t.AddRow(m, fmt.Sprintf("%d", tf), vdCell, fmt.Sprintf("%d", oa), fmt.Sprintf("%d", cp), ratioTF, ratio2)
+	}
+	t.AddNote("paper: Capuchin up to 9.27x TF-ori (avg 5.49x) and up to 2.14x the second best (avg 1.84x)")
+	return t
+}
+
+// Table3 reproduces Table 3: maximum batch sizes in eager mode.
+func Table3(o Options) *Table {
+	o = o.fill()
+	t := &Table{
+		Title:  "Table 3: maximum batch size, eager mode",
+		Header: []string{"model", "TF eager", "Capuchin eager", "ratio", "TF graph (ref)"},
+	}
+	for _, m := range []string{"resnet50", "densenet"} {
+		tf := MaxBatch(RunConfig{Model: m, System: SystemTF, Device: o.Device, Mode: exec.EagerMode})
+		cp := MaxBatch(RunConfig{Model: m, System: SystemCapuchin, Device: o.Device, Mode: exec.EagerMode})
+		gr := MaxBatch(RunConfig{Model: m, System: SystemTF, Device: o.Device, Mode: exec.GraphMode})
+		ratio := "-"
+		if tf > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(cp)/float64(tf))
+		}
+		t.AddRow(m, fmt.Sprintf("%d", tf), fmt.Sprintf("%d", cp), ratio, fmt.Sprintf("%d", gr))
+	}
+	t.AddNote("paper: ResNet-50 122 -> 300 (2.46x), DenseNet 70 -> 190 (2.71x); eager TF below graph TF")
+	return t
+}
+
+// batchLadder builds sweep points from a fraction below tfMax up to capMax.
+func batchLadder(tfMax, capMax int64, quick bool) []int64 {
+	if tfMax == 0 {
+		tfMax = 2
+	}
+	if capMax < tfMax {
+		capMax = tfMax
+	}
+	points := []float64{0.7, 1.0, 1.2, 1.5, 2.0}
+	if quick {
+		points = []float64{1.0, 1.5}
+	}
+	var ladder []int64
+	for _, f := range points {
+		b := int64(math.Max(1, f*float64(tfMax)))
+		if b <= capMax && (len(ladder) == 0 || b > ladder[len(ladder)-1]) {
+			ladder = append(ladder, b)
+		}
+	}
+	steps := 2
+	if quick {
+		steps = 1
+	}
+	base := ladder[len(ladder)-1]
+	for i := 1; i <= steps; i++ {
+		b := base + int64(i)*(capMax*9/10-base)/int64(steps)
+		if b > ladder[len(ladder)-1] {
+			ladder = append(ladder, b)
+		}
+	}
+	return ladder
+}
+
+// Fig9 reproduces Figure 9: training speed versus batch size in graph mode
+// for every workload and system.
+func Fig9(o Options) []*Table {
+	o = o.fill()
+	modelsList := []string{"vgg16", "resnet50", "resnet152", "inceptionv3", "inceptionv4", "bert"}
+	if o.Quick {
+		modelsList = []string{"resnet50"}
+	}
+	var tables []*Table
+	for _, m := range modelsList {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 9: training speed vs batch, %s (samples/sec)", m),
+			Header: []string{"batch", "TF-ori", "vDNN", "OpenAI-M", "OpenAI-S", "Capuchin"},
+		}
+		tfMax := MaxBatch(RunConfig{Model: m, System: SystemTF, Device: o.Device})
+		capMax := MaxBatch(RunConfig{Model: m, System: SystemCapuchin, Device: o.Device})
+		for _, b := range batchLadder(tfMax, capMax, o.Quick) {
+			row := []string{fmt.Sprintf("%d", b)}
+			for _, sys := range []System{SystemTF, SystemVDNN, SystemOpenAIMemory, SystemOpenAISpeed, SystemCapuchin} {
+				if m == "bert" && sys == SystemVDNN {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, speedCell(Run(RunConfig{
+					Model: m, Batch: b, System: sys,
+					Device: o.Device, Iterations: o.Iterations,
+				})))
+			}
+			t.AddRow(row...)
+		}
+		t.AddNote("paper: Capuchin best throughout; vDNN worst (up to -74%% on ResNets); Capuchin within 3%% of TF at +20%% batch")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig10 reproduces Figure 10: eager-mode training speed versus batch size.
+func Fig10(o Options) []*Table {
+	o = o.fill()
+	var tables []*Table
+	for _, m := range []string{"resnet50", "densenet"} {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig 10: eager-mode speed vs batch, %s (samples/sec)", m),
+			Header: []string{"batch", "TF eager", "Capuchin eager"},
+		}
+		tfMax := MaxBatch(RunConfig{Model: m, System: SystemTF, Device: o.Device, Mode: exec.EagerMode})
+		capMax := MaxBatch(RunConfig{Model: m, System: SystemCapuchin, Device: o.Device, Mode: exec.EagerMode})
+		for _, b := range batchLadder(tfMax, capMax, o.Quick) {
+			row := []string{fmt.Sprintf("%d", b)}
+			for _, sys := range []System{SystemTF, SystemCapuchin} {
+				row = append(row, speedCell(Run(RunConfig{
+					Model: m, Batch: b, System: sys, Mode: exec.EagerMode,
+					Device: o.Device, Iterations: o.Iterations,
+				})))
+			}
+			t.AddRow(row...)
+		}
+		t.AddNote("paper: ResNet-50 -23.1%% at +83.6%% batch; DenseNet speed rises with batch (GPU utilization)")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Overhead reproduces §6.3.2's runtime-overhead measurement: Capuchin's
+// access tracking at a batch size where no memory optimization is needed.
+func Overhead(o Options) *Table {
+	o = o.fill()
+	t := &Table{
+		Title:  "Runtime tracking overhead (Capuchin on, no memory pressure)",
+		Header: []string{"model", "batch", "TF-ori (samples/s)", "Capuchin (samples/s)", "overhead"},
+	}
+	modelsList := []string{"vgg16", "resnet50", "resnet152", "inceptionv3", "inceptionv4", "bert"}
+	if o.Quick {
+		modelsList = []string{"resnet50"}
+	}
+	for _, m := range modelsList {
+		tfMax := MaxBatch(RunConfig{Model: m, System: SystemTF, Device: o.Device})
+		b := tfMax * 4 / 5 // below the pressure point so the plan stays idle
+		if b < 1 {
+			b = 1
+		}
+		base := Run(RunConfig{Model: m, Batch: b, System: SystemTF, Device: o.Device, Iterations: 3})
+		cap := Run(RunConfig{Model: m, Batch: b, System: SystemCapuchin, Device: o.Device, Iterations: 3})
+		if !base.OK || !cap.OK {
+			t.AddRow(m, fmt.Sprintf("%d", b), speedCell(base), speedCell(cap), "-")
+			continue
+		}
+		ovh := (base.Throughput/cap.Throughput - 1) * 100
+		t.AddRow(m, fmt.Sprintf("%d", b),
+			fmt.Sprintf("%.1f", base.Throughput),
+			fmt.Sprintf("%.1f", cap.Throughput),
+			fmt.Sprintf("%.2f%%", ovh))
+	}
+	t.AddNote("paper: at most 1.6%% and 0.36%% on average in graph mode")
+	return t
+}
+
+// WriteAll runs every experiment and writes the tables to w.
+func WriteAll(w io.Writer, o Options) error {
+	tables := []*Table{Fig1(o), Fig2(o), Fig3(o), Fig8a(o), Fig8b(o), Table2(o), Table3(o)}
+	tables = append(tables, Fig9(o)...)
+	tables = append(tables, Fig10(o)...)
+	tables = append(tables, Overhead(o), CapacitySweep(o), TableExtensions(o), DeviceSensitivity(o))
+	tables = append(tables, Ablations(o)...)
+	for _, t := range tables {
+		if err := t.WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/sim"
+	"capuchin/internal/tensor"
+)
+
+// Options configures Capuchin; the zero value is the paper's full system.
+type Options struct {
+	// SwapOnly disables recomputation (the configuration of Fig. 8a).
+	SwapOnly bool
+	// RecomputeOnly disables swapping decisions in the plan (Fig. 8b);
+	// passive-mode on-demand swapping remains as the safety net.
+	RecomputeOnly bool
+	// DisableFeedback turns off the runtime in-trigger adjustment (the
+	// "FA" ablation of §6.2).
+	DisableFeedback bool
+	// Headroom is device memory reserved for workspace and fragmentation
+	// when sizing the plan; 0 means capacity/12.
+	Headroom int64
+	// FeedbackAdvance is the fraction of a tensor's swap time by which a
+	// stalled back-access moves its in-trigger earlier (default 0.05,
+	// §4.4).
+	FeedbackAdvance float64
+	// MeasuredIterations is how many leading iterations run in passive
+	// measured mode before the plan is made (default 1).
+	MeasuredIterations int
+}
+
+// Capuchin is the paper's memory manager as an exec.Policy: iteration 0
+// runs in passive measured mode (on-demand eviction only) while the Tensor
+// Access Tracker records the dynamic access pattern; the Policy Maker then
+// derives the hybrid swap/recompute plan that guided execution applies and
+// refines from feedback (§4.2).
+type Capuchin struct {
+	opts Options
+
+	tk   *tracker
+	plan *plan
+
+	// bound lazily maps tensor IDs to live tensors observed in the
+	// access stream, so guided execution (including plans loaded with
+	// LoadPlan) never needs the measured-iteration records.
+	bound map[string]*tensor.Tensor
+
+	// pendingPrefetch queues in-triggers that fired while device memory
+	// was too tight to prefetch into; they retry at subsequent accesses.
+	// Prefetching into the peak-memory region would force evictions of
+	// its own (§4.4), so issuing waits for headroom instead.
+	pendingPrefetch []string
+	pendingSet      map[string]bool
+
+	// stalledAdjusts counts feedback-driven in-trigger moves (observable
+	// for tests and the Fig. 8a breakdown).
+	stalledAdjusts int
+}
+
+var _ exec.Policy = (*Capuchin)(nil)
+
+// New creates a Capuchin policy.
+func New(opts Options) *Capuchin {
+	if opts.FeedbackAdvance == 0 {
+		opts.FeedbackAdvance = 0.05
+	}
+	if opts.MeasuredIterations == 0 {
+		opts.MeasuredIterations = 1
+	}
+	if opts.SwapOnly && opts.RecomputeOnly {
+		panic("core: SwapOnly and RecomputeOnly are mutually exclusive")
+	}
+	return &Capuchin{opts: opts, tk: newTracker(), pendingSet: make(map[string]bool), bound: make(map[string]*tensor.Tensor)}
+}
+
+// Name implements exec.Policy.
+func (c *Capuchin) Name() string {
+	switch {
+	case c.opts.SwapOnly:
+		return "capuchin-swap"
+	case c.opts.RecomputeOnly:
+		return "capuchin-recompute"
+	default:
+		return "capuchin"
+	}
+}
+
+// TracksAccesses implements exec.Policy: Capuchin's runtime tracking costs
+// a small per-access overhead (§6.3.2).
+func (c *Capuchin) TracksAccesses() bool { return true }
+
+// BeginIteration implements exec.Policy.
+func (c *Capuchin) BeginIteration(iter int, env *exec.Env) {}
+
+// measured reports whether the iteration runs in measured (passive) mode.
+func (c *Capuchin) measured(iter int) bool { return iter < c.opts.MeasuredIterations }
+
+// OnAccess implements exec.Policy.
+func (c *Capuchin) OnAccess(acc exec.Access, env *exec.Env) {
+	if c.measured(acc.Iter) {
+		c.tk.observe(acc)
+		return
+	}
+	if c.plan == nil {
+		return
+	}
+	t := acc.Tensor
+	if acc.Kind == exec.Dealloc {
+		return
+	}
+	c.bound[t.ID] = t
+	k := key{t.ID, acc.Count}
+
+	// Feedback-driven adjustment: the back-access found its tensor still
+	// in flight, so next iteration's in-trigger moves earlier by 5% of
+	// the swap time (§4.4).
+	if sp, ok := c.plan.swaps[t.ID]; ok && acc.Count == sp.backCount {
+		if acc.InFlight && acc.Stall > 0 && !c.opts.DisableFeedback {
+			c.advanceTrigger(sp)
+		}
+	}
+
+	// Retry queued prefetches, then any in-triggers bound to this access.
+	c.drainPrefetches(env)
+	for _, id := range c.plan.triggers[k] {
+		c.prefetch(id, env)
+	}
+
+	// Eviction bound to this access.
+	if action, ok := c.plan.evict[k]; ok {
+		switch action {
+		case actionSwap:
+			env.SwapOutAsync(t)
+		case actionRecompute:
+			env.ReleaseForRecompute(t)
+		}
+	}
+}
+
+// prefetchReserve reports the free-memory floor required before issuing a
+// prefetch; prefetching into tighter memory would trigger evictions.
+func (c *Capuchin) prefetchReserve(env *exec.Env) int64 {
+	if c.opts.Headroom > 0 {
+		return c.opts.Headroom
+	}
+	return env.DeviceMemory() / 32
+}
+
+// canPrefetch applies the memory guards: enough free memory beyond the
+// reserve, and bounded device memory held by in-flight transfers (those
+// buffers cannot be evicted until they land, so letting them accumulate
+// fragments the address space at large batch sizes).
+func (c *Capuchin) canPrefetch(size int64, env *exec.Env) bool {
+	inflightCap := env.DeviceMemory() / 4
+	return env.InflightSwapInBytes()+size <= inflightCap &&
+		env.FreeBytes() >= size+c.prefetchReserve(env)
+}
+
+// prefetch issues a swap-in when memory allows, otherwise queues it.
+func (c *Capuchin) prefetch(id string, env *exec.Env) {
+	t, ok := c.bound[id]
+	if !ok || t.Status != tensor.Out || c.pendingSet[id] {
+		return
+	}
+	if c.canPrefetch(c.plan.sizes[id], env) && env.SwapInAsync(t) {
+		return
+	}
+	c.pendingSet[id] = true
+	c.pendingPrefetch = append(c.pendingPrefetch, id)
+}
+
+// drainPrefetches retries queued prefetches in FIFO order, stopping at the
+// first that still does not fit (preserving the back-access order the
+// trigger schedule established).
+func (c *Capuchin) drainPrefetches(env *exec.Env) {
+	for len(c.pendingPrefetch) > 0 {
+		id := c.pendingPrefetch[0]
+		t, ok := c.bound[id]
+		if !ok || t.Status != tensor.Out {
+			// Already brought in (on-demand at its back-access).
+			c.pendingPrefetch = c.pendingPrefetch[1:]
+			delete(c.pendingSet, id)
+			continue
+		}
+		if !c.canPrefetch(c.plan.sizes[id], env) || !env.SwapInAsync(t) {
+			return
+		}
+		c.pendingPrefetch = c.pendingPrefetch[1:]
+		delete(c.pendingSet, id)
+	}
+}
+
+// advanceTrigger moves a swap plan's in-trigger earlier on the measured
+// timeline by FeedbackAdvance of its swap duration.
+func (c *Capuchin) advanceTrigger(sp *swapPlan) {
+	seq := c.plan.seq
+	var current sim.Time
+	if sp.triggerIdx >= 0 {
+		current = seq[sp.triggerIdx].at
+	} else {
+		current = sp.backAt
+	}
+	target := current - sim.Time(float64(sp.swapInDur)*c.opts.FeedbackAdvance)
+	idx := sort.Search(len(seq), func(i int) bool { return seq[i].at > target }) - 1
+	for idx >= 0 && (seq[idx].id == sp.id || seq[idx].at <= sp.evictAt) {
+		idx--
+	}
+	if idx < 0 || (sp.triggerIdx >= 0 && idx >= sp.triggerIdx) {
+		return // cannot move earlier
+	}
+	c.plan.unregisterTrigger(sp)
+	sp.triggerIdx = idx
+	c.plan.registerTrigger(sp)
+	c.stalledAdjusts++
+}
+
+// OnOOM implements exec.Policy: passive mode's on-demand eviction scan
+// (§5.2) runs in both measured and guided execution as the safety net.
+func (c *Capuchin) OnOOM(need int64, env *exec.Env) ([]*tensor.Tensor, bool) {
+	return env.LRUResidents(need), true
+}
+
+// EndIteration implements exec.Policy: after the final measured iteration
+// the Policy Maker builds the plan.
+func (c *Capuchin) EndIteration(iter int, env *exec.Env) {
+	c.pendingPrefetch = nil
+	c.pendingSet = make(map[string]bool)
+	if c.measured(iter) && iter != c.opts.MeasuredIterations-1 {
+		// Earlier measured iterations only warm the passive-mode state
+		// (host buffers, allocator layout); the plan derives from the
+		// final measured iteration's trace, so drop the partial one —
+		// access counts restart every iteration and mixing two traces
+		// would corrupt the {tensor, count} keys.
+		c.tk = newTracker()
+		return
+	}
+	if iter != c.opts.MeasuredIterations-1 || c.plan != nil {
+		return
+	}
+	c.tk.finish()
+	pl := &planner{
+		tk:       c.tk,
+		opts:     c.opts,
+		capacity: env.DeviceMemory(),
+		params:   paramResident(env),
+		swapOut:  env.SwapOutDuration,
+		swapIn:   env.SwapInDuration,
+	}
+	c.plan = pl.build()
+}
+
+// paramResident estimates persistent memory as what is resident at the
+// iteration boundary (only parameters survive the end-of-iteration reset).
+func paramResident(env *exec.Env) int64 {
+	return env.UsedBytes()
+}
+
+// PlanSummary describes the decisions Capuchin made, for reporting.
+type PlanSummary struct {
+	Planned        bool
+	RequiredBytes  int64
+	PeakUsage      int64
+	SwapTensors    int
+	SwapBytes      int64
+	RecomputeCount int
+	RecomputeBytes int64
+	Adjustments    int
+}
+
+// Summary reports the current plan.
+func (c *Capuchin) Summary() PlanSummary {
+	if c.plan == nil {
+		return PlanSummary{}
+	}
+	return PlanSummary{
+		Planned:        true,
+		RequiredBytes:  c.plan.required,
+		PeakUsage:      c.plan.peakUsage,
+		SwapTensors:    c.plan.numSwap,
+		SwapBytes:      c.plan.coveredSwap,
+		RecomputeCount: c.plan.numRecompute,
+		RecomputeBytes: c.plan.coveredRecomp,
+		Adjustments:    c.stalledAdjusts,
+	}
+}
+
+// String implements fmt.Stringer.
+func (s PlanSummary) String() string {
+	if !s.Planned {
+		return "capuchin: no plan yet"
+	}
+	return fmt.Sprintf("capuchin plan: need %dMB of %dMB peak; swap %d tensors (%dMB), recompute %d (%dMB), %d feedback adjustments",
+		s.RequiredBytes>>20, s.PeakUsage>>20, s.SwapTensors, s.SwapBytes>>20,
+		s.RecomputeCount, s.RecomputeBytes>>20, s.Adjustments)
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"capuchin/internal/sim"
+)
+
+// PlanEntry describes one eviction decision of the current plan, for
+// inspection and debugging.
+type PlanEntry struct {
+	TensorID string
+	// Action is "swap" or "recompute".
+	Action string
+	Bytes  int64
+	// EvictAtCount and BackAtCount are the access counts of the
+	// evicted-access and back-access (§4.2 terminology).
+	EvictAtCount int
+	BackAtCount  int
+	// Gap is the measured interval between the two accesses.
+	Gap sim.Time
+	// FreeTime is Eq. 1's FT for the chosen pair (swaps only).
+	FreeTime sim.Time
+	// Trigger identifies the in-trigger access ("tensor#count"), or
+	// "on-demand" when none was schedulable.
+	Trigger string
+}
+
+// DescribePlan lists the current plan's decisions, largest tensors first.
+// It returns nil before the Policy Maker has run.
+func (c *Capuchin) DescribePlan() []PlanEntry {
+	if c.plan == nil {
+		return nil
+	}
+	var out []PlanEntry
+	for k, action := range c.plan.evict {
+		e := PlanEntry{
+			TensorID:     k.id,
+			Bytes:        c.plan.sizes[k.id],
+			EvictAtCount: k.count,
+			Action:       "recompute",
+			Trigger:      "on-demand",
+		}
+		if sp, ok := c.plan.swaps[k.id]; ok && action == actionSwap {
+			e.Action = "swap"
+			e.BackAtCount = sp.backCount
+			e.Gap = sp.backAt - sp.evictAt
+			e.FreeTime = (sp.backAt - sp.swapInDur) - sp.evictAt
+			if sp.triggerIdx >= 0 {
+				t := c.plan.seq[sp.triggerIdx]
+				e.Trigger = fmt.Sprintf("%s#%d", t.id, t.count)
+			}
+		} else if r, ok := c.tk.records[k.id]; ok {
+			if a, ok2 := r.accessAt(k.count + 1); ok2 {
+				e.BackAtCount = a.count
+			}
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].TensorID < out[j].TensorID
+	})
+	return out
+}
+
+// WritePlan renders the plan as a table.
+func (c *Capuchin) WritePlan(w io.Writer) error {
+	entries := c.DescribePlan()
+	if entries == nil {
+		_, err := fmt.Fprintln(w, "no plan (still in measured execution)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-40s %-10s %10s %8s %12s %s\n",
+		"tensor", "action", "bytes", "evict@", "gap", "trigger"); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(w, "%-40s %-10s %10d %8d %12s %s\n",
+			e.TensorID, e.Action, e.Bytes, e.EvictAtCount, e.Gap, e.Trigger); err != nil {
+			return err
+		}
+	}
+	return nil
+}

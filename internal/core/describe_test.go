@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/hw"
+)
+
+func TestDescribePlan(t *testing.T) {
+	c := New(Options{})
+	if c.DescribePlan() != nil {
+		t.Error("plan described before planning")
+	}
+	var sb strings.Builder
+	if err := c.WritePlan(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no plan") {
+		t.Errorf("pre-plan output = %q", sb.String())
+	}
+
+	s, err := exec.NewSession(testCNN(t), exec.Config{
+		Device:              device(48 * hw.MiB),
+		Policy:              c,
+		CollectiveRecompute: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	entries := c.DescribePlan()
+	if len(entries) == 0 {
+		t.Fatal("empty plan under pressure")
+	}
+	// Sorted by size descending; sane fields.
+	for i, e := range entries {
+		if i > 0 && e.Bytes > entries[i-1].Bytes {
+			t.Error("entries not sorted by size")
+		}
+		if e.Action != "swap" && e.Action != "recompute" {
+			t.Errorf("bad action %q", e.Action)
+		}
+		if e.EvictAtCount < 1 {
+			t.Errorf("bad evict count %d", e.EvictAtCount)
+		}
+		if e.Action == "swap" {
+			if e.BackAtCount <= e.EvictAtCount {
+				t.Errorf("%s: back %d <= evict %d", e.TensorID, e.BackAtCount, e.EvictAtCount)
+			}
+			if e.Gap <= 0 {
+				t.Errorf("%s: non-positive gap", e.TensorID)
+			}
+		}
+	}
+	sb.Reset()
+	if err := c.WritePlan(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), entries[0].TensorID) {
+		t.Error("WritePlan missing largest entry")
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	run := func() []PlanEntry {
+		c := New(Options{})
+		s, err := exec.NewSession(testCNN(t), exec.Config{
+			Device:              device(48 * hw.MiB),
+			Policy:              c,
+			CollectiveRecompute: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(2); err != nil {
+			t.Fatal(err)
+		}
+		return c.DescribePlan()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("plan sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan entry %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOptionsKnobs(t *testing.T) {
+	// Headroom shrinks the threshold and grows the required saving.
+	run := func(headroom int64) PlanSummary {
+		c := New(Options{Headroom: headroom})
+		s, err := exec.NewSession(testCNN(t), exec.Config{Device: device(64 * hw.MiB), Policy: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(2); err != nil {
+			t.Fatal(err)
+		}
+		return c.Summary()
+	}
+	small := run(1 * hw.MiB)
+	big := run(16 * hw.MiB)
+	if big.RequiredBytes <= small.RequiredBytes {
+		t.Errorf("larger headroom should require more saving: %d vs %d",
+			big.RequiredBytes, small.RequiredBytes)
+	}
+}
+
+func TestMeasuredIterationsOption(t *testing.T) {
+	c := New(Options{MeasuredIterations: 2})
+	s, err := exec.NewSession(testCNN(t), exec.Config{Device: device(48 * hw.MiB), Policy: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts, err := s.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iterations 0 and 1 are measured: no proactive swaps.
+	for i := 0; i < 2; i++ {
+		if sts[i].SwapOutCount != 0 {
+			t.Errorf("iter %d swapped proactively during measurement", i)
+		}
+	}
+	if !c.Summary().Planned {
+		t.Error("no plan after the measured window")
+	}
+	if sts[3].SwapOutCount+sts[3].RecomputeCount == 0 {
+		t.Error("guided iteration took no actions")
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import "capuchin/internal/sim"
+
+// initRecompute derives each candidate's recomputation sources and replay
+// time from the measured lineage (§4.4): walking the producing operation's
+// inputs, an input serves as a source when it is persistent, still alive
+// at the candidate's back-access, or itself a candidate (candidates are
+// assumed resident until chosen); anything else must be replayed too,
+// adding its producer's measured duration.
+func (pl *planner) initRecompute(cands []*cand) {
+	inSet := make(map[string]bool, len(cands))
+	for _, c := range cands {
+		if c.canRecompute {
+			inSet[c.r.id] = true
+		}
+	}
+	for _, c := range cands {
+		if !c.canRecompute {
+			continue
+		}
+		c.srcs = make(map[string]bool)
+		c.rpTime = 0
+		visited := map[string]bool{c.r.id: true}
+		c.rpTime += c.r.producerDur
+		pl.walkSources(c, c.r, c.backAt, inSet, visited)
+	}
+}
+
+// walkSources recursively classifies the inputs of rec's producer.
+func (pl *planner) walkSources(c *cand, rec *record, backAt sim.Time, inSet, visited map[string]bool) {
+	for _, in := range rec.t.Inputs {
+		if visited[in.ID] {
+			continue
+		}
+		visited[in.ID] = true
+		ir, ok := pl.tk.records[in.ID]
+		if !ok || in.Persistent {
+			c.srcs[in.ID] = true
+			continue
+		}
+		if inSet[in.ID] {
+			// A fellow candidate: assumed in GPU memory for now; the
+			// selection loop corrects this when it is chosen (§4.5).
+			c.srcs[in.ID] = true
+			continue
+		}
+		if ir.deallocAt == liveForever || ir.deallocAt > backAt {
+			// Alive at the back-access; serves as the replay source.
+			c.srcs[in.ID] = true
+			continue
+		}
+		// Dead by then: must be replayed as well.
+		c.rpTime += ir.producerDur
+		pl.walkSources(c, ir, backAt, inSet, visited)
+	}
+}
+
+// chooseNext implements Algorithm 1's comparison: the remaining candidate
+// with the least swap overhead (including PCIe-lane saturation) versus the
+// one with the highest MSPS; the cheaper of the two is selected. Returns
+// nil when no candidate is usable.
+func (pl *planner) chooseNext(rest []*cand) (*cand, bool) {
+	var bestSwap, bestRec *cand
+	for _, c := range rest {
+		if !pl.opts.RecomputeOnly {
+			if bestSwap == nil || pl.effSwapOverhead(c) < pl.effSwapOverhead(bestSwap) {
+				bestSwap = c
+			}
+		}
+		if c.canRecompute {
+			if bestRec == nil || c.msps() > bestRec.msps() {
+				bestRec = c
+			}
+		}
+	}
+	switch {
+	case bestSwap == nil && bestRec == nil:
+		return nil, false
+	case bestSwap == nil:
+		return bestRec, false
+	case bestRec == nil:
+		return bestSwap, true
+	}
+	if pl.effSwapOverhead(bestSwap) <= bestRec.recomputeOverhead() {
+		return bestSwap, true
+	}
+	return bestRec, false
+}
+
+// selectRecompute commits a candidate to the eviction set as a
+// recomputation target and performs Algorithm 2's bookkeeping: tensors
+// that used c as a source now start from c's sources (their replay grows
+// by c's replay time), and sources shared with already-chosen targets
+// accumulate repeated-recomputation penalties (ext_time).
+func (pl *planner) selectRecompute(p *plan, c *cand, rest []*cand, recomps []*cand) {
+	p.evict[key{c.r.id, c.evictCount}] = actionRecompute
+	p.sizes[c.r.id] = c.r.size
+	p.numRecompute++
+	p.coveredRecomp += c.r.size
+
+	// Lines 5-12 of Algorithm 2: chosen targets that sourced from c now
+	// source from c's sources; each such target replays c again.
+	extCt := sim.Time(1)
+	for _, rp := range recomps {
+		if rp.srcs[c.r.id] {
+			delete(rp.srcs, c.r.id)
+			for s := range c.srcs {
+				rp.srcs[s] = true
+			}
+			extCt++
+		}
+	}
+	// Lines 17-34: update the remaining candidates' MSPS inputs.
+	for _, cd := range rest {
+		if cd == c || !cd.canRecompute {
+			continue
+		}
+		if cd.srcs[c.r.id] {
+			delete(cd.srcs, c.r.id)
+			for s := range c.srcs {
+				cd.srcs[s] = true
+			}
+			cd.rpTime += c.rpTime
+			cd.extTime = 0
+			for _, rp := range append(recomps, c) {
+				if rp.srcs[cd.r.id] {
+					cd.extTime += cd.rpTime
+				}
+			}
+		}
+		if c.srcs[cd.r.id] {
+			cd.extTime = extCt * cd.rpTime
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"capuchin/internal/sim"
+)
+
+// Plans learned in one session can be exported and reloaded: tensor IDs
+// and access counts are stable across processes (they derive from graph
+// structure), so a plan measured on a tuning run applies directly to a
+// production run of the same model and batch size — skipping the measured
+// iteration entirely.
+
+// planVersion guards the serialized format.
+const planVersion = 1
+
+type planDTO struct {
+	Version  int              `json:"version"`
+	Required int64            `json:"required_bytes"`
+	Peak     int64            `json:"peak_bytes"`
+	Evict    []evictDTO       `json:"evictions"`
+	Swaps    []swapPlanDTO    `json:"swaps"`
+	Seq      []seqEntryDTO    `json:"access_sequence"`
+	Window   [2]int64         `json:"peak_window_ns"`
+	Sizes    map[string]int64 `json:"sizes"`
+}
+
+type evictDTO struct {
+	ID     string `json:"id"`
+	Count  int    `json:"count"`
+	Action string `json:"action"`
+}
+
+type swapPlanDTO struct {
+	ID         string `json:"id"`
+	Size       int64  `json:"size"`
+	EvictCount int    `json:"evict_count"`
+	BackCount  int    `json:"back_count"`
+	EvictAtNS  int64  `json:"evict_at_ns"`
+	BackAtNS   int64  `json:"back_at_ns"`
+	SwapInNS   int64  `json:"swap_in_ns"`
+	TriggerIdx int    `json:"trigger_idx"`
+}
+
+type seqEntryDTO struct {
+	ID    string `json:"id"`
+	Count int    `json:"count"`
+	AtNS  int64  `json:"at_ns"`
+}
+
+// ExportPlan serializes the current plan as JSON. It fails before the
+// Policy Maker has run.
+func (c *Capuchin) ExportPlan(w io.Writer) error {
+	if c.plan == nil {
+		return fmt.Errorf("core: no plan to export (still in measured execution)")
+	}
+	p := c.plan
+	dto := planDTO{
+		Version:  planVersion,
+		Required: p.required,
+		Peak:     p.peakUsage,
+		Window:   [2]int64{int64(p.windowFrom), int64(p.windowTo)},
+		Sizes:    p.sizes,
+	}
+	for k, action := range p.evict {
+		name := "swap"
+		if action == actionRecompute {
+			name = "recompute"
+		}
+		dto.Evict = append(dto.Evict, evictDTO{ID: k.id, Count: k.count, Action: name})
+	}
+	sort.Slice(dto.Evict, func(i, j int) bool {
+		if dto.Evict[i].ID != dto.Evict[j].ID {
+			return dto.Evict[i].ID < dto.Evict[j].ID
+		}
+		return dto.Evict[i].Count < dto.Evict[j].Count
+	})
+	for _, sp := range p.swaps {
+		dto.Swaps = append(dto.Swaps, swapPlanDTO{
+			ID: sp.id, Size: sp.size,
+			EvictCount: sp.evictCount, BackCount: sp.backCount,
+			EvictAtNS: int64(sp.evictAt), BackAtNS: int64(sp.backAt),
+			SwapInNS: int64(sp.swapInDur), TriggerIdx: sp.triggerIdx,
+		})
+	}
+	sort.Slice(dto.Swaps, func(i, j int) bool { return dto.Swaps[i].ID < dto.Swaps[j].ID })
+	for _, e := range p.seq {
+		dto.Seq = append(dto.Seq, seqEntryDTO{ID: e.id, Count: e.count, AtNS: int64(e.at)})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(dto)
+}
+
+// LoadPlan constructs a Capuchin policy with a previously exported plan:
+// it starts in guided mode immediately, with no measured iteration. The
+// plan must come from the same model, batch size and execution mode.
+func LoadPlan(r io.Reader, opts Options) (*Capuchin, error) {
+	var dto planDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("core: decoding plan: %w", err)
+	}
+	if dto.Version != planVersion {
+		return nil, fmt.Errorf("core: plan version %d, want %d", dto.Version, planVersion)
+	}
+	c := New(opts)
+	c.opts.MeasuredIterations = 0 // straight to guided mode
+	p := &plan{
+		evict:      make(map[key]actionKind, len(dto.Evict)),
+		triggers:   make(map[key][]string),
+		swaps:      make(map[string]*swapPlan, len(dto.Swaps)),
+		sizes:      dto.Sizes,
+		required:   dto.Required,
+		peakUsage:  dto.Peak,
+		windowFrom: sim.Time(dto.Window[0]),
+		windowTo:   sim.Time(dto.Window[1]),
+	}
+	if p.sizes == nil {
+		p.sizes = make(map[string]int64)
+	}
+	for _, e := range dto.Evict {
+		action := actionSwap
+		switch e.Action {
+		case "swap":
+		case "recompute":
+			action = actionRecompute
+		default:
+			return nil, fmt.Errorf("core: unknown plan action %q", e.Action)
+		}
+		p.evict[key{e.ID, e.Count}] = action
+		if action == actionRecompute {
+			p.numRecompute++
+			p.coveredRecomp += p.sizes[e.ID]
+		}
+	}
+	for _, s := range dto.Seq {
+		p.seq = append(p.seq, seqEntry{id: s.ID, count: s.Count, at: sim.Time(s.AtNS)})
+	}
+	for _, s := range dto.Swaps {
+		if s.TriggerIdx >= len(p.seq) {
+			return nil, fmt.Errorf("core: swap %s trigger index %d out of range", s.ID, s.TriggerIdx)
+		}
+		sp := &swapPlan{
+			id: s.ID, size: s.Size,
+			evictCount: s.EvictCount, backCount: s.BackCount,
+			evictAt: sim.Time(s.EvictAtNS), backAt: sim.Time(s.BackAtNS),
+			swapInDur: sim.Time(s.SwapInNS), triggerIdx: s.TriggerIdx,
+		}
+		p.swaps[sp.id] = sp
+		p.registerTrigger(sp)
+		p.numSwap++
+		p.coveredSwap += sp.size
+	}
+	c.plan = p
+	return c, nil
+}

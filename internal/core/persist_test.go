@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/hw"
+)
+
+func TestPlanExportImportRoundTrip(t *testing.T) {
+	// Measure + plan on one session.
+	c1 := New(Options{})
+	s1, err := exec.NewSession(testCNN(t), exec.Config{
+		Device:              device(48 * hw.MiB),
+		Policy:              c1,
+		CollectiveRecompute: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s1.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := c1.ExportPlan(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"version"`) {
+		t.Error("export missing version field")
+	}
+
+	// Load the plan into a fresh policy on a fresh session: guided from
+	// iteration 0, no measured pass, same fingerprints.
+	c2, err := LoadPlan(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := exec.NewSession(testCNN(t), exec.Config{
+		Device:              device(48 * hw.MiB),
+		Policy:              c2,
+		CollectiveRecompute: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].ParamFingerprint != want[i].ParamFingerprint {
+			t.Errorf("iter %d: fingerprint diverged under imported plan", i)
+		}
+	}
+	// Iteration 0 under the imported plan is already guided: proactive
+	// actions fire immediately and it matches the donor's steady state,
+	// not its slow measured iteration.
+	if got[0].SwapOutCount == 0 && got[0].RecomputeCount == 0 {
+		t.Error("imported plan took no proactive actions in iteration 0")
+	}
+	if got[0].Duration >= want[0].Duration {
+		t.Errorf("guided-from-start iteration (%v) not faster than the donor's measured iteration (%v)",
+			got[0].Duration, want[0].Duration)
+	}
+	// Summaries agree on the decision counts.
+	a, b := c1.Summary(), c2.Summary()
+	if a.SwapTensors != b.SwapTensors || a.RecomputeCount != b.RecomputeCount {
+		t.Errorf("summaries differ: %+v vs %+v", a, b)
+	}
+	// DescribePlan works without tracker records.
+	if len(c2.DescribePlan()) != len(c1.DescribePlan()) {
+		t.Error("imported plan describes differently")
+	}
+}
+
+func TestExportBeforePlanFails(t *testing.T) {
+	c := New(Options{})
+	if err := c.ExportPlan(&bytes.Buffer{}); err == nil {
+		t.Error("export succeeded with no plan")
+	}
+}
+
+func TestLoadPlanErrors(t *testing.T) {
+	if _, err := LoadPlan(strings.NewReader("not json"), Options{}); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadPlan(strings.NewReader(`{"version": 99}`), Options{}); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := LoadPlan(strings.NewReader(
+		`{"version":1,"evictions":[{"id":"x","count":1,"action":"teleport"}]}`), Options{}); err == nil {
+		t.Error("unknown action accepted")
+	}
+	if _, err := LoadPlan(strings.NewReader(
+		`{"version":1,"swaps":[{"id":"x","trigger_idx":5}]}`), Options{}); err == nil {
+		t.Error("out-of-range trigger accepted")
+	}
+}

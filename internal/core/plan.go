@@ -1,0 +1,419 @@
+package core
+
+import (
+	"sort"
+
+	"capuchin/internal/sim"
+)
+
+// key identifies one specific tensor access: the {tensor_id, access_count}
+// pair the paper uses to trigger memory optimizations across iterations
+// (§5.2).
+type key struct {
+	id    string
+	count int
+}
+
+// actionKind is what guided execution does at an evicted-access.
+type actionKind int
+
+const (
+	actionSwap actionKind = iota
+	actionRecompute
+)
+
+// swapPlan is the guided-execution state of one swapped tensor.
+type swapPlan struct {
+	id         string
+	size       int64
+	evictCount int
+	backCount  int
+	evictAt    sim.Time // measured timeline
+	backAt     sim.Time
+	swapInDur  sim.Time
+	// triggerIdx indexes the measured global access sequence; -1 means
+	// no in-trigger (fetch on demand at back-access). Feedback moves it
+	// earlier at runtime (§4.4).
+	triggerIdx int
+}
+
+// plan is the Policy Maker's output: eviction decisions keyed by access,
+// prefetch in-triggers keyed by access, and bookkeeping for feedback.
+type plan struct {
+	evict    map[key]actionKind
+	triggers map[key][]string     // trigger access -> tensors to prefetch
+	swaps    map[string]*swapPlan // by tensor id
+	// sizes records each evicted tensor's bytes, making the plan
+	// self-contained (usable after export/import without the tracker).
+	sizes map[string]int64
+
+	required      int64
+	coveredSwap   int64
+	coveredRecomp int64
+	numSwap       int
+	numRecompute  int
+	peakUsage     int64
+	windowFrom    sim.Time
+	windowTo      sim.Time
+	seq           []seqEntry
+}
+
+// registerTrigger (re)binds a swap plan's in-trigger access.
+func (p *plan) registerTrigger(sp *swapPlan) {
+	if sp.triggerIdx < 0 {
+		return
+	}
+	e := p.seq[sp.triggerIdx]
+	k := key{e.id, e.count}
+	p.triggers[k] = append(p.triggers[k], sp.id)
+}
+
+// unregisterTrigger removes a swap plan's current in-trigger binding.
+func (p *plan) unregisterTrigger(sp *swapPlan) {
+	if sp.triggerIdx < 0 {
+		return
+	}
+	e := p.seq[sp.triggerIdx]
+	k := key{e.id, e.count}
+	list := p.triggers[k]
+	for i, id := range list {
+		if id == sp.id {
+			p.triggers[k] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(p.triggers[k]) == 0 {
+		delete(p.triggers, k)
+	}
+}
+
+// minCandidateBytes floors eviction-candidate size: PCIe transfers have a
+// fixed per-transfer latency, so evicting kilobyte-scale tensors (bias and
+// norm-parameter gradients) costs lane slots while saving nothing
+// measurable.
+const minCandidateBytes = 256 << 10
+
+// cand is one eviction candidate with both its swap pair (the
+// consecutive-access pair maximizing Free Time, Eq. 1) and its
+// recomputation state (Algorithm 2).
+type cand struct {
+	r          *record
+	evictCount int
+	backCount  int
+	evictAt    sim.Time
+	backAt     sim.Time
+	ft         sim.Time
+
+	canRecompute bool
+	srcs         map[string]bool
+	rpTime       sim.Time
+	extTime      sim.Time
+}
+
+// msps is Memory Saving Per Second (Eq. 2): bytes saved per second of
+// recomputation.
+func (c *cand) msps() float64 {
+	total := c.rpTime + c.extTime
+	if total <= 0 {
+		total = sim.Microsecond // free recomputes still rank by size
+	}
+	return float64(c.r.size) / total.Seconds()
+}
+
+// swapOverhead is the exposed stall of swapping this candidate: zero when
+// the Free Time is non-negative, else the uncovered gap.
+func (c *cand) swapOverhead() sim.Time {
+	if c.ft >= 0 {
+		return 0
+	}
+	return -c.ft
+}
+
+// recomputeOverhead is the replay time including repeated-source penalties.
+func (c *cand) recomputeOverhead() sim.Time {
+	if !c.canRecompute {
+		return sim.Time(int64(1) << 62)
+	}
+	return c.rpTime + c.extTime
+}
+
+// planner builds the eviction plan from the measured iteration.
+type planner struct {
+	tk       *tracker
+	opts     Options
+	capacity int64
+	params   int64
+	swapOut  func(int64) sim.Time
+	swapIn   func(int64) sim.Time
+
+	// swapBudget bounds the bytes each PCIe direction can move within one
+	// iteration; swaps beyond it cannot overlap no matter when they are
+	// triggered, so their transfer time counts as pure overhead and
+	// recomputation starts to win the Algorithm 1 comparison — producing
+	// the mixed plans the paper observes at large batch sizes (§6.3.2).
+	swapBudget   int64
+	swapConsumed int64
+}
+
+// swapLaneBudget estimates per-direction PCIe capacity over one iteration.
+func (pl *planner) swapLaneBudget() int64 {
+	const ref = int64(1) << 30
+	dur := pl.swapIn(ref) - pl.swapIn(0)
+	if dur <= 0 {
+		return 1 << 62
+	}
+	bytesPerSec := float64(ref) / dur.Seconds()
+	// Transfers cluster within a phase: swap-outs must finish during the
+	// forward pass (roughly a third of the iteration) and swap-ins during
+	// the backward window, so only a fraction of the iteration's
+	// lane-seconds are usable per direction.
+	return int64(pl.tk.endOfIteration.Seconds() * bytesPerSec / 4)
+}
+
+// effSwapOverhead is a candidate's swap overhead including lane
+// saturation: once the budget is spent, the full swap-in time is exposed.
+func (pl *planner) effSwapOverhead(c *cand) sim.Time {
+	base := c.swapOverhead()
+	if pl.swapConsumed+c.r.size > pl.swapBudget {
+		base += pl.swapIn(c.r.size)
+	}
+	return base
+}
+
+// build runs candidate identification (§4.5), the swap-first selection,
+// and the hybrid Algorithm 1 loop.
+func (pl *planner) build() *plan {
+	p := &plan{
+		evict:    make(map[key]actionKind),
+		triggers: make(map[key][]string),
+		swaps:    make(map[string]*swapPlan),
+		sizes:    make(map[string]int64),
+		seq:      pl.tk.seq,
+	}
+	curve, peak := pl.tk.usageCurve()
+	p.peakUsage = peak
+	headroom := pl.opts.Headroom
+	if headroom == 0 {
+		headroom = pl.capacity / 12
+	}
+	threshold := pl.capacity - pl.params - headroom
+	required := peak - threshold
+	p.required = required
+	if required <= 0 {
+		return p // everything fits; passive mode remains as a safety net
+	}
+	wFrom, wTo, ok := peakWindow(curve, threshold)
+	if !ok {
+		return p
+	}
+	p.windowFrom, p.windowTo = wFrom, wTo
+
+	candidates := pl.identifyCandidates(wFrom, wTo)
+	// Ranked by Free Time, longest first (§4.5).
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].ft != candidates[j].ft {
+			return candidates[i].ft > candidates[j].ft
+		}
+		return candidates[i].r.id < candidates[j].r.id
+	})
+
+	// Phase A: swaps whose transfer hides completely under computation,
+	// while the PCIe lane still has capacity this iteration.
+	pl.swapBudget = pl.swapLaneBudget()
+	remaining := required
+	rest := candidates[:0]
+	for _, c := range candidates {
+		if remaining > 0 && c.ft >= 0 && !pl.opts.RecomputeOnly &&
+			pl.swapConsumed+c.r.size <= pl.swapBudget {
+			pl.selectSwap(p, c)
+			remaining -= c.r.size
+			continue
+		}
+		rest = append(rest, c)
+	}
+
+	// Phase B: hybrid selection between the cheapest swap and the best
+	// recomputation (Algorithm 1), with Algorithm 2's MSPS maintenance.
+	if remaining > 0 && len(rest) > 0 {
+		pl.initRecompute(rest)
+		var recomps []*cand
+		for remaining > 0 && len(rest) > 0 {
+			c, isSwap := pl.chooseNext(rest)
+			if c == nil {
+				break
+			}
+			if isSwap {
+				pl.selectSwap(p, c)
+			} else {
+				pl.selectRecompute(p, c, rest, recomps)
+				recomps = append(recomps, c)
+			}
+			remaining -= c.r.size
+			rest = removeCand(rest, c)
+		}
+	}
+	pl.scheduleTriggers(p)
+	return p
+}
+
+// scheduleTriggers picks in-triggers for all selected swaps. The feedback
+// feature (§4.4) owns the PCIe-occupancy insight: with it enabled the
+// initial schedule chains deadlines across the exclusive lane (a prefetch
+// queues behind its predecessor, so its effective deadline is the earlier
+// of its own back-access and the slot the next prefetch needs) and the
+// runtime loop corrects residual error; without it (the ATP+DS ablation)
+// each trigger naively assumes a dedicated lane.
+func (pl *planner) scheduleTriggers(p *plan) {
+	plans := make([]*swapPlan, 0, len(p.swaps))
+	for _, sp := range p.swaps {
+		plans = append(plans, sp)
+	}
+	sort.Slice(plans, func(i, j int) bool {
+		if plans[i].backAt != plans[j].backAt {
+			return plans[i].backAt < plans[j].backAt
+		}
+		return plans[i].id < plans[j].id
+	})
+	starts := make([]sim.Time, len(plans))
+	if pl.opts.DisableFeedback {
+		for i, sp := range plans {
+			starts[i] = sp.backAt - sp.swapInDur
+		}
+	} else {
+		// Chain deadlines from the last back-access towards the first.
+		latestFinish := sim.Time(1) << 62
+		for i := len(plans) - 1; i >= 0; i-- {
+			latestFinish = sim.MinTime(plans[i].backAt, latestFinish)
+			starts[i] = latestFinish - plans[i].swapInDur
+			latestFinish = starts[i]
+		}
+	}
+	for i, sp := range plans {
+		p.unregisterTrigger(sp)
+		sp.triggerIdx = pl.chooseInTrigger(p, sp, starts[i])
+		p.registerTrigger(sp)
+	}
+}
+
+// identifyCandidates applies the paper's two conditions: more than one
+// access, and a lifetime overlapping the peak-memory window (§4.5). The
+// swap pair is the consecutive access pair with maximum Free Time.
+func (pl *planner) identifyCandidates(wFrom, wTo sim.Time) []*cand {
+	var out []*cand
+	ids := make([]string, 0, len(pl.tk.records))
+	for id := range pl.tk.records {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		r := pl.tk.records[id]
+		if r.t.Persistent || len(r.accesses) < 2 || r.size < minCandidateBytes {
+			continue
+		}
+		from, to := r.lifetime()
+		if to < wFrom || from > wTo {
+			continue
+		}
+		c := &cand{r: r, ft: sim.Time(-1 << 62)}
+		outDur := pl.swapOut(r.size)
+		inDur := pl.swapIn(r.size)
+		for i := 0; i+1 < len(r.accesses); i++ {
+			a, b := r.accesses[i], r.accesses[i+1]
+			if b.at <= a.at {
+				continue
+			}
+			// Eq. 1: FT = SwapInStart - SwapOutEnd.
+			ft := (b.at - inDur) - (a.at + outDur)
+			if ft > c.ft {
+				c.ft = ft
+				c.evictCount, c.backCount = a.count, b.count
+				c.evictAt, c.backAt = a.at, b.at
+			}
+		}
+		if c.evictCount == 0 {
+			continue // no usable gap
+		}
+		// Gradients may be produced by multi-output backward nodes,
+		// which lineage replay cannot regenerate; they stay swap-only.
+		c.canRecompute = !r.t.Gradient && !pl.opts.SwapOnly
+		out = append(out, c)
+	}
+	return out
+}
+
+// selectSwap commits a candidate to the eviction set as a swap and picks
+// its in-trigger.
+func (pl *planner) selectSwap(p *plan, c *cand) {
+	sp := &swapPlan{
+		id:         c.r.id,
+		size:       c.r.size,
+		evictCount: c.evictCount,
+		backCount:  c.backCount,
+		evictAt:    c.evictAt,
+		backAt:     c.backAt,
+		swapInDur:  pl.swapIn(c.r.size),
+		triggerIdx: -1,
+	}
+	p.evict[key{c.r.id, c.evictCount}] = actionSwap
+	p.sizes[c.r.id] = c.r.size
+	p.swaps[c.r.id] = sp
+	p.numSwap++
+	p.coveredSwap += c.r.size
+	pl.swapConsumed += c.r.size
+}
+
+// chooseInTrigger finds the access at which to start the prefetch: the
+// latest access no later than the ideal start time, preferring points
+// outside the peak-memory window, and strictly after the evicted-access
+// (§4.4).
+func (pl *planner) chooseInTrigger(p *plan, sp *swapPlan, ideal sim.Time) int {
+	seq := p.seq
+	// Latest entry at or before ideal.
+	idx := sort.Search(len(seq), func(i int) bool { return seq[i].at > ideal }) - 1
+	for idx >= 0 {
+		e := seq[idx]
+		if e.at <= sp.evictAt {
+			return -1 // cannot prefetch before the eviction completes
+		}
+		if e.id == sp.id {
+			idx--
+			continue // don't trigger on the swapped tensor itself
+		}
+		// Avoid triggering inside the peak window when a later point
+		// before the back-access exists outside it.
+		if e.at >= p.windowFrom && e.at <= p.windowTo && sp.backAt > p.windowTo {
+			if later := pl.firstAfter(p, p.windowTo, sp); later >= 0 {
+				return later
+			}
+		}
+		return idx
+	}
+	return -1
+}
+
+// firstAfter finds the earliest usable trigger access strictly after t and
+// before the back-access.
+func (pl *planner) firstAfter(p *plan, t sim.Time, sp *swapPlan) int {
+	seq := p.seq
+	idx := sort.Search(len(seq), func(i int) bool { return seq[i].at > t })
+	for ; idx < len(seq); idx++ {
+		e := seq[idx]
+		if e.at >= sp.backAt {
+			return -1
+		}
+		if e.id != sp.id {
+			return idx
+		}
+	}
+	return -1
+}
+
+// removeCand removes c from the slice preserving order.
+func removeCand(cs []*cand, c *cand) []*cand {
+	for i, x := range cs {
+		if x == c {
+			return append(cs[:i], cs[i+1:]...)
+		}
+	}
+	return cs
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/sim"
+	"capuchin/internal/tensor"
+)
+
+// observeSynth feeds one access into the tracker.
+func observeSynth(tk *tracker, t *tensor.Tensor, kind exec.AccessKind, at sim.Time, nodeID string) {
+	count := t.AccessCount
+	if kind != exec.Dealloc {
+		count++
+		t.AccessCount = count
+	}
+	tk.observe(exec.Access{Tensor: t, Kind: kind, Count: count, At: at, NodeID: nodeID})
+}
+
+// synthTrace builds a randomized but well-formed measured trace: a chain
+// of tensors produced in forward order, a random subset re-read in reverse
+// order during "backward", everything deallocated at its last use.
+func synthTrace(rng *rand.Rand) *tracker {
+	tk := newTracker()
+	n := 10 + rng.Intn(30)
+	type entry struct {
+		t      *tensor.Tensor
+		reread bool
+	}
+	var ts []entry
+	now := sim.Time(0)
+	var prev *tensor.Tensor
+	for i := 0; i < n; i++ {
+		size := int64(1+rng.Intn(64)) << 18 // 256 KiB .. 16 MiB
+		var inputs []*tensor.Tensor
+		if prev != nil {
+			inputs = []*tensor.Tensor{prev}
+		}
+		x := syntheticTensor(randID(rng, i), size, inputs...)
+		nodeID := "n_" + x.ID
+		now += sim.Time(rng.Intn(3000)+200) * sim.Microsecond
+		if prev != nil {
+			observeSynth(tk, prev, exec.Read, now, nodeID)
+		}
+		now += sim.Time(rng.Intn(2000)+100) * sim.Microsecond
+		observeSynth(tk, x, exec.Produce, now, nodeID)
+		ts = append(ts, entry{t: x, reread: rng.Intn(2) == 0})
+		prev = x
+	}
+	// Backward: reverse re-reads of the chosen subset.
+	now += 50 * sim.Millisecond
+	for i := len(ts) - 1; i >= 0; i-- {
+		e := ts[i]
+		if e.reread {
+			now += sim.Time(rng.Intn(3000)+200) * sim.Microsecond
+			observeSynth(tk, e.t, exec.Read, now, "g_"+e.t.ID)
+		}
+		observeSynth(tk, e.t, exec.Dealloc, now+sim.Microsecond, "")
+	}
+	tk.finish()
+	return tk
+}
+
+func randID(rng *rand.Rand, i int) string {
+	return string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26))) +
+		string(rune('0'+i%10)) + string(rune('a'+i/10%26))
+}
+
+// Property: over randomized traces the planner only ever selects
+// multi-access, non-persistent tensors above the size floor; swap plans
+// have back > evict and triggers strictly inside the (evict, back) window.
+func TestPlannerInvariantsProperty(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tk := synthTrace(rng)
+		pl := &planner{
+			tk:       tk,
+			capacity: 64 << 20,
+			params:   1 << 20,
+			swapOut:  func(b int64) sim.Time { return sim.FromSeconds(float64(b) / 12e9) },
+			swapIn:   func(b int64) sim.Time { return sim.FromSeconds(float64(b) / 11e9) },
+		}
+		p := pl.build()
+		for k := range p.evict {
+			r := tk.records[k.id]
+			if r == nil {
+				t.Fatalf("seed %d: plan references unknown tensor %s", seed, k.id)
+			}
+			if r.t.Persistent {
+				t.Errorf("seed %d: persistent tensor %s selected", seed, k.id)
+			}
+			if len(r.accesses) < 2 {
+				t.Errorf("seed %d: single-access tensor %s selected", seed, k.id)
+			}
+			if r.size < minCandidateBytes {
+				t.Errorf("seed %d: tiny tensor %s (%d bytes) selected", seed, k.id, r.size)
+			}
+			if k.count < 1 || k.count > len(r.accesses) {
+				t.Errorf("seed %d: evict count %d out of range for %s", seed, k.count, k.id)
+			}
+		}
+		for id, sp := range p.swaps {
+			if sp.backCount <= sp.evictCount {
+				t.Errorf("seed %d: %s back %d <= evict %d", seed, id, sp.backCount, sp.evictCount)
+			}
+			if sp.backAt <= sp.evictAt {
+				t.Errorf("seed %d: %s back time not after evict time", seed, id)
+			}
+			if sp.triggerIdx >= 0 {
+				tr := p.seq[sp.triggerIdx]
+				if tr.at <= sp.evictAt || tr.at >= sp.backAt {
+					t.Errorf("seed %d: %s trigger at %v outside (%v, %v)", seed, id, tr.at, sp.evictAt, sp.backAt)
+				}
+				if tr.id == id {
+					t.Errorf("seed %d: %s triggers on itself", seed, id)
+				}
+			}
+			if _, ok := p.sizes[id]; !ok {
+				t.Errorf("seed %d: swap %s missing size", seed, id)
+			}
+		}
+	}
+}
+
+// Property: the measured trace's {tensor, count} keys are unique — the
+// precondition for keying guided-mode actions on them (§5.2).
+func TestTraceKeysUniqueProperty(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		tk := synthTrace(rand.New(rand.NewSource(seed)))
+		seen := make(map[key]bool)
+		for _, e := range tk.seq {
+			k := key{e.id, e.count}
+			if seen[k] {
+				t.Fatalf("seed %d: duplicate access key %+v", seed, k)
+			}
+			seen[k] = true
+		}
+	}
+}

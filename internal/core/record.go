@@ -1,0 +1,206 @@
+// Package core implements Capuchin, the paper's contribution: a
+// computation-graph-agnostic GPU memory manager that observes the dynamic
+// tensor access pattern of one measured iteration (§4.2) and derives a
+// hybrid swap/recomputation policy (§4.3–4.5) applied — and refined by
+// runtime feedback — to all subsequent iterations.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/sim"
+	"capuchin/internal/tensor"
+)
+
+// liveForever marks tensors never deallocated during the measured
+// iteration; their lifetime extends to the iteration end.
+const liveForever = sim.Time(math.MaxInt64)
+
+// accessRec is one recorded access of one tensor.
+type accessRec struct {
+	count  int
+	at     sim.Time
+	kind   exec.AccessKind
+	nodeID string
+}
+
+// record is the Tensor Access Tracker's per-tensor state: the access list
+// with timestamps, the deallocation time, and the duration of the
+// producing operation measured from the access stream (§4.4 derives
+// recomputation costs by comparing output and input access times).
+type record struct {
+	t           *tensor.Tensor
+	id          string
+	size        int64
+	accesses    []accessRec
+	deallocAt   sim.Time
+	producerDur sim.Time
+}
+
+// lastAccessAt reports the time of the final access in the measured
+// iteration.
+func (r *record) lastAccessAt() sim.Time {
+	if len(r.accesses) == 0 {
+		return 0
+	}
+	return r.accesses[len(r.accesses)-1].at
+}
+
+// accessAt returns the recorded access with the given count.
+func (r *record) accessAt(count int) (accessRec, bool) {
+	for _, a := range r.accesses {
+		if a.count == count {
+			return a, true
+		}
+	}
+	return accessRec{}, false
+}
+
+// seqEntry is one entry of the global access sequence (all tensors, time
+// ordered) used to locate in-trigger accesses.
+type seqEntry struct {
+	id    string
+	count int
+	at    sim.Time
+}
+
+// tracker is the Tensor Access Tracker: it consumes the access stream of
+// the measured iteration.
+type tracker struct {
+	records map[string]*record
+	seq     []seqEntry
+	// nodeStart records the first input-read time per node, to derive
+	// operation durations from the access stream.
+	nodeStart map[string]sim.Time
+	// endOfIteration is the adjusted time of the last observed access.
+	endOfIteration sim.Time
+}
+
+func newTracker() *tracker {
+	return &tracker{
+		records:   make(map[string]*record),
+		nodeStart: make(map[string]sim.Time),
+	}
+}
+
+// observe ingests one access event from the measured execution.
+func (tk *tracker) observe(acc exec.Access) {
+	t := acc.Tensor
+	r, ok := tk.records[t.ID]
+	if !ok {
+		r = &record{t: t, id: t.ID, size: t.Bytes(), deallocAt: liveForever}
+		tk.records[t.ID] = r
+	}
+	if acc.At > tk.endOfIteration {
+		tk.endOfIteration = acc.At
+	}
+	switch acc.Kind {
+	case exec.Dealloc:
+		r.deallocAt = acc.At
+		return
+	case exec.Read:
+		if _, seen := tk.nodeStart[acc.NodeID]; !seen {
+			tk.nodeStart[acc.NodeID] = acc.At
+		}
+	case exec.Produce:
+		if start, seen := tk.nodeStart[acc.NodeID]; seen {
+			r.producerDur = acc.At - start
+		}
+	}
+	r.accesses = append(r.accesses, accessRec{
+		count:  acc.Count,
+		at:     acc.At,
+		kind:   acc.Kind,
+		nodeID: acc.NodeID,
+	})
+	tk.seq = append(tk.seq, seqEntry{id: t.ID, count: acc.Count, at: acc.At})
+}
+
+// finish sorts the global sequence (already nearly sorted; produce events
+// share timestamps) and returns it.
+func (tk *tracker) finish() {
+	sort.SliceStable(tk.seq, func(i, j int) bool { return tk.seq[i].at < tk.seq[j].at })
+}
+
+// lifetime returns the interval during which the tensor holds device
+// memory on the hypothetical infinite-memory timeline.
+func (r *record) lifetime() (from, to sim.Time) {
+	if len(r.accesses) == 0 {
+		return 0, 0
+	}
+	return r.accesses[0].at, r.deallocAt
+}
+
+// usagePoint is one step of the reconstructed memory-usage curve.
+type usagePoint struct {
+	at    sim.Time
+	usage int64
+}
+
+// usageCurve reconstructs the hypothetical (infinite-memory) activation
+// usage curve from allocation and deallocation times (§4.5: "we can keep
+// track allocation and deallocation time of tensors to infer memory
+// usage"). Returns the curve and its peak.
+func (tk *tracker) usageCurve() ([]usagePoint, int64) {
+	type event struct {
+		at    sim.Time
+		delta int64
+	}
+	var events []event
+	for _, r := range tk.records {
+		if r.t.Persistent || len(r.accesses) == 0 {
+			continue
+		}
+		from, to := r.lifetime()
+		events = append(events, event{from, r.size})
+		if to != liveForever {
+			events = append(events, event{to, -r.size})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		// Frees before allocations at equal times: an op's dead inputs
+		// release at its end, where its successor's outputs allocate.
+		return events[i].delta < events[j].delta
+	})
+	var curve []usagePoint
+	var usage, peak int64
+	for _, e := range events {
+		usage += e.delta
+		if usage > peak {
+			peak = usage
+		}
+		if n := len(curve); n > 0 && curve[n-1].at == e.at {
+			curve[n-1].usage = usage
+			continue
+		}
+		curve = append(curve, usagePoint{at: e.at, usage: usage})
+	}
+	return curve, peak
+}
+
+// peakWindow returns the earliest and latest times at which usage exceeds
+// the threshold. ok is false when the threshold is never exceeded.
+func peakWindow(curve []usagePoint, threshold int64) (from, to sim.Time, ok bool) {
+	first := true
+	for i, p := range curve {
+		if p.usage <= threshold {
+			continue
+		}
+		if first {
+			from = p.at
+			first = false
+		}
+		// The excess region extends until usage drops back below the
+		// threshold at the next point.
+		to = p.at
+		if i+1 < len(curve) {
+			to = curve[i+1].at
+		}
+	}
+	return from, to, !first
+}

@@ -1,0 +1,160 @@
+package exec
+
+import (
+	"capuchin/internal/graph"
+	"capuchin/internal/sim"
+	"capuchin/internal/tensor"
+)
+
+// Env is the controlled interface policies use to inspect the executor and
+// trigger memory-management actions. All asynchronous actions anchor at the
+// current access's effect time, matching the paper's delayed-operation
+// design: a swap triggered by a tensor access waits until the GPU stream
+// reaches that point (§5.4).
+type Env struct {
+	s *Session
+}
+
+// Now reports the current virtual time on the compute stream.
+func (e *Env) Now() sim.Time { return e.s.now() }
+
+// Iteration reports the running iteration index.
+func (e *Env) Iteration() int { return e.s.iter }
+
+// Graph exposes the graph for static policies (vDNN, checkpointing).
+// Capuchin deliberately never calls this: it is computation-graph agnostic.
+func (e *Env) Graph() *graph.Graph { return e.s.g }
+
+// DeviceMemory reports the allocator capacity.
+func (e *Env) DeviceMemory() int64 { return e.s.pool.Capacity() }
+
+// FreeBytes reports currently free device memory.
+func (e *Env) FreeBytes() int64 { return e.s.pool.FreeBytes() }
+
+// UsedBytes reports currently used device memory.
+func (e *Env) UsedBytes() int64 { return e.s.pool.Used() }
+
+// SwapTime estimates the one-way transfer duration of a tensor, the
+// quantity in the paper's Eq. 1 (size divided by PCIe bandwidth).
+func (e *Env) SwapTime(t *tensor.Tensor) sim.Time {
+	return e.SwapOutDuration(t.Bytes())
+}
+
+// SwapInTime estimates the host-to-device transfer duration.
+func (e *Env) SwapInTime(t *tensor.Tensor) sim.Time {
+	return e.SwapInDuration(t.Bytes())
+}
+
+// SwapOutDuration reports the device-to-host transfer time for a size.
+func (e *Env) SwapOutDuration(bytes int64) sim.Time {
+	return e.s.dev.D2H.TransferTime(bytes)
+}
+
+// SwapInDuration reports the host-to-device transfer time for a size.
+func (e *Env) SwapInDuration(bytes int64) sim.Time {
+	return e.s.dev.H2D.TransferTime(bytes)
+}
+
+// SwapOutAsync proactively evicts a resident tensor: the D2H copy is
+// enqueued at the action anchor and the device memory becomes free when
+// the copy completes (decoupled computation and swapping, §5.3). The call
+// is a no-op if the tensor is not currently resident or host memory is
+// exhausted.
+func (e *Env) SwapOutAsync(t *tensor.Tensor) bool {
+	s := e.s
+	if t.Status != tensor.In || t.Persistent {
+		return false
+	}
+	if err := s.host.Reserve(t.ID, t.Bytes()); err != nil {
+		return false
+	}
+	_, end := s.d2h.Run("swapout "+t.ID, s.actionAnchor, s.dev.D2H.TransferTime(t.Bytes()))
+	if err := t.TransitionTo(tensor.SwappingOut); err != nil {
+		panic(err)
+	}
+	s.pendingFrees.Add(sim.Pending{At: end, Size: t.Alloc.Size, Key: t.ID})
+	s.stats.SwapOutCount++
+	s.stats.SwapOutBytes += t.Bytes()
+	if h := s.host.Peak(); h > s.stats.HostPeak {
+		s.stats.HostPeak = h
+	}
+	return true
+}
+
+// SwapInAsync prefetches a swapped-out tensor (an in-trigger firing). The
+// device buffer is allocated immediately; if that allocation fails the
+// prefetch is skipped and the tensor will be fetched on demand at its
+// back-access. Returns whether the prefetch was issued.
+func (e *Env) SwapInAsync(t *tensor.Tensor) bool {
+	s := e.s
+	if t.Status != tensor.Out {
+		return false
+	}
+	s.applyDueFrees(s.now())
+	a, err := s.pool.Alloc(t.Bytes())
+	if err != nil {
+		return false
+	}
+	t.Alloc = a
+	if err := t.TransitionTo(tensor.SwappingIn); err != nil {
+		panic(err)
+	}
+	_, end := s.h2d.Run("swapin "+t.ID, s.actionAnchor, s.dev.H2D.TransferTime(t.Bytes()))
+	s.swapInDone[t.ID] = end
+	s.stats.PrefetchCount++
+	s.stats.PrefetchBytes += t.Bytes()
+	return true
+}
+
+// InflightSwapIns reports the number of swap-ins currently in flight.
+func (e *Env) InflightSwapIns() int { return len(e.s.swapInDone) }
+
+// InflightSwapInBytes reports the device memory held by in-flight
+// swap-ins; these buffers are not evictable until the transfers land.
+func (e *Env) InflightSwapInBytes() int64 {
+	var total int64
+	for id := range e.s.swapInDone {
+		if t := e.s.g.Tensor(id); t != nil && t.Alloc != nil {
+			total += t.Alloc.Size
+		}
+	}
+	return total
+}
+
+// ReleaseForRecompute frees a resident tensor's memory without a host
+// copy; a later access regenerates it from lineage. No-op unless resident.
+func (e *Env) ReleaseForRecompute(t *tensor.Tensor) bool {
+	s := e.s
+	if t.Status != tensor.In || t.Persistent {
+		return false
+	}
+	s.pool.Free(t.Alloc)
+	t.Alloc = nil
+	s.dropLRU(t)
+	if err := t.TransitionTo(tensor.Recompute); err != nil {
+		panic(err)
+	}
+	return true
+}
+
+// LRUResidents returns, oldest first, roughly need bytes of unpinned,
+// non-persistent resident tensors — the paper's passive-mode victim scan
+// over the tensor access list (§5.2). Policies delegate their OnOOM to
+// this helper. The result may cover less than need (fragmentation can
+// require evicting more than the shortfall; the executor's OOM loop calls
+// OnOOM again until allocation succeeds or no victims remain); an empty
+// result means nothing is evictable.
+func (e *Env) LRUResidents(need int64) []*tensor.Tensor {
+	s := e.s
+	var victims []*tensor.Tensor
+	var got int64
+	for el := s.lru.Front(); el != nil && got < need; el = el.Next() {
+		t := el.Value.(*tensor.Tensor)
+		if t.Status != tensor.In || t.Persistent || s.pinned[t.ID] {
+			continue
+		}
+		victims = append(victims, t)
+		got += t.Alloc.Size
+	}
+	return victims
+}

@@ -1,0 +1,686 @@
+package exec
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"capuchin/internal/graph"
+	"capuchin/internal/memory"
+	"capuchin/internal/ops"
+	"capuchin/internal/sim"
+	"capuchin/internal/tensor"
+)
+
+// ErrIterationOOM wraps allocation failures that no policy action could
+// resolve; the max-batch searches treat it as "this batch does not fit".
+var ErrIterationOOM = errors.New("iteration failed with out-of-memory")
+
+// maxReplayDepth bounds recomputation recursion; real lineages are bounded
+// by forward-graph depth.
+const maxReplayDepth = 10000
+
+// RunIteration executes one training iteration and returns its statistics.
+// On out-of-memory failure the returned error matches ErrIterationOOM.
+func (s *Session) RunIteration() (IterStats, error) {
+	env := &Env{s: s}
+	s.stats = IterStats{Iter: s.iter}
+	s.startTime = s.now()
+	s.penalty = 0
+
+	// Per-iteration reference counts: one per scheduled use.
+	s.refs = make(map[string]int, len(s.g.Tensors()))
+	for _, n := range s.g.Nodes {
+		for _, in := range n.Inputs {
+			if !in.Persistent {
+				s.refs[in.ID]++
+			}
+		}
+	}
+	// Eager tape retention: imperative execution holds every forward
+	// activation until backward completes (§2.2, §6.4.1).
+	s.retained = make(map[string]bool)
+	if s.cfg.Mode == EagerMode {
+		for _, n := range s.g.Nodes {
+			if n.Phase != graph.Forward {
+				continue
+			}
+			for _, out := range n.Outputs {
+				if !out.Persistent {
+					s.retained[out.ID] = true
+				}
+			}
+		}
+	}
+
+	s.policy.BeginIteration(s.iter, env)
+	var runErr error
+	for _, n := range s.g.Nodes {
+		if err := s.executeNode(n, env); err != nil {
+			runErr = fmt.Errorf("node %s: %w", n.ID, err)
+			break
+		}
+	}
+	s.endIteration(env)
+	s.policy.EndIteration(s.iter, env)
+
+	st := s.stats
+	st.Duration = s.now() - s.startTime
+	st.PeakBytes = s.pool.Peak()
+	s.iter++
+	return st, runErr
+}
+
+// Run executes n iterations, returning per-iteration stats. It stops at
+// the first failure.
+func (s *Session) Run(n int) ([]IterStats, error) {
+	stats := make([]IterStats, 0, n)
+	for i := 0; i < n; i++ {
+		st, err := s.RunIteration()
+		stats = append(stats, st)
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// pin marks tensors as untouchable by passive eviction, returning the IDs
+// newly pinned so the caller can unpin exactly those.
+func (s *Session) pin(ts ...*tensor.Tensor) []string {
+	var added []string
+	for _, t := range ts {
+		if !s.pinned[t.ID] {
+			s.pinned[t.ID] = true
+			added = append(added, t.ID)
+		}
+	}
+	return added
+}
+
+func (s *Session) unpin(ids []string) {
+	for _, id := range ids {
+		delete(s.pinned, id)
+	}
+}
+
+// executeNode runs one scheduled node: residency, allocation, algorithm
+// choice, kernel execution, access reporting and deallocation.
+func (s *Session) executeNode(n *graph.Node, env *Env) error {
+	if _, isVar := n.Op.(ops.Variable); isVar {
+		return nil // parameters are pre-resident; declaration costs nothing
+	}
+	s.stats.Nodes++
+
+	pinnedIDs := s.pin(n.Inputs...)
+	pinnedIDs = append(pinnedIDs, s.pin(n.Outputs...)...)
+	defer s.unpin(pinnedIDs)
+
+	// vDNN-style coupled execution: wait for all outstanding swap-outs
+	// before issuing the next layer (§3.1, Fig. 1).
+	if s.cfg.CoupledSwap {
+		s.drainSwapOuts()
+	}
+
+	issueAt := s.now()
+	deps := issueAt
+	// Eager mode: the CPU dispatch stream serializes ahead of the kernel.
+	if s.cpu != nil {
+		_, cpuEnd := s.cpu.Run("dispatch "+n.ID, 0, s.dev.EagerDispatch)
+		deps = sim.MaxTime(deps, cpuEnd)
+	}
+	dispatchReady := deps
+
+	// Materialize inputs, collecting per-input stall information for the
+	// policy's feedback loop.
+	stalls := make([]sim.Time, len(n.Inputs))
+	inflight := make([]bool, len(n.Inputs))
+	for i, in := range n.Inputs {
+		ready, wasInFlight, err := s.materialize(in, env)
+		if err != nil {
+			return err
+		}
+		if ready > issueAt {
+			stalls[i] = ready - issueAt
+		}
+		inflight[i] = wasInFlight
+		deps = sim.MaxTime(deps, ready)
+	}
+
+	// Allocate outputs.
+	for _, out := range n.Outputs {
+		if out.Persistent {
+			continue
+		}
+		a, err := s.allocate(out.Bytes(), env)
+		if err != nil {
+			return err
+		}
+		out.Alloc = a
+		if err := out.TransitionTo(tensor.In); err != nil {
+			return err
+		}
+		s.touchLRU(out)
+	}
+
+	// Algorithm choice: fastest whose workspace fits right now, mirroring
+	// cuDNN's workspace-limited algorithm selection (§2.1). Memory
+	// pressure silently degrades convolutions to slower algorithms — the
+	// VGG16 effect of §6.3.2.
+	inShapes := make([]tensor.Shape, len(n.Inputs))
+	for i, in := range n.Inputs {
+		inShapes[i] = in.Shape
+	}
+	algo, wsAlloc := s.chooseAlgorithm(n.Op, inShapes)
+
+	dur := algo.Duration
+	if s.trackCost > 0 {
+		dur += sim.Time(len(n.Inputs)+len(n.Outputs)) * s.trackCost
+	}
+	// Stalls inserted during materialization/allocation already advanced
+	// the compute stream (and were charged to penalty there); only the
+	// remaining wait on transfer dependencies is exposed here.
+	preRun := sim.MaxTime(s.now(), dispatchReady)
+	start, end := s.compute.Run(n.ID, deps, dur)
+	if exposed := start - preRun; exposed > 0 {
+		s.stats.StallTime += exposed
+		s.penalty += exposed
+	}
+	if wsAlloc != nil {
+		s.pool.Free(wsAlloc)
+	}
+
+	// Produce fingerprints: the correctness oracle.
+	inFPs := make([]uint64, len(n.Inputs))
+	for i, in := range n.Inputs {
+		if in.Fingerprint == 0 {
+			return fmt.Errorf("input %s consumed with empty fingerprint (residency bug)", in.ID)
+		}
+		inFPs[i] = in.Fingerprint
+	}
+	for i, out := range n.Outputs {
+		out.Fingerprint = tensor.ComputeFingerprint(n.ID, i, inFPs)
+	}
+	if _, isUpdate := n.Op.(ops.ApplyGradient); isUpdate {
+		// In-place variable update: fold the gradient into the weight's
+		// fingerprint chain.
+		v := n.Inputs[0]
+		v.Fingerprint = tensor.ComputeFingerprint(n.ID, -1, []uint64{v.Fingerprint, n.Inputs[1].Fingerprint})
+	}
+	if len(n.Outputs) > 0 && n.Outputs[0] == s.g.Loss {
+		s.stats.LossFingerprint = n.Outputs[0].Fingerprint
+	}
+
+	// Report accesses: reads at op start, produces at op end. Policy
+	// actions triggered by these accesses anchor at op end — the delayed
+	// asynchronous operation of §5.4.
+	s.actionAnchor = end
+	for i, in := range n.Inputs {
+		s.reportAccess(in, Read, start, stalls[i], inflight[i], n.ID, env)
+	}
+	for _, out := range n.Outputs {
+		s.reportAccess(out, Produce, end, 0, false, n.ID, env)
+	}
+
+	// Reference counting: release dead tensors at op end.
+	for _, in := range n.Inputs {
+		if in.Persistent {
+			continue
+		}
+		s.refs[in.ID]--
+		if s.refs[in.ID] == 0 && !s.retained[in.ID] {
+			s.release(in, end, env)
+		}
+	}
+	for _, out := range n.Outputs {
+		if !out.Persistent && s.refs[out.ID] == 0 && !s.retained[out.ID] {
+			s.release(out, end, env)
+		}
+	}
+	return nil
+}
+
+// chooseAlgorithm picks the fastest algorithm whose workspace can be
+// allocated, falling back to the terminal zero-workspace variant.
+func (s *Session) chooseAlgorithm(op ops.Op, inShapes []tensor.Shape) (ops.Algorithm, *memory.Allocation) {
+	algos := op.Algorithms(s.dev, inShapes)
+	for _, a := range algos {
+		if a.Workspace == 0 {
+			return a, nil
+		}
+		s.applyDueFrees(s.now())
+		ws, err := s.pool.Alloc(a.Workspace)
+		if err == nil {
+			return a, ws
+		}
+	}
+	return algos[len(algos)-1], nil
+}
+
+// reportAccess updates access bookkeeping and notifies the policy.
+func (s *Session) reportAccess(t *tensor.Tensor, kind AccessKind, at sim.Time, stall sim.Time, inflight bool, nodeID string, env *Env) {
+	s.stats.Accesses++
+	count := t.Touch(at - s.penalty)
+	s.touchLRU(t)
+	s.policy.OnAccess(Access{
+		Tensor:   t,
+		Kind:     kind,
+		Count:    count,
+		At:       at - s.penalty,
+		Raw:      at,
+		Stall:    stall,
+		InFlight: inflight,
+		NodeID:   nodeID,
+		Iter:     s.iter,
+	}, env)
+}
+
+// release frees a dead tensor and reports the deallocation to the policy.
+func (s *Session) release(t *tensor.Tensor, at sim.Time, env *Env) {
+	switch t.Status {
+	case tensor.In:
+		s.pool.Free(t.Alloc)
+		t.Alloc = nil
+		s.dropLRU(t)
+		if err := t.TransitionTo(tensor.Freed); err != nil {
+			panic(err)
+		}
+	case tensor.Out:
+		if s.host.Holds(t.ID) {
+			if err := s.host.Release(t.ID); err != nil {
+				panic(err)
+			}
+		}
+		s.dropLRU(t)
+		if err := t.TransitionTo(tensor.Freed); err != nil {
+			panic(err)
+		}
+	case tensor.Recompute:
+		s.dropLRU(t)
+		if err := t.TransitionTo(tensor.Freed); err != nil {
+			panic(err)
+		}
+	default:
+		// SwappingOut/SwappingIn: an in-flight transfer owns the buffer;
+		// the pending completion or the iteration barrier cleans up.
+		return
+	}
+	s.stats.Accesses++
+	s.policy.OnAccess(Access{
+		Tensor: t,
+		Kind:   Dealloc,
+		Count:  t.AccessCount,
+		At:     at - s.penalty,
+		Raw:    at,
+		NodeID: "",
+		Iter:   s.iter,
+	}, env)
+}
+
+// materialize ensures a scheduled input is readable on device, returning
+// when it becomes ready and whether it was mid-swap-in.
+func (s *Session) materialize(t *tensor.Tensor, env *Env) (sim.Time, bool, error) {
+	ready, inflight, handled, err := s.ensureOnDevice(t, env, true)
+	if err != nil || handled {
+		return ready, inflight, err
+	}
+	// Recompute path (status Recompute, or Freed via lineage).
+	ready, err = s.recompute(t, env)
+	return ready, false, err
+}
+
+// ensureOnDevice handles the residency states that do not require
+// recomputation. handled=false means the tensor needs lineage replay.
+func (s *Session) ensureOnDevice(t *tensor.Tensor, env *Env, countStats bool) (ready sim.Time, inflight bool, handled bool, err error) {
+	now := s.now()
+	switch t.Status {
+	case tensor.In, tensor.SwappingOut:
+		// Readable on device; a tensor mid-swap-out stays readable and
+		// its host copy covers the later re-access (§5.3).
+		return now, false, true, nil
+	case tensor.SwappingIn:
+		done := s.swapInDone[t.ID]
+		delete(s.swapInDone, t.ID)
+		if err := t.TransitionTo(tensor.In); err != nil {
+			return 0, false, true, err
+		}
+		if s.host.Holds(t.ID) {
+			if err := s.host.Release(t.ID); err != nil {
+				return 0, false, true, err
+			}
+		}
+		s.touchLRU(t)
+		return sim.MaxTime(done, now), done > now, true, nil
+	case tensor.Out:
+		// Access failure: on-demand swap-in (§5.2 passive mode).
+		a, aerr := s.allocate(t.Bytes(), env)
+		if aerr != nil {
+			return 0, false, true, aerr
+		}
+		t.Alloc = a
+		if err := t.TransitionTo(tensor.SwappingIn); err != nil {
+			return 0, false, true, err
+		}
+		_, end := s.h2d.Run("ondemand "+t.ID, s.now(), s.dev.H2D.TransferTime(t.Bytes()))
+		if err := t.TransitionTo(tensor.In); err != nil {
+			return 0, false, true, err
+		}
+		if err := s.host.Release(t.ID); err != nil {
+			return 0, false, true, err
+		}
+		if countStats {
+			s.stats.OnDemandInCount++
+			s.stats.OnDemandInBytes += t.Bytes()
+		}
+		s.touchLRU(t)
+		return end, true, true, nil
+	default:
+		return 0, false, false, nil
+	}
+}
+
+// recompute regenerates t by replaying its lineage. The collective
+// recomputation rule (§5.3) is applied progressively as the replay
+// proceeds: each regenerated intermediate is kept while memory allows and
+// released otherwise, bounding the replay's own footprint.
+func (s *Session) recompute(t *tensor.Tensor, env *Env) (sim.Time, error) {
+	regenerated := make(map[*tensor.Tensor]bool)
+	return s.replay(t, env, regenerated, 0)
+}
+
+// replay recursively re-executes the producer of t. Replay accesses are
+// not reported to the policy and do not advance access counts: guided
+// execution keys its decisions on the access counts observed during
+// measured execution (§4.2).
+func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Tensor]bool, depth int) (sim.Time, error) {
+	if depth > maxReplayDepth {
+		return 0, fmt.Errorf("recompute of %s exceeds depth %d (lineage cycle?)", t.ID, maxReplayDepth)
+	}
+	if t.Persistent {
+		return 0, fmt.Errorf("recompute requested for persistent tensor %s", t.ID)
+	}
+	node := s.g.Producer(t)
+	if node == nil {
+		return 0, fmt.Errorf("recompute of %s: no producer in lineage", t.ID)
+	}
+	if len(node.Outputs) != 1 {
+		return 0, fmt.Errorf("recompute of %s: multi-output producer %s", t.ID, node.ID)
+	}
+
+	pinnedIDs := s.pin(node.Inputs...)
+	pinnedIDs = append(pinnedIDs, s.pin(t)...)
+	defer s.unpin(pinnedIDs)
+
+	deps := s.now()
+	for _, in := range node.Inputs {
+		ready, _, handled, err := s.ensureOnDevice(in, env, true)
+		if err != nil {
+			return 0, err
+		}
+		if !handled {
+			ready, err = s.replay(in, env, regenerated, depth+1)
+			if err != nil {
+				return 0, err
+			}
+		}
+		deps = sim.MaxTime(deps, ready)
+	}
+
+	a, err := s.allocate(t.Bytes(), env)
+	if err != nil {
+		return 0, err
+	}
+	t.Alloc = a
+	if err := t.TransitionTo(tensor.In); err != nil {
+		return 0, err
+	}
+	s.touchLRU(t)
+
+	inShapes := make([]tensor.Shape, len(node.Inputs))
+	inFPs := make([]uint64, len(node.Inputs))
+	for i, in := range node.Inputs {
+		inShapes[i] = in.Shape
+		if in.Fingerprint == 0 {
+			return 0, fmt.Errorf("recompute of %s reads %s with empty fingerprint", t.ID, in.ID)
+		}
+		inFPs[i] = in.Fingerprint
+	}
+	algo, wsAlloc := s.chooseAlgorithm(node.Op, inShapes)
+	_, end := s.compute.Run("recompute "+node.ID, deps, algo.Duration)
+	if wsAlloc != nil {
+		s.pool.Free(wsAlloc)
+	}
+	t.Fingerprint = tensor.ComputeFingerprint(node.ID, 0, inFPs)
+	s.stats.RecomputeCount++
+	s.stats.RecomputeTime += algo.Duration
+	regenerated[t] = true
+
+	// Progressive collective-recomputation retention (§5.3): now that t
+	// exists, each input regenerated along the way is kept only if it
+	// will be used again and memory is plentiful; otherwise its memory is
+	// released immediately so deep replays cost O(1) extra space.
+	for _, in := range node.Inputs {
+		if !regenerated[in] || in == t {
+			continue
+		}
+		if in.Status != tensor.In || in.Alloc == nil {
+			delete(regenerated, in) // claimed by a passive eviction
+			continue
+		}
+		keep := s.cfg.CollectiveRecompute && s.refs[in.ID] > 0 &&
+			s.pool.FreeBytes() >= s.cfg.RecomputeHeadroom+in.Alloc.Size
+		if keep {
+			continue
+		}
+		s.pool.Free(in.Alloc)
+		in.Alloc = nil
+		s.dropLRU(in)
+		next := tensor.Freed
+		if s.refs[in.ID] > 0 {
+			next = tensor.Recompute
+		}
+		if err := in.TransitionTo(next); err != nil {
+			return 0, err
+		}
+		delete(regenerated, in)
+	}
+	return end, nil
+}
+
+// allocate reserves device memory, in order of escalation: apply due
+// in-flight frees, stall on the earliest outstanding swap-out (decoupled
+// OOM synchronization, §5.3), then ask the policy for synchronous passive
+// evictions (§5.2). Fails with ErrIterationOOM when nothing helps.
+func (s *Session) allocate(size int64, env *Env) (*memory.Allocation, error) {
+	for {
+		s.applyDueFrees(s.now())
+		a, err := s.pool.Alloc(size)
+		if err == nil {
+			return a, nil
+		}
+		if p, ok := s.pendingFrees.PeekEarliest(); ok {
+			if p.At > s.now() {
+				stall := p.At - s.now()
+				s.stats.StallTime += stall
+				s.penalty += stall
+				s.compute.AdvanceTo(p.At)
+			}
+			s.applyDueFrees(s.now())
+			continue
+		}
+		victims, ok := s.policy.OnOOM(size, env)
+		if !ok {
+			return nil, fmt.Errorf("allocating %d bytes: %v: %w", size, err, ErrIterationOOM)
+		}
+		evicted := false
+		for _, v := range victims {
+			if v.Status != tensor.In || v.Persistent || s.pinned[v.ID] {
+				continue
+			}
+			if err := s.passiveEvict(v); err != nil {
+				return nil, fmt.Errorf("passive eviction of %s: %v: %w", v.ID, err, ErrIterationOOM)
+			}
+			evicted = true
+		}
+		if !evicted {
+			// Last resort: wait for an in-flight prefetch to land so its
+			// buffer becomes evictable on the next round.
+			if s.completeEarliestSwapIn() {
+				continue
+			}
+			return nil, fmt.Errorf("allocating %d bytes with no evictable tensors: %v: %w", size, err, ErrIterationOOM)
+		}
+	}
+}
+
+// completeEarliestSwapIn stalls until the earliest in-flight swap-in
+// finishes and marks its tensor resident (and therefore evictable).
+// Returns false when no swap-in is in flight.
+func (s *Session) completeEarliestSwapIn() bool {
+	var bestID string
+	var bestAt sim.Time
+	for id, at := range s.swapInDone {
+		if bestID == "" || at < bestAt || (at == bestAt && id < bestID) {
+			bestID, bestAt = id, at
+		}
+	}
+	if bestID == "" {
+		return false
+	}
+	t := s.g.Tensor(bestID)
+	delete(s.swapInDone, bestID)
+	if t == nil || t.Status != tensor.SwappingIn {
+		return true // state moved on; let the caller retry
+	}
+	if bestAt > s.now() {
+		stall := bestAt - s.now()
+		s.stats.StallTime += stall
+		s.penalty += stall
+		s.compute.AdvanceTo(bestAt)
+	}
+	if err := t.TransitionTo(tensor.In); err != nil {
+		panic(err)
+	}
+	if s.host.Holds(bestID) {
+		if err := s.host.Release(bestID); err != nil {
+			panic(err)
+		}
+	}
+	s.touchLRU(t)
+	return true
+}
+
+// passiveEvict synchronously copies a tensor to host and frees its device
+// memory, stalling the compute stream for the copy (§5.2).
+func (s *Session) passiveEvict(v *tensor.Tensor) error {
+	if err := s.host.Reserve(v.ID, v.Bytes()); err != nil {
+		return err
+	}
+	_, end := s.d2h.Run("passive "+v.ID, s.now(), s.dev.D2H.TransferTime(v.Bytes()))
+	if end > s.now() {
+		stall := end - s.now()
+		s.stats.StallTime += stall
+		s.penalty += stall
+		s.compute.AdvanceTo(end)
+	}
+	s.pool.Free(v.Alloc)
+	v.Alloc = nil
+	s.dropLRU(v)
+	if err := v.TransitionTo(tensor.SwappingOut); err != nil {
+		return err
+	}
+	if err := v.TransitionTo(tensor.Out); err != nil {
+		return err
+	}
+	s.stats.PassiveEvicts++
+	s.stats.PassiveBytes += v.Bytes()
+	if h := s.host.Peak(); h > s.stats.HostPeak {
+		s.stats.HostPeak = h
+	}
+	return nil
+}
+
+// applyDueFrees releases device memory whose swap-out completed by now.
+func (s *Session) applyDueFrees(now sim.Time) {
+	for _, p := range s.pendingFrees.PopDue(now) {
+		s.finishSwapOut(p.Key)
+	}
+}
+
+// drainSwapOuts waits for every outstanding swap-out (coupled mode).
+func (s *Session) drainSwapOuts() {
+	for {
+		p, ok := s.pendingFrees.PopEarliest()
+		if !ok {
+			return
+		}
+		if p.At > s.now() {
+			stall := p.At - s.now()
+			s.stats.StallTime += stall
+			s.penalty += stall
+			s.compute.AdvanceTo(p.At)
+		}
+		s.finishSwapOut(p.Key)
+	}
+}
+
+// finishSwapOut completes one swap-out: free device memory, mark Out.
+func (s *Session) finishSwapOut(id string) {
+	t := s.g.Tensor(id)
+	if t == nil || t.Status != tensor.SwappingOut {
+		return
+	}
+	s.pool.Free(t.Alloc)
+	t.Alloc = nil
+	s.dropLRU(t)
+	if err := t.TransitionTo(tensor.Out); err != nil {
+		panic(err)
+	}
+}
+
+// endIteration waits for outstanding transfers, snapshots the parameter
+// fingerprint and resets per-iteration tensor state.
+func (s *Session) endIteration(env *Env) {
+	barrier := sim.MaxTime(s.now(), sim.MaxTime(s.d2h.AvailableAt(), s.h2d.AvailableAt()))
+	s.compute.AdvanceTo(barrier)
+	for {
+		p, ok := s.pendingFrees.PopEarliest()
+		if !ok {
+			break
+		}
+		s.finishSwapOut(p.Key)
+	}
+
+	// Parameter fingerprint over variables in declaration order.
+	h := tensor.HashSeed("params")
+	for _, n := range s.g.Nodes {
+		for _, t := range n.Outputs {
+			if t.Persistent {
+				h = tensor.HashCombine(h, t.Fingerprint)
+			}
+		}
+	}
+	s.stats.ParamFingerprint = h
+
+	for _, n := range s.g.Nodes {
+		for _, t := range n.Outputs {
+			if t.Persistent {
+				continue
+			}
+			if t.Alloc != nil {
+				s.pool.Free(t.Alloc)
+				t.Alloc = nil
+			}
+			if s.host.Holds(t.ID) {
+				if err := s.host.Release(t.ID); err != nil {
+					panic(err)
+				}
+			}
+			t.ResetIteration()
+		}
+	}
+	s.lru.Init()
+	s.lruPos = make(map[string]*list.Element)
+	s.swapInDone = make(map[string]sim.Time)
+	s.pinned = make(map[string]bool)
+}

@@ -1,0 +1,230 @@
+package exec
+
+import (
+	"container/list"
+	"fmt"
+
+	"capuchin/internal/graph"
+	"capuchin/internal/hw"
+	"capuchin/internal/memory"
+	"capuchin/internal/sim"
+	"capuchin/internal/tensor"
+)
+
+// Mode selects the framework execution mode (§2.2).
+type Mode int
+
+// Execution modes.
+const (
+	// GraphMode executes a pre-built, optimized graph with precise
+	// reference-count deallocation.
+	GraphMode Mode = iota
+	// EagerMode executes imperatively: a CPU dispatch stream serializes
+	// ahead of kernels and the autograd tape retains every forward
+	// activation until the iteration ends.
+	EagerMode
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == EagerMode {
+		return "eager"
+	}
+	return "graph"
+}
+
+// Config configures a Session.
+type Config struct {
+	Device hw.DeviceSpec
+	// HostMemory bounds pinned CPU staging memory (default 256 GiB, the
+	// paper testbed's DRAM).
+	HostMemory int64
+	Mode       Mode
+	// Policy is the memory-management policy; nil means NullPolicy.
+	Policy Policy
+	// Allocator selects "bfc" (default) or "firstfit".
+	Allocator string
+	// CoupledSwap makes every node wait for all outstanding swap-outs
+	// before issuing, reproducing vDNN's layer-wise synchronization
+	// (§3.1, Fig. 1). Capuchin's decoupled mode leaves this false and
+	// waits only on OOM (§5.3).
+	CoupledSwap bool
+	// CollectiveRecompute keeps intermediate recomputation targets
+	// produced while replaying a lineage, memory permitting (§5.3).
+	CollectiveRecompute bool
+	// RecomputeHeadroom is the free-memory floor below which collective
+	// recomputation stops retaining intermediates. Zero means 5% of
+	// device memory.
+	RecomputeHeadroom int64
+	// RecordSpans enables stream span recording for timeline figures.
+	RecordSpans bool
+}
+
+// Session executes iterations of one training graph.
+type Session struct {
+	cfg    Config
+	g      *graph.Graph
+	dev    hw.DeviceSpec
+	policy Policy
+
+	pool memory.Pool
+	host *memory.HostArena
+
+	compute *sim.Stream
+	h2d     *sim.Stream
+	d2h     *sim.Stream
+	cpu     *sim.Stream // eager dispatch; nil in graph mode
+
+	// pendingFrees holds device memory releases that complete in the
+	// future (swap-outs in flight), keyed by tensor ID.
+	pendingFrees sim.PendingSet
+	// swapInDone maps tensor ID -> completion time of an in-flight
+	// prefetch or on-demand swap-in.
+	swapInDone map[string]sim.Time
+
+	// refs counts remaining scheduled uses of each tensor this iteration.
+	refs map[string]int
+	// retained marks tensors pinned by the eager tape until iteration end.
+	retained map[string]bool
+	// lru orders resident tensors by last access for passive eviction
+	// (the paper scans the tensor access list from the beginning, §5.2).
+	lru    *list.List
+	lruPos map[string]*list.Element
+
+	// pinned marks tensors that the currently executing node reads or
+	// writes; they must not be chosen as passive-eviction victims.
+	pinned map[string]bool
+
+	// actionAnchor is the virtual time at which policy-triggered
+	// asynchronous actions start (the current access's effect point).
+	actionAnchor sim.Time
+	// penalty accumulates stall time subtracted from access timestamps to
+	// reconstruct the infinite-memory timeline (§5.2).
+	penalty sim.Time
+
+	iter      int
+	stats     IterStats
+	trackCost sim.Time
+	startTime sim.Time
+	failed    bool
+}
+
+// NewSession prepares a session: builds the allocator, pre-allocates
+// persistent tensors (weights live on device for the whole run, §2.1) and
+// seeds their fingerprints.
+func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
+	if cfg.Device.MemoryBytes <= 0 {
+		return nil, fmt.Errorf("exec: device %q has no memory configured", cfg.Device.Name)
+	}
+	if cfg.HostMemory == 0 {
+		cfg.HostMemory = 256 * hw.GiB
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NullPolicy{}
+	}
+	if cfg.RecomputeHeadroom == 0 {
+		cfg.RecomputeHeadroom = cfg.Device.MemoryBytes / 20
+	}
+	var pool memory.Pool
+	switch cfg.Allocator {
+	case "", "bfc":
+		pool = memory.NewBFC(cfg.Device.MemoryBytes)
+	case "firstfit":
+		pool = memory.NewFirstFit(cfg.Device.MemoryBytes)
+	default:
+		return nil, fmt.Errorf("exec: unknown allocator %q", cfg.Allocator)
+	}
+	s := &Session{
+		cfg:        cfg,
+		g:          g,
+		dev:        cfg.Device,
+		policy:     cfg.Policy,
+		pool:       pool,
+		host:       memory.NewHostArena(cfg.HostMemory),
+		compute:    sim.NewStream("compute"),
+		h2d:        sim.NewStream("h2d"),
+		d2h:        sim.NewStream("d2h"),
+		swapInDone: make(map[string]sim.Time),
+		lru:        list.New(),
+		lruPos:     make(map[string]*list.Element),
+		pinned:     make(map[string]bool),
+	}
+	if cfg.Mode == EagerMode {
+		s.cpu = sim.NewStream("cpu")
+	}
+	if cfg.RecordSpans {
+		s.compute.SetRecording(true)
+		s.h2d.SetRecording(true)
+		s.d2h.SetRecording(true)
+	}
+	if s.policy.TracksAccesses() {
+		s.trackCost = s.dev.TrackAccess
+	}
+
+	// Persistent tensors: allocate once, seed fingerprints.
+	for _, n := range g.Nodes {
+		for _, t := range n.Outputs {
+			if !t.Persistent {
+				continue
+			}
+			a, err := pool.Alloc(t.Bytes())
+			if err != nil {
+				return nil, fmt.Errorf("exec: model parameters do not fit on device: %w", err)
+			}
+			t.Alloc = a
+			t.Fingerprint = tensor.HashSeed(t.ID)
+			if err := t.TransitionTo(tensor.In); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// Graph returns the session's graph.
+func (s *Session) Graph() *graph.Graph { return s.g }
+
+// Pool exposes allocator statistics.
+func (s *Session) Pool() memory.Pool { return s.pool }
+
+// Host exposes pinned-memory statistics.
+func (s *Session) Host() *memory.HostArena { return s.host }
+
+// Streams returns the compute, H2D and D2H streams for span inspection.
+func (s *Session) Streams() (compute, h2d, d2h *sim.Stream) {
+	return s.compute, s.h2d, s.d2h
+}
+
+// now is the current virtual time on the compute stream.
+func (s *Session) now() sim.Time { return s.compute.AvailableAt() }
+
+// touchLRU moves t to the most-recently-used end of the eviction order.
+func (s *Session) touchLRU(t *tensor.Tensor) {
+	if e, ok := s.lruPos[t.ID]; ok {
+		s.lru.MoveToBack(e)
+		return
+	}
+	s.lruPos[t.ID] = s.lru.PushBack(t)
+}
+
+// dropLRU removes t from the eviction order.
+func (s *Session) dropLRU(t *tensor.Tensor) {
+	if e, ok := s.lruPos[t.ID]; ok {
+		s.lru.Remove(e)
+		delete(s.lruPos, t.ID)
+	}
+}
+
+// Residents returns the tensors currently holding device memory with
+// their chunk sizes, largest first — a diagnostic for OOM analysis.
+func (s *Session) Residents() map[string]int64 {
+	out := make(map[string]int64)
+	for _, n := range s.g.Nodes {
+		for _, t := range n.Outputs {
+			if t.Alloc != nil {
+				out[t.ID] = t.Alloc.Size
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"fmt"
+
+	"capuchin/internal/sim"
+)
+
+// IterStats summarizes one executed iteration.
+type IterStats struct {
+	Iter int
+	// Duration is the iteration makespan on the compute stream, including
+	// the end-of-iteration transfer barrier.
+	Duration sim.Time
+	// StallTime is compute time lost waiting for transfers, passive
+	// evictions and OOM synchronization.
+	StallTime sim.Time
+	// Nodes and Accesses count executed operations and reported accesses.
+	Nodes    int
+	Accesses int
+
+	// Swap traffic.
+	SwapOutCount    int
+	SwapOutBytes    int64
+	PrefetchCount   int
+	PrefetchBytes   int64
+	OnDemandInCount int
+	OnDemandInBytes int64
+	PassiveEvicts   int
+	PassiveBytes    int64
+
+	// Recomputation.
+	RecomputeCount int
+	RecomputeTime  sim.Time
+
+	// Memory.
+	PeakBytes int64
+	HostPeak  int64
+
+	// Fingerprints for the correctness oracle.
+	LossFingerprint  uint64
+	ParamFingerprint uint64
+}
+
+// Throughput reports training speed in samples per second for the given
+// batch size.
+func (st IterStats) Throughput(batch int64) float64 {
+	if st.Duration <= 0 {
+		return 0
+	}
+	return float64(batch) / st.Duration.Seconds()
+}
+
+// String implements fmt.Stringer.
+func (st IterStats) String() string {
+	return fmt.Sprintf("iter %d: %v (stall %v), swapout %d/%dMB, prefetch %d, ondemand %d, passive %d, recompute %d/%v, peak %dMB",
+		st.Iter, st.Duration, st.StallTime, st.SwapOutCount, st.SwapOutBytes>>20,
+		st.PrefetchCount, st.OnDemandInCount, st.PassiveEvicts,
+		st.RecomputeCount, st.RecomputeTime, st.PeakBytes>>20)
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"fmt"
+
+	"capuchin/internal/ops"
+	"capuchin/internal/tensor"
+)
+
+// Builder assembles a forward graph. Shape errors are programmer errors in
+// a model definition, so Apply panics with a precise message rather than
+// threading error returns through every layer helper (the template.Must
+// convention); Build validates the finished structure and returns errors
+// for anything dynamic.
+type Builder struct {
+	name  string
+	nodes []*Node
+	names map[string]int
+}
+
+// NewBuilder starts an empty graph with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, names: make(map[string]int)}
+}
+
+// unique disambiguates repeated node names with a numeric suffix.
+func (b *Builder) unique(name string) string {
+	n := b.names[name]
+	b.names[name] = n + 1
+	if n == 0 {
+		return name
+	}
+	return fmt.Sprintf("%s_%d", name, n)
+}
+
+// Apply adds a node computing op over the inputs and returns its output
+// tensors. It panics on shape errors.
+func (b *Builder) Apply(name string, op ops.Op, inputs ...*tensor.Tensor) []*tensor.Tensor {
+	return b.applyPhase(Forward, name, op, inputs...)
+}
+
+func (b *Builder) applyPhase(phase Phase, name string, op ops.Op, inputs ...*tensor.Tensor) []*tensor.Tensor {
+	id := b.unique(name)
+	inShapes := make([]tensor.Shape, len(inputs))
+	for i, t := range inputs {
+		if t == nil {
+			panic(fmt.Sprintf("graph: %s(%s): nil input %d", id, op.Name(), i))
+		}
+		inShapes[i] = t.Shape
+	}
+	outShapes, err := op.InferShapes(inShapes)
+	if err != nil {
+		panic(fmt.Sprintf("graph: %s: %v", id, err))
+	}
+	outs := make([]*tensor.Tensor, len(outShapes))
+	for i, s := range outShapes {
+		out := tensor.New(fmt.Sprintf("%s:%d", id, i), s, tensor.Float32)
+		out.OpName = id
+		out.Inputs = inputs
+		outs[i] = out
+	}
+	b.nodes = append(b.nodes, &Node{ID: id, Op: op, Phase: phase, Inputs: inputs, Outputs: outs})
+	return outs
+}
+
+// Apply1 is Apply for single-output ops.
+func (b *Builder) Apply1(name string, op ops.Op, inputs ...*tensor.Tensor) *tensor.Tensor {
+	outs := b.Apply(name, op, inputs...)
+	if len(outs) != 1 {
+		panic(fmt.Sprintf("graph: %s: Apply1 on op with %d outputs", name, len(outs)))
+	}
+	return outs[0]
+}
+
+// Input adds a synthetic data source.
+func (b *Builder) Input(name string, shape tensor.Shape, dtype tensor.DType) *tensor.Tensor {
+	t := b.Apply1(name, ops.Input{Shape: shape, DType: dtype})
+	t.DType = dtype
+	return t
+}
+
+// Variable adds a persistent parameter tensor.
+func (b *Builder) Variable(name string, shape tensor.Shape) *tensor.Tensor {
+	t := b.Apply1(name, ops.Variable{Shape: shape})
+	t.Persistent = true
+	return t
+}
+
+// BuildOptions configures Build.
+type BuildOptions struct {
+	// Optimizer is the update rule applied to every variable gradient.
+	Optimizer ops.ApplyGradient
+	// FuseBiasAdd enables the graph-mode fusion of Conv2D/MatMul followed
+	// by BiasAdd into a single node, removing the pre-bias intermediate.
+	FuseBiasAdd bool
+	// Prune removes nodes with no path to the loss or an update.
+	Prune bool
+	// SkipBackward builds a forward-only (inference) graph.
+	SkipBackward bool
+}
+
+// GraphModeOptions returns the optimization settings of graph execution.
+func GraphModeOptions() BuildOptions {
+	return BuildOptions{FuseBiasAdd: true, Prune: true}
+}
+
+// EagerModeOptions returns the settings of eager execution: no graph-level
+// optimizations are available before execution (§2.2).
+func EagerModeOptions() BuildOptions {
+	return BuildOptions{}
+}
+
+// Build finalizes the graph: it derives the backward pass from loss,
+// appends optimizer updates, runs the requested passes, and validates.
+func (b *Builder) Build(loss *tensor.Tensor, opt BuildOptions) (*Graph, error) {
+	g := &Graph{Name: b.name, Nodes: b.nodes, Loss: loss}
+	g.reindex()
+	if loss == nil || g.producer[loss.ID] == nil {
+		return nil, fmt.Errorf("graph %s: loss tensor is not produced by this builder", b.name)
+	}
+	if !opt.SkipBackward {
+		ad := &autodiff{b: b, g: g, opt: opt.Optimizer}
+		if err := ad.run(loss); err != nil {
+			return nil, err
+		}
+		g.Nodes = b.nodes
+		g.reindex()
+	}
+	if opt.FuseBiasAdd {
+		fuseBiasAdd(g)
+	}
+	if opt.Prune {
+		prune(g)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,165 @@
+// Package graph builds and analyzes the computation graphs the simulator
+// executes: a Builder assembles forward operations, reverse-mode autodiff
+// derives the backward pass and optimizer updates, and analysis passes
+// provide dead-node pruning, bias-add fusion (a graph-mode-only memory
+// optimization, §6.4.1 of the paper) and the articulation-point analysis
+// that OpenAI-style gradient checkpointing selects its checkpoints with.
+package graph
+
+import (
+	"fmt"
+
+	"capuchin/internal/ops"
+	"capuchin/internal/tensor"
+)
+
+// Phase classifies a node within a training iteration.
+type Phase int
+
+// Node phases.
+const (
+	Forward Phase = iota
+	Backward
+	Update
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case Forward:
+		return "forward"
+	case Backward:
+		return "backward"
+	case Update:
+		return "update"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Node is one operation instance in the graph.
+type Node struct {
+	ID      string
+	Op      ops.Op
+	Phase   Phase
+	Inputs  []*tensor.Tensor
+	Outputs []*tensor.Tensor
+}
+
+// String implements fmt.Stringer.
+func (n *Node) String() string {
+	return fmt.Sprintf("%s(%s)", n.ID, n.Op.Name())
+}
+
+// Graph is a complete training iteration: forward, backward and update
+// nodes in executable (topological) order.
+type Graph struct {
+	Name  string
+	Nodes []*Node
+	// Loss is the scalar loss tensor.
+	Loss *tensor.Tensor
+
+	tensors   map[string]*tensor.Tensor
+	producer  map[string]*Node   // tensor ID -> producing node
+	consumers map[string][]*Node // tensor ID -> consuming nodes
+}
+
+// Tensor returns the tensor with the given ID, or nil.
+func (g *Graph) Tensor(id string) *tensor.Tensor { return g.tensors[id] }
+
+// Tensors returns all tensors in the graph. The map is owned by the graph.
+func (g *Graph) Tensors() map[string]*tensor.Tensor { return g.tensors }
+
+// Producer returns the node that produces t, or nil for graph inputs.
+func (g *Graph) Producer(t *tensor.Tensor) *Node { return g.producer[t.ID] }
+
+// Consumers returns the nodes that consume t.
+func (g *Graph) Consumers(t *tensor.Tensor) []*Node { return g.consumers[t.ID] }
+
+// ConsumerCount reports how many node inputs reference t (counting
+// duplicates, since each reference is a separate access).
+func (g *Graph) ConsumerCount(t *tensor.Tensor) int {
+	n := 0
+	for _, c := range g.consumers[t.ID] {
+		for _, in := range c.Inputs {
+			if in == t {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForwardNodes returns the forward-phase nodes in order.
+func (g *Graph) ForwardNodes() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.Phase == Forward {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NumNodes reports the total node count; the paper notes ResNet-50 exceeds
+// 3000 nodes and BERT 7000 in TensorFlow's internal graph (§1).
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// ParameterBytes reports the total size of persistent tensors (weights).
+func (g *Graph) ParameterBytes() int64 {
+	var total int64
+	for _, t := range g.tensors {
+		if t.Persistent {
+			total += t.Bytes()
+		}
+	}
+	return total
+}
+
+// reindex rebuilds producer/consumer maps from Nodes. Called after passes
+// mutate the node list.
+func (g *Graph) reindex() {
+	g.tensors = make(map[string]*tensor.Tensor)
+	g.producer = make(map[string]*Node)
+	g.consumers = make(map[string][]*Node)
+	for _, n := range g.Nodes {
+		for _, out := range n.Outputs {
+			g.tensors[out.ID] = out
+			g.producer[out.ID] = n
+		}
+	}
+	for _, n := range g.Nodes {
+		seen := make(map[string]bool)
+		for _, in := range n.Inputs {
+			g.tensors[in.ID] = in
+			if !seen[in.ID] {
+				g.consumers[in.ID] = append(g.consumers[in.ID], n)
+				seen[in.ID] = true
+			}
+		}
+	}
+}
+
+// Validate checks structural sanity: every input is either produced by an
+// earlier node or is a source tensor, and IDs are unique. It returns the
+// first problem found.
+func (g *Graph) Validate() error {
+	produced := make(map[string]bool)
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if !produced[in.ID] && g.producer[in.ID] != nil {
+				return fmt.Errorf("graph %s: node %s consumes %s before it is produced", g.Name, n.ID, in.ID)
+			}
+		}
+		for _, out := range n.Outputs {
+			if produced[out.ID] {
+				return fmt.Errorf("graph %s: tensor %s produced twice", g.Name, out.ID)
+			}
+			produced[out.ID] = true
+		}
+	}
+	if g.Loss == nil {
+		return fmt.Errorf("graph %s: no loss tensor", g.Name)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"capuchin/internal/ops"
+	"capuchin/internal/tensor"
+)
+
+// fuseBiasAdd folds a BiasAdd into its producing Conv2D or MatMul when the
+// pre-bias intermediate has no other consumer, mirroring the cuDNN/cuBLAS
+// epilogue fusion that graph-mode TensorFlow applies. The fused node keeps
+// the BiasAdd's output tensor (so downstream references stay valid) and
+// gains the bias vector as an extra input.
+func fuseBiasAdd(g *Graph) {
+	fused := make(map[*Node]bool)
+	for _, b := range g.Nodes {
+		if _, ok := b.Op.(ops.BiasAdd); !ok || b.Phase != Forward {
+			continue
+		}
+		pre := b.Inputs[0]
+		p := g.producer[pre.ID]
+		if p == nil || p.Phase != Forward {
+			continue
+		}
+		switch p.Op.(type) {
+		case ops.Conv2D, ops.MatMul:
+		default:
+			continue
+		}
+		if cs := g.consumers[pre.ID]; len(cs) != 1 || cs[0] != b {
+			continue
+		}
+		p.Op = ops.FusedBias{Inner: p.Op}
+		p.Inputs = append(p.Inputs, b.Inputs[1])
+		out := b.Outputs[0]
+		out.OpName = p.ID
+		out.Inputs = p.Inputs
+		p.Outputs = b.Outputs
+		fused[b] = true
+	}
+	if len(fused) == 0 {
+		return
+	}
+	kept := g.Nodes[:0]
+	for _, n := range g.Nodes {
+		if !fused[n] {
+			kept = append(kept, n)
+		}
+	}
+	g.Nodes = kept
+	g.reindex()
+}
+
+// prune removes nodes that contribute neither to the loss nor to any
+// variable update (dead branches, unused variables).
+func prune(g *Graph) {
+	live := make(map[*Node]bool)
+	var mark func(n *Node)
+	mark = func(n *Node) {
+		if n == nil || live[n] {
+			return
+		}
+		live[n] = true
+		for _, in := range n.Inputs {
+			mark(g.producer[in.ID])
+		}
+	}
+	mark(g.producer[g.Loss.ID])
+	for _, n := range g.Nodes {
+		if n.Phase == Update {
+			mark(n)
+		}
+	}
+	kept := g.Nodes[:0]
+	removed := false
+	for _, n := range g.Nodes {
+		if live[n] {
+			kept = append(kept, n)
+		} else {
+			removed = true
+		}
+	}
+	g.Nodes = kept
+	if removed {
+		g.reindex()
+	}
+}
+
+// ArticulationTensors returns the forward-phase tensors that single-handedly
+// separate the forward graph: cutting the forward schedule right after such
+// a tensor's producer leaves it as the only live forward value. These are
+// the "articulation points" OpenAI's gradient-checkpointing memory mode
+// checkpoints (§6.1). Persistent tensors (weights) do not count as crossing
+// values since checkpointing never drops them.
+func ArticulationTensors(g *Graph) []*tensor.Tensor {
+	forward := g.ForwardNodes()
+	pos := make(map[string]int, len(forward)) // node ID -> forward index
+	for i, n := range forward {
+		pos[n.ID] = i
+	}
+	type span struct {
+		t          *tensor.Tensor
+		prod, last int
+	}
+	var spans []span
+	for i, n := range forward {
+		if _, isInput := n.Op.(ops.Input); isInput {
+			// Data sources (images, labels) are never dropped by
+			// checkpointing; like weights they do not count as crossing
+			// values. The labels tensor in particular spans the entire
+			// forward graph and would otherwise defeat every cut.
+			continue
+		}
+		for _, out := range n.Outputs {
+			if out.Persistent {
+				continue
+			}
+			last := i
+			for _, c := range g.consumers[out.ID] {
+				if c.Phase != Forward {
+					continue
+				}
+				if j, ok := pos[c.ID]; ok && j > last {
+					last = j
+				}
+			}
+			spans = append(spans, span{t: out, prod: i, last: last})
+		}
+	}
+	// crossing[i] counts spans with prod <= i < last: live forward values
+	// at the cut after node i.
+	crossing := make([]int, len(forward))
+	for _, s := range spans {
+		for i := s.prod; i < s.last; i++ {
+			crossing[i]++
+		}
+	}
+	var arts []*tensor.Tensor
+	for _, s := range spans {
+		if s.last > s.prod && crossing[s.prod] == 1 {
+			arts = append(arts, s.t)
+		}
+	}
+	return arts
+}

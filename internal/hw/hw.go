@@ -1,0 +1,149 @@
+// Package hw models the hardware that the Capuchin paper evaluates on: a
+// GPU described by an analytic roofline (peak FLOP/s, memory bandwidth,
+// kernel-launch overhead, an occupancy ramp) and a PCIe link with
+// per-direction exclusive, latency-plus-bandwidth transfers.
+//
+// The model is deliberately analytic: Capuchin's decisions depend only on
+// relative operation durations, tensor sizes, and transfer times, all of
+// which a roofline reproduces. The default device is the paper's NVIDIA
+// Tesla P100 behind PCIe 3.0 x16.
+package hw
+
+import "capuchin/internal/sim"
+
+// Link models one direction of a host-device interconnect. Pinned-memory
+// transfers occupy a direction exclusively, so each direction is served by
+// its own sim.Stream in the executor; Link only supplies durations.
+type Link struct {
+	// BytesPerSec is the sustained bandwidth of one direction.
+	BytesPerSec float64
+	// Latency is the fixed per-transfer setup cost (driver + DMA start).
+	Latency sim.Time
+}
+
+// TransferTime reports the duration of moving the given number of bytes in
+// one direction.
+func (l Link) TransferTime(bytes int64) sim.Time {
+	if bytes <= 0 {
+		return l.Latency
+	}
+	return l.Latency + sim.FromSeconds(float64(bytes)/l.BytesPerSec)
+}
+
+// DeviceSpec describes a GPU and its host link for the cost model.
+type DeviceSpec struct {
+	Name string
+
+	// PeakFLOPS is the peak single-precision throughput in FLOP/s.
+	PeakFLOPS float64
+	// MemBandwidth is the device memory bandwidth in bytes/s; it bounds
+	// memory-bound (elementwise, pooling, normalization) operations.
+	MemBandwidth float64
+	// MemoryBytes is the on-board memory capacity managed by the allocator.
+	MemoryBytes int64
+	// KernelLaunch is the fixed overhead of launching one kernel.
+	KernelLaunch sim.Time
+
+	// D2H and H2D describe the two PCIe directions. The paper measured the
+	// device-to-host direction slightly faster than host-to-device (§6.2);
+	// keeping them distinct lets the Free-Time computation see that.
+	D2H Link
+	H2D Link
+
+	// EagerDispatch is the per-operation CPU dispatch overhead added in
+	// eager (imperative) mode, where Python-style interpretation serializes
+	// ahead of each kernel (§2.2).
+	EagerDispatch sim.Time
+	// TrackAccess is the per-tensor-access bookkeeping cost Capuchin's
+	// tracker adds at runtime (§6.3.2 measures it at well under 1%).
+	TrackAccess sim.Time
+}
+
+// ComputeTime reports the duration of a compute-bound kernel performing the
+// given FLOPs at an op-specific efficiency. maxEff is the fraction of peak
+// the kernel reaches when fully saturated; halfSatFLOPs is the work size at
+// which the occupancy ramp reaches half of maxEff. The ramp models the GPU
+// utilization growth with batch size that the paper observes on BERT and
+// DenseNet (§6.3.2, §6.4.2).
+func (d DeviceSpec) ComputeTime(flops, maxEff, halfSatFLOPs float64) sim.Time {
+	if flops <= 0 {
+		return d.KernelLaunch
+	}
+	eff := maxEff
+	if halfSatFLOPs > 0 {
+		eff = maxEff * flops / (flops + halfSatFLOPs)
+	}
+	return d.KernelLaunch + sim.FromSeconds(flops/(d.PeakFLOPS*eff))
+}
+
+// MemoryTime reports the duration of a memory-bound kernel that moves the
+// given number of bytes through device memory.
+func (d DeviceSpec) MemoryTime(bytes int64) sim.Time {
+	if bytes <= 0 {
+		return d.KernelLaunch
+	}
+	return d.KernelLaunch + sim.FromSeconds(float64(bytes)/d.MemBandwidth)
+}
+
+const (
+	// KiB, MiB and GiB are binary byte units used throughout the simulator.
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+)
+
+// P100 returns the paper's evaluation platform: a Tesla P100 (16 GB HBM2)
+// behind PCIe 3.0 x16 sustaining about 12 GB/s (§4.3), with device-to-host
+// marginally faster than host-to-device as measured in §6.2.
+func P100() DeviceSpec {
+	return DeviceSpec{
+		Name:          "Tesla P100-PCIE-16GB",
+		PeakFLOPS:     9.3e12,
+		MemBandwidth:  732e9,
+		MemoryBytes:   16 * GiB,
+		KernelLaunch:  5 * sim.Microsecond,
+		D2H:           Link{BytesPerSec: 12.7e9, Latency: 15 * sim.Microsecond},
+		H2D:           Link{BytesPerSec: 11.7e9, Latency: 15 * sim.Microsecond},
+		EagerDispatch: 60 * sim.Microsecond,
+		TrackAccess:   250 * sim.Nanosecond,
+	}
+}
+
+// V100 returns a Tesla V100 32 GB, the largest single-GPU memory the paper
+// cites (§1), for capacity-sensitivity experiments.
+func V100() DeviceSpec {
+	return DeviceSpec{
+		Name:          "Tesla V100-PCIE-32GB",
+		PeakFLOPS:     15.7e12,
+		MemBandwidth:  900e9,
+		MemoryBytes:   32 * GiB,
+		KernelLaunch:  5 * sim.Microsecond,
+		D2H:           Link{BytesPerSec: 12.7e9, Latency: 15 * sim.Microsecond},
+		H2D:           Link{BytesPerSec: 11.7e9, Latency: 15 * sim.Microsecond},
+		EagerDispatch: 60 * sim.Microsecond,
+		TrackAccess:   250 * sim.Nanosecond,
+	}
+}
+
+// T4 returns a modest inference-class card, useful to show policy behaviour
+// when compute is slow relative to the link.
+func T4() DeviceSpec {
+	return DeviceSpec{
+		Name:          "Tesla T4-16GB",
+		PeakFLOPS:     8.1e12,
+		MemBandwidth:  300e9,
+		MemoryBytes:   16 * GiB,
+		KernelLaunch:  5 * sim.Microsecond,
+		D2H:           Link{BytesPerSec: 6.3e9, Latency: 15 * sim.Microsecond},
+		H2D:           Link{BytesPerSec: 6.0e9, Latency: 15 * sim.Microsecond},
+		EagerDispatch: 60 * sim.Microsecond,
+		TrackAccess:   250 * sim.Nanosecond,
+	}
+}
+
+// WithMemory returns a copy of the spec with the given memory capacity, for
+// oversubscription sweeps.
+func (d DeviceSpec) WithMemory(bytes int64) DeviceSpec {
+	d.MemoryBytes = bytes
+	return d
+}

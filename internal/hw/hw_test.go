@@ -1,0 +1,132 @@
+package hw
+
+import (
+	"testing"
+
+	"capuchin/internal/sim"
+)
+
+func TestLinkTransferTime(t *testing.T) {
+	l := Link{BytesPerSec: 12e9, Latency: 15 * sim.Microsecond}
+	// 12 GB at 12 GB/s = 1 s plus latency.
+	got := l.TransferTime(12e9)
+	want := sim.Second + 15*sim.Microsecond
+	if got != want {
+		t.Errorf("TransferTime(12e9) = %v, want %v", got, want)
+	}
+	// Zero/negative bytes cost only latency.
+	if got := l.TransferTime(0); got != l.Latency {
+		t.Errorf("TransferTime(0) = %v, want latency", got)
+	}
+	if got := l.TransferTime(-5); got != l.Latency {
+		t.Errorf("TransferTime(-5) = %v, want latency", got)
+	}
+}
+
+func TestLinkTransferTimeMonotonic(t *testing.T) {
+	l := P100().D2H
+	prev := sim.Time(0)
+	for bytes := int64(1); bytes < 1<<34; bytes *= 4 {
+		d := l.TransferTime(bytes)
+		if d < prev {
+			t.Fatalf("transfer time decreased at %d bytes: %v < %v", bytes, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestComputeTimeRoofline(t *testing.T) {
+	d := P100()
+	// A fully saturated kernel at eff=1.0 with no ramp: flops/peak.
+	got := d.ComputeTime(d.PeakFLOPS, 1.0, 0)
+	want := d.KernelLaunch + sim.Second
+	if got != want {
+		t.Errorf("ComputeTime(peak,1,0) = %v, want %v", got, want)
+	}
+	// Zero work costs only the launch.
+	if got := d.ComputeTime(0, 0.5, 1e9); got != d.KernelLaunch {
+		t.Errorf("ComputeTime(0) = %v, want launch overhead", got)
+	}
+}
+
+func TestComputeTimeOccupancyRamp(t *testing.T) {
+	d := P100()
+	// With a ramp, small kernels run at lower efficiency, so throughput
+	// (flops per second) must increase with kernel size.
+	small := d.ComputeTime(1e8, 0.7, 2e9) - d.KernelLaunch
+	large := d.ComputeTime(1e11, 0.7, 2e9) - d.KernelLaunch
+	smallTput := 1e8 / small.Seconds()
+	largeTput := 1e11 / large.Seconds()
+	if largeTput <= smallTput {
+		t.Errorf("throughput did not grow with kernel size: small %.3g, large %.3g", smallTput, largeTput)
+	}
+	// At half-saturation work, efficiency is half of maxEff.
+	half := d.ComputeTime(2e9, 0.7, 2e9) - d.KernelLaunch
+	want := sim.FromSeconds(2e9 / (d.PeakFLOPS * 0.35))
+	if diff := half - want; diff < -sim.Microsecond || diff > sim.Microsecond {
+		t.Errorf("half-saturation time = %v, want ~%v", half, want)
+	}
+}
+
+func TestMemoryTime(t *testing.T) {
+	d := P100()
+	got := d.MemoryTime(int64(d.MemBandwidth))
+	want := d.KernelLaunch + sim.Second
+	if got != want {
+		t.Errorf("MemoryTime(bw) = %v, want %v", got, want)
+	}
+	if got := d.MemoryTime(0); got != d.KernelLaunch {
+		t.Errorf("MemoryTime(0) = %v, want launch", got)
+	}
+}
+
+func TestDeviceCatalog(t *testing.T) {
+	p, v, t4 := P100(), V100(), T4()
+	if p.MemoryBytes != 16*GiB {
+		t.Errorf("P100 memory = %d, want 16 GiB", p.MemoryBytes)
+	}
+	if v.MemoryBytes != 32*GiB {
+		t.Errorf("V100 memory = %d, want 32 GiB", v.MemoryBytes)
+	}
+	if v.PeakFLOPS <= p.PeakFLOPS {
+		t.Error("V100 should be faster than P100")
+	}
+	if t4.D2H.BytesPerSec >= p.D2H.BytesPerSec {
+		t.Error("T4 link should be slower than P100's PCIe 3.0 x16")
+	}
+	for _, d := range []DeviceSpec{p, v, t4} {
+		if d.Name == "" || d.PeakFLOPS <= 0 || d.MemBandwidth <= 0 || d.KernelLaunch <= 0 {
+			t.Errorf("incomplete spec: %+v", d)
+		}
+		if d.EagerDispatch <= 0 || d.TrackAccess <= 0 {
+			t.Errorf("%s: missing overhead parameters", d.Name)
+		}
+	}
+}
+
+func TestPaperSwapBandwidthScale(t *testing.T) {
+	// §6.2: swapping ~25 GB out takes ~1.97 s and back in ~2.60 s on the
+	// P100. Our link model should land in that ballpark (within 25%).
+	d := P100()
+	out := d.D2H.TransferTime(25 * GiB).Seconds()
+	in := d.H2D.TransferTime(25 * GiB).Seconds()
+	if out < 1.5 || out > 2.6 {
+		t.Errorf("25 GiB swap-out = %.2fs, paper measured ~1.97s", out)
+	}
+	if in < 1.9 || in > 3.2 {
+		t.Errorf("25 GiB swap-in = %.2fs, paper measured ~2.60s", in)
+	}
+	if out >= in {
+		t.Error("D2H should be faster than H2D per the paper's measurement")
+	}
+}
+
+func TestWithMemory(t *testing.T) {
+	d := P100().WithMemory(8 * GiB)
+	if d.MemoryBytes != 8*GiB {
+		t.Errorf("WithMemory = %d, want 8 GiB", d.MemoryBytes)
+	}
+	if d.Name != P100().Name {
+		t.Error("WithMemory changed unrelated fields")
+	}
+}

@@ -1,0 +1,329 @@
+package memory
+
+import (
+	"fmt"
+	"sort"
+)
+
+const (
+	// minChunkSize is the allocation granularity: all chunk sizes are
+	// multiples of 256 bytes, matching TensorFlow's BFC allocator.
+	minChunkSize = 256
+	// numBins covers chunk sizes from 256 B to beyond 64 GiB.
+	numBins = 30
+)
+
+// chunk is a contiguous region of the device address space, either in use
+// or free. Chunks form a doubly-linked list ordered by offset; adjacent
+// free chunks are always coalesced, so two free chunks are never neighbours.
+type chunk struct {
+	offset    int64
+	size      int64 // rounded size, multiple of minChunkSize
+	requested int64 // caller-requested size when in use
+	inUse     bool
+	prev      *chunk
+	next      *chunk
+}
+
+// bin holds the free chunks of one size class, ordered by (size, offset) so
+// the first fitting chunk found is the best fit at the lowest address.
+type bin struct {
+	free []*chunk
+}
+
+func (b *bin) insert(c *chunk) {
+	i := sort.Search(len(b.free), func(i int) bool {
+		f := b.free[i]
+		return f.size > c.size || (f.size == c.size && f.offset >= c.offset)
+	})
+	b.free = append(b.free, nil)
+	copy(b.free[i+1:], b.free[i:])
+	b.free[i] = c
+}
+
+func (b *bin) remove(c *chunk) bool {
+	i := sort.Search(len(b.free), func(i int) bool {
+		f := b.free[i]
+		return f.size > c.size || (f.size == c.size && f.offset >= c.offset)
+	})
+	if i < len(b.free) && b.free[i] == c {
+		b.free = append(b.free[:i], b.free[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// bestFit returns the smallest chunk in the bin with size >= want, or nil.
+func (b *bin) bestFit(want int64) *chunk {
+	i := sort.Search(len(b.free), func(i int) bool { return b.free[i].size >= want })
+	if i < len(b.free) {
+		return b.free[i]
+	}
+	return nil
+}
+
+// BFC is a best-fit-with-coalescing allocator over a single device region.
+type BFC struct {
+	capacity int64
+	used     int64 // sum of chunk sizes in use
+	reqUsed  int64 // sum of requested sizes in use
+	peak     int64
+	allocs   int64
+	frees    int64
+	head     *chunk
+	bins     [numBins]bin
+}
+
+var _ Pool = (*BFC)(nil)
+
+// NewBFC creates an allocator managing capacity bytes of device memory.
+// The capacity is rounded down to the allocation granularity.
+func NewBFC(capacity int64) *BFC {
+	capacity = capacity / minChunkSize * minChunkSize
+	if capacity < minChunkSize {
+		panic(fmt.Sprintf("memory: BFC capacity %d below minimum chunk size", capacity))
+	}
+	a := &BFC{capacity: capacity}
+	a.head = &chunk{offset: 0, size: capacity}
+	a.binFor(capacity).insert(a.head)
+	return a
+}
+
+// Name implements Pool.
+func (a *BFC) Name() string { return "bfc" }
+
+// binIndex maps a size to its bin: bin i holds chunks in
+// [256*2^i, 256*2^(i+1)).
+func binIndex(size int64) int {
+	i := 0
+	for s := size / minChunkSize; s > 1 && i < numBins-1; s >>= 1 {
+		i++
+	}
+	return i
+}
+
+func (a *BFC) binFor(size int64) *bin { return &a.bins[binIndex(size)] }
+
+func roundUp(size int64) int64 {
+	if size <= 0 {
+		return minChunkSize
+	}
+	return (size + minChunkSize - 1) / minChunkSize * minChunkSize
+}
+
+// Alloc implements Pool.
+func (a *BFC) Alloc(size int64) (*Allocation, error) {
+	rounded := roundUp(size)
+	c := a.findChunk(rounded)
+	if c == nil {
+		return nil, &OOMError{
+			Requested:   size,
+			FreeBytes:   a.FreeBytes(),
+			LargestFree: a.LargestFree(),
+			Capacity:    a.capacity,
+		}
+	}
+	a.binFor(c.size).remove(c)
+	// Split when the remainder is itself a usable chunk.
+	if c.size-rounded >= minChunkSize {
+		rest := &chunk{
+			offset: c.offset + rounded,
+			size:   c.size - rounded,
+			prev:   c,
+			next:   c.next,
+		}
+		if c.next != nil {
+			c.next.prev = rest
+		}
+		c.next = rest
+		c.size = rounded
+		a.binFor(rest.size).insert(rest)
+	}
+	c.inUse = true
+	c.requested = size
+	a.used += c.size
+	a.reqUsed += size
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	a.allocs++
+	return &Allocation{
+		Offset:    c.offset,
+		Size:      c.size,
+		Requested: size,
+		chunk:     c,
+		owner:     a,
+	}, nil
+}
+
+// findChunk searches the bin for rounded and all larger bins for the
+// best-fitting free chunk.
+func (a *BFC) findChunk(rounded int64) *chunk {
+	for i := binIndex(rounded); i < numBins; i++ {
+		if c := a.bins[i].bestFit(rounded); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// Free implements Pool.
+func (a *BFC) Free(al *Allocation) {
+	if al == nil {
+		panic("memory: Free(nil)")
+	}
+	if al.freed {
+		panic(fmt.Sprintf("memory: double free of allocation at offset %d", al.Offset))
+	}
+	if al.owner != a || al.chunk == nil {
+		panic("memory: allocation freed to the wrong allocator")
+	}
+	al.freed = true
+	c := al.chunk
+	if !c.inUse {
+		panic("memory: freeing a chunk that is not in use")
+	}
+	a.used -= c.size
+	a.reqUsed -= c.requested
+	a.frees++
+	c.inUse = false
+	c.requested = 0
+	// Coalesce with a free successor.
+	if n := c.next; n != nil && !n.inUse {
+		a.binFor(n.size).remove(n)
+		c.size += n.size
+		c.next = n.next
+		if n.next != nil {
+			n.next.prev = c
+		}
+	}
+	// Coalesce with a free predecessor.
+	if p := c.prev; p != nil && !p.inUse {
+		a.binFor(p.size).remove(p)
+		p.size += c.size
+		p.next = c.next
+		if c.next != nil {
+			c.next.prev = p
+		}
+		c = p
+	}
+	a.binFor(c.size).insert(c)
+}
+
+// Used implements Pool.
+func (a *BFC) Used() int64 { return a.used }
+
+// InUseRequested implements Pool.
+func (a *BFC) InUseRequested() int64 { return a.reqUsed }
+
+// Capacity implements Pool.
+func (a *BFC) Capacity() int64 { return a.capacity }
+
+// FreeBytes implements Pool.
+func (a *BFC) FreeBytes() int64 { return a.capacity - a.used }
+
+// Peak implements Pool.
+func (a *BFC) Peak() int64 { return a.peak }
+
+// LargestFree implements Pool.
+func (a *BFC) LargestFree() int64 {
+	for i := numBins - 1; i >= 0; i-- {
+		if n := len(a.bins[i].free); n > 0 {
+			// The bin is sorted by size; the largest chunk is last.
+			return a.bins[i].free[n-1].size
+		}
+	}
+	return 0
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (a *BFC) Stats() Stats { return collectStats(a, a.allocs, a.frees) }
+
+// BinOccupancy describes one size class of the allocator.
+type BinOccupancy struct {
+	// Bin index; bin i holds chunks in [256*2^i, 256*2^(i+1)).
+	Bin int
+	// MinSize is the smallest size the bin serves.
+	MinSize int64
+	// FreeChunks and FreeBytes describe the bin's free list.
+	FreeChunks int
+	FreeBytes  int64
+}
+
+// Bins returns the occupancy of every non-empty bin, smallest first — a
+// fragmentation diagnostic for OOM analysis.
+func (a *BFC) Bins() []BinOccupancy {
+	var out []BinOccupancy
+	for i := range a.bins {
+		if len(a.bins[i].free) == 0 {
+			continue
+		}
+		occ := BinOccupancy{Bin: i, MinSize: minChunkSize << i, FreeChunks: len(a.bins[i].free)}
+		for _, c := range a.bins[i].free {
+			occ.FreeBytes += c.size
+		}
+		out = append(out, occ)
+	}
+	return out
+}
+
+// CheckInvariants validates the internal structure: the chunk list tiles
+// the region exactly, no two free neighbours exist, every free chunk is in
+// exactly its size bin, and accounting matches. It is used by the property
+// tests and is O(capacity/minChunkSize) in the worst case.
+func (a *BFC) CheckInvariants() error {
+	var offset, used, freeListed int64
+	prevFree := false
+	for c := a.head; c != nil; c = c.next {
+		if c.offset != offset {
+			return fmt.Errorf("chunk at offset %d, expected %d (gap or overlap)", c.offset, offset)
+		}
+		if c.size <= 0 || c.size%minChunkSize != 0 {
+			return fmt.Errorf("chunk at %d has invalid size %d", c.offset, c.size)
+		}
+		if c.next != nil && c.next.prev != c {
+			return fmt.Errorf("broken back-link at offset %d", c.offset)
+		}
+		if c.inUse {
+			used += c.size
+			prevFree = false
+		} else {
+			if prevFree {
+				return fmt.Errorf("uncoalesced free neighbours at offset %d", c.offset)
+			}
+			prevFree = true
+			found := false
+			for _, f := range a.bins[binIndex(c.size)].free {
+				if f == c {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("free chunk at %d (size %d) missing from bin %d", c.offset, c.size, binIndex(c.size))
+			}
+		}
+		offset += c.size
+	}
+	if offset != a.capacity {
+		return fmt.Errorf("chunks cover %d bytes, capacity is %d", offset, a.capacity)
+	}
+	if used != a.used {
+		return fmt.Errorf("accounted used %d != chunk-sum used %d", a.used, used)
+	}
+	for i := range a.bins {
+		for _, f := range a.bins[i].free {
+			if f.inUse {
+				return fmt.Errorf("in-use chunk at %d present in bin %d", f.offset, i)
+			}
+			if binIndex(f.size) != i {
+				return fmt.Errorf("chunk of size %d in wrong bin %d", f.size, i)
+			}
+			freeListed += f.size
+		}
+	}
+	if freeListed != a.capacity-a.used {
+		return fmt.Errorf("bins hold %d free bytes, expected %d", freeListed, a.capacity-a.used)
+	}
+	return nil
+}

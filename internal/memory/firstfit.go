@@ -1,0 +1,139 @@
+package memory
+
+import "fmt"
+
+// FirstFit is a deliberately simple free-list allocator: it scans the chunk
+// list from the lowest address and takes the first free chunk large enough.
+// It exists for the allocator ablation (DESIGN.md §5) — comparing it with
+// BFC shows how much binning matters for fragmentation under the churn of
+// swap/recompute schedules.
+type FirstFit struct {
+	capacity int64
+	used     int64
+	reqUsed  int64
+	peak     int64
+	allocs   int64
+	frees    int64
+	head     *chunk
+}
+
+var _ Pool = (*FirstFit)(nil)
+
+// NewFirstFit creates a first-fit allocator managing capacity bytes.
+func NewFirstFit(capacity int64) *FirstFit {
+	capacity = capacity / minChunkSize * minChunkSize
+	if capacity < minChunkSize {
+		panic(fmt.Sprintf("memory: FirstFit capacity %d below minimum chunk size", capacity))
+	}
+	return &FirstFit{
+		capacity: capacity,
+		head:     &chunk{size: capacity},
+	}
+}
+
+// Name implements Pool.
+func (a *FirstFit) Name() string { return "firstfit" }
+
+// Alloc implements Pool.
+func (a *FirstFit) Alloc(size int64) (*Allocation, error) {
+	rounded := roundUp(size)
+	for c := a.head; c != nil; c = c.next {
+		if c.inUse || c.size < rounded {
+			continue
+		}
+		if c.size-rounded >= minChunkSize {
+			rest := &chunk{
+				offset: c.offset + rounded,
+				size:   c.size - rounded,
+				prev:   c,
+				next:   c.next,
+			}
+			if c.next != nil {
+				c.next.prev = rest
+			}
+			c.next = rest
+			c.size = rounded
+		}
+		c.inUse = true
+		c.requested = size
+		a.used += c.size
+		a.reqUsed += size
+		if a.used > a.peak {
+			a.peak = a.used
+		}
+		a.allocs++
+		return &Allocation{Offset: c.offset, Size: c.size, Requested: size, chunk: c, owner: a}, nil
+	}
+	return nil, &OOMError{
+		Requested:   size,
+		FreeBytes:   a.FreeBytes(),
+		LargestFree: a.LargestFree(),
+		Capacity:    a.capacity,
+	}
+}
+
+// Free implements Pool.
+func (a *FirstFit) Free(al *Allocation) {
+	if al == nil {
+		panic("memory: Free(nil)")
+	}
+	if al.freed {
+		panic(fmt.Sprintf("memory: double free of allocation at offset %d", al.Offset))
+	}
+	if al.owner != a || al.chunk == nil {
+		panic("memory: allocation freed to the wrong allocator")
+	}
+	al.freed = true
+	c := al.chunk
+	if !c.inUse {
+		panic("memory: freeing a chunk that is not in use")
+	}
+	a.used -= c.size
+	a.reqUsed -= c.requested
+	a.frees++
+	c.inUse = false
+	c.requested = 0
+	if n := c.next; n != nil && !n.inUse {
+		c.size += n.size
+		c.next = n.next
+		if n.next != nil {
+			n.next.prev = c
+		}
+	}
+	if p := c.prev; p != nil && !p.inUse {
+		p.size += c.size
+		p.next = c.next
+		if c.next != nil {
+			c.next.prev = p
+		}
+	}
+}
+
+// Used implements Pool.
+func (a *FirstFit) Used() int64 { return a.used }
+
+// InUseRequested implements Pool.
+func (a *FirstFit) InUseRequested() int64 { return a.reqUsed }
+
+// Capacity implements Pool.
+func (a *FirstFit) Capacity() int64 { return a.capacity }
+
+// FreeBytes implements Pool.
+func (a *FirstFit) FreeBytes() int64 { return a.capacity - a.used }
+
+// Peak implements Pool.
+func (a *FirstFit) Peak() int64 { return a.peak }
+
+// LargestFree implements Pool.
+func (a *FirstFit) LargestFree() int64 {
+	var largest int64
+	for c := a.head; c != nil; c = c.next {
+		if !c.inUse && c.size > largest {
+			largest = c.size
+		}
+	}
+	return largest
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (a *FirstFit) Stats() Stats { return collectStats(a, a.allocs, a.frees) }

@@ -1,0 +1,50 @@
+package memory
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzBFC drives the allocator with an operation tape decoded from fuzz
+// input: each pair of bytes encodes either an allocation (size derived
+// from the value) or a free (index into the live set). The allocator's
+// own invariant checker validates structure after every step.
+func FuzzBFC(f *testing.F) {
+	f.Add([]byte{0x01, 0x10, 0x80, 0x00, 0xff, 0x03})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05})
+	f.Add(binary.LittleEndian.AppendUint64(nil, 0xdeadbeefcafef00d))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		a := NewBFC(1 << 18)
+		var live []*Allocation
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i], tape[i+1]
+			if op%3 != 0 || len(live) == 0 {
+				size := int64(arg) << (op % 8) // up to 32 KiB
+				al, err := a.Alloc(size)
+				if err != nil {
+					continue
+				}
+				live = append(live, al)
+			} else {
+				j := int(arg) % len(live)
+				a.Free(live[j])
+				live = append(live[:j], live[j+1:]...)
+			}
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("invariants violated mid-run: %v", err)
+		}
+		for _, al := range live {
+			a.Free(al)
+		}
+		if a.Used() != 0 {
+			t.Fatalf("leak: %d bytes used after freeing all", a.Used())
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if a.LargestFree() != a.Capacity() {
+			t.Fatalf("coalescing failed: largest %d, capacity %d", a.LargestFree(), a.Capacity())
+		}
+	})
+}

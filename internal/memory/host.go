@@ -1,0 +1,76 @@
+package memory
+
+import "fmt"
+
+// HostArena models the pinned CPU memory that receives swapped-out tensors.
+// Pinned host memory is plentiful relative to device memory (the paper's
+// testbed has 256 GB of DRAM against a 16 GB GPU) but not unlimited, so the
+// arena enforces a capacity and tracks a high-water mark. Host allocations
+// do not fragment in the simulation: staging buffers are transient and the
+// paper's mechanism never depends on host layout, so simple counters
+// suffice.
+type HostArena struct {
+	capacity int64
+	used     int64
+	peak     int64
+	live     map[string]int64 // key (tensor ID) -> bytes
+}
+
+// NewHostArena creates a pinned-memory arena of the given capacity.
+func NewHostArena(capacity int64) *HostArena {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("memory: host arena capacity %d must be positive", capacity))
+	}
+	return &HostArena{capacity: capacity, live: make(map[string]int64)}
+}
+
+// Reserve pins size bytes for the given key (typically a tensor ID). It
+// returns a wrapped ErrOOM when the arena is exhausted and an error when the
+// key already holds a reservation.
+func (h *HostArena) Reserve(key string, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("memory: negative host reservation %d for %q", size, key)
+	}
+	if _, ok := h.live[key]; ok {
+		return fmt.Errorf("memory: duplicate host reservation for %q", key)
+	}
+	if h.used+size > h.capacity {
+		return &OOMError{Requested: size, FreeBytes: h.capacity - h.used, LargestFree: h.capacity - h.used, Capacity: h.capacity}
+	}
+	h.live[key] = size
+	h.used += size
+	if h.used > h.peak {
+		h.peak = h.used
+	}
+	return nil
+}
+
+// Release frees the reservation held by key. Releasing an absent key is an
+// error: it would mean the executor lost track of a swapped tensor.
+func (h *HostArena) Release(key string) error {
+	size, ok := h.live[key]
+	if !ok {
+		return fmt.Errorf("memory: release of unknown host reservation %q", key)
+	}
+	delete(h.live, key)
+	h.used -= size
+	return nil
+}
+
+// Holds reports whether key currently has a reservation.
+func (h *HostArena) Holds(key string) bool {
+	_, ok := h.live[key]
+	return ok
+}
+
+// Used reports the pinned bytes currently reserved.
+func (h *HostArena) Used() int64 { return h.used }
+
+// Peak reports the high-water mark of Used.
+func (h *HostArena) Peak() int64 { return h.peak }
+
+// Capacity reports the arena size.
+func (h *HostArena) Capacity() int64 { return h.capacity }
+
+// Live reports the number of live reservations.
+func (h *HostArena) Live() int { return len(h.live) }

@@ -1,0 +1,71 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHostArenaReserveRelease(t *testing.T) {
+	h := NewHostArena(1 << 20)
+	if err := h.Reserve("t1", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Holds("t1") || h.Used() != 1000 || h.Live() != 1 {
+		t.Errorf("after reserve: holds=%v used=%d live=%d", h.Holds("t1"), h.Used(), h.Live())
+	}
+	if err := h.Release("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Holds("t1") || h.Used() != 0 {
+		t.Error("release did not clear state")
+	}
+	if h.Peak() != 1000 {
+		t.Errorf("Peak = %d, want 1000", h.Peak())
+	}
+}
+
+func TestHostArenaDuplicateReserve(t *testing.T) {
+	h := NewHostArena(1 << 20)
+	if err := h.Reserve("t1", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Reserve("t1", 10); err == nil {
+		t.Fatal("duplicate reservation allowed")
+	}
+}
+
+func TestHostArenaUnknownRelease(t *testing.T) {
+	h := NewHostArena(1 << 20)
+	if err := h.Release("nope"); err == nil {
+		t.Fatal("release of unknown key succeeded")
+	}
+}
+
+func TestHostArenaOOM(t *testing.T) {
+	h := NewHostArena(1000)
+	if err := h.Reserve("a", 600); err != nil {
+		t.Fatal(err)
+	}
+	err := h.Reserve("b", 600)
+	if !errors.Is(err, ErrOOM) {
+		t.Fatalf("expected ErrOOM, got %v", err)
+	}
+	// Capacity check is exact: a 400-byte reservation still fits.
+	if err := h.Reserve("c", 400); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostArenaNegativeReserve(t *testing.T) {
+	h := NewHostArena(1000)
+	if err := h.Reserve("a", -1); err == nil {
+		t.Fatal("negative reservation allowed")
+	}
+}
+
+func TestHostArenaCapacity(t *testing.T) {
+	h := NewHostArena(42)
+	if h.Capacity() != 42 {
+		t.Errorf("Capacity = %d, want 42", h.Capacity())
+	}
+}

@@ -1,0 +1,102 @@
+// Package memory implements the GPU memory allocators used by the
+// simulator. The primary allocator is a faithful reimplementation of
+// TensorFlow's BFC (best-fit with coalescing) allocator — power-of-two size
+// bins over a single device region, chunk splitting on allocation and
+// neighbour coalescing on free — because fragmentation and allocation
+// failure behaviour shape Capuchin's passive-mode eviction. A simple
+// first-fit free-list allocator is provided for the allocator ablation, and
+// HostArena models the pinned CPU staging area that swapped-out tensors
+// occupy.
+package memory
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOOM is returned (wrapped) when an allocation cannot be satisfied.
+// Callers use errors.Is(err, ErrOOM) to detect out-of-memory conditions and
+// trigger eviction.
+var ErrOOM = errors.New("out of device memory")
+
+// OOMError carries diagnostic detail about a failed allocation.
+type OOMError struct {
+	Requested   int64
+	FreeBytes   int64
+	LargestFree int64
+	Capacity    int64
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("out of device memory: requested %d bytes, %d free (largest contiguous %d) of %d capacity",
+		e.Requested, e.FreeBytes, e.LargestFree, e.Capacity)
+}
+
+// Unwrap lets errors.Is(err, ErrOOM) match.
+func (e *OOMError) Unwrap() error { return ErrOOM }
+
+// Allocation is a live region of device memory. Offset and Size describe
+// the rounded chunk actually reserved; Requested is the caller's size.
+type Allocation struct {
+	Offset    int64
+	Size      int64
+	Requested int64
+
+	chunk *chunk // BFC bookkeeping; nil for non-BFC allocators
+	owner Pool
+	freed bool
+}
+
+// Pool is the allocator interface shared by BFC and FirstFit.
+type Pool interface {
+	// Alloc reserves size bytes, returning an *OOMError (matching ErrOOM)
+	// on failure. Alloc(0) is legal and reserves a minimum-sized chunk.
+	Alloc(size int64) (*Allocation, error)
+	// Free releases an allocation. Freeing twice panics: the simulator's
+	// ref-counting must never double-free.
+	Free(a *Allocation)
+	// Used reports the bytes currently reserved by live allocations
+	// (rounded chunk sizes).
+	Used() int64
+	// InUseRequested reports the caller-requested bytes of live allocations.
+	InUseRequested() int64
+	// Capacity reports the total pool size.
+	Capacity() int64
+	// FreeBytes reports Capacity - Used.
+	FreeBytes() int64
+	// LargestFree reports the largest contiguous free region.
+	LargestFree() int64
+	// Peak reports the high-water mark of Used.
+	Peak() int64
+	// Name identifies the allocator for stats and ablation output.
+	Name() string
+}
+
+// Stats summarizes allocator activity.
+type Stats struct {
+	Allocs      int64
+	Frees       int64
+	Used        int64
+	Peak        int64
+	Capacity    int64
+	FreeBytes   int64
+	LargestFree int64
+	// Fragmentation is 1 - LargestFree/FreeBytes (0 when nothing is free).
+	Fragmentation float64
+}
+
+func collectStats(p Pool, allocs, frees int64) Stats {
+	s := Stats{
+		Allocs:      allocs,
+		Frees:       frees,
+		Used:        p.Used(),
+		Peak:        p.Peak(),
+		Capacity:    p.Capacity(),
+		FreeBytes:   p.FreeBytes(),
+		LargestFree: p.LargestFree(),
+	}
+	if s.FreeBytes > 0 {
+		s.Fragmentation = 1 - float64(s.LargestFree)/float64(s.FreeBytes)
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package models
+
+import (
+	"fmt"
+
+	"capuchin/internal/graph"
+	"capuchin/internal/ops"
+	"capuchin/internal/tensor"
+)
+
+// DenseNet121 builds Huang et al.'s DenseNet-121: dense blocks of
+// [6,12,24,16] BN-ReLU-1x1-BN-ReLU-3x3 layers with growth rate 32, each
+// layer concatenating its output onto the running feature map, with
+// halving transitions between blocks. The dense concatenation pattern
+// produces many overlapping tensor lifetimes, the opposite extreme from
+// VGG's chain.
+func DenseNet121(batch int64, opt graph.BuildOptions) (*graph.Graph, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("models: densenet: batch %d must be positive", batch)
+	}
+	const growth = 32
+	n := &net{b: graph.NewBuilder("densenet121")}
+	x := n.b.Input("data", tensor.Shape{batch, 3, 224, 224}, tensor.Float32)
+
+	x = n.convBNReLU("conv1", x, 64, 7, 7, 2, 3, 3)
+	x = n.maxPool("pool1", x, 3, 2, 1)
+
+	for bi, layers := range []int{6, 12, 24, 16} {
+		for li := 0; li < layers; li++ {
+			name := fmt.Sprintf("dense%d_%d", bi+1, li+1)
+			h := n.denseLayer(name, x, growth)
+			x = n.concat(name+"_concat", x, h)
+		}
+		if bi < 3 {
+			x = n.transition(fmt.Sprintf("trans%d", bi+1), x)
+		}
+	}
+
+	x = n.bnReLU("final", x)
+	x = n.globalAvgPool("pool5", x)
+	loss := n.classifier(x, batch, 1000)
+	return n.b.Build(loss, opt)
+}
+
+// bnReLU applies batch norm then ReLU (DenseNet's pre-activation order).
+func (n *net) bnReLU(name string, x *tensor.Tensor) *tensor.Tensor {
+	c := x.Shape[1]
+	scale := n.b.Variable(name+"_bn_scale", tensor.Shape{c})
+	offset := n.b.Variable(name+"_bn_offset", tensor.Shape{c})
+	h := n.b.Apply1(name+"_bn", ops.BatchNorm{}, x, scale, offset)
+	return n.relu(name, h)
+}
+
+// conv adds a bias-free convolution (DenseNet composite layers put BN
+// before the convolution).
+func (n *net) conv(name string, x *tensor.Tensor, outC, k, stride, pad int64) *tensor.Tensor {
+	w := n.b.Variable(name+"_w", tensor.Shape{outC, x.Shape[1], k, k})
+	return n.b.Apply1(name, ops.Conv2D{StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}, x, w)
+}
+
+// denseLayer is the bottlenecked composite: BN-ReLU-1x1(4g)-BN-ReLU-3x3(g).
+func (n *net) denseLayer(name string, x *tensor.Tensor, growth int64) *tensor.Tensor {
+	h := n.bnReLU(name+"_a", x)
+	h = n.conv(name+"_1x1", h, 4*growth, 1, 1, 0)
+	h = n.bnReLU(name+"_b", h)
+	return n.conv(name+"_3x3", h, growth, 3, 1, 1)
+}
+
+// transition halves channels with a 1x1 conv and the grid with avg pool.
+func (n *net) transition(name string, x *tensor.Tensor) *tensor.Tensor {
+	h := n.bnReLU(name, x)
+	h = n.conv(name+"_1x1", h, x.Shape[1]/2, 1, 1, 0)
+	return n.avgPool(name+"_pool", h, 2, 2, 0)
+}

@@ -1,0 +1,217 @@
+package ops
+
+import (
+	"capuchin/internal/hw"
+	"capuchin/internal/tensor"
+)
+
+// Sigmoid is the logistic activation (LSTM/GRU gates).
+type Sigmoid struct{}
+
+// Name implements Op.
+func (Sigmoid) Name() string { return "Sigmoid" }
+
+// InferShapes implements Op.
+func (Sigmoid) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	return unaryShape("Sigmoid", in)
+}
+
+// FLOPs implements Op (~4 flops per element for exp and divide).
+func (Sigmoid) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 1 {
+		return 0
+	}
+	return 4 * float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (Sigmoid) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 1 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 2*bytesOf(in[0]))
+}
+
+// SigmoidGrad computes dx from [y, dy]: dx = dy * y * (1 - y), consuming
+// the forward output.
+type SigmoidGrad struct{}
+
+// Name implements Op.
+func (SigmoidGrad) Name() string { return "SigmoidGrad" }
+
+// InferShapes implements Op.
+func (SigmoidGrad) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("SigmoidGrad", in, 2); err != nil {
+		return nil, err
+	}
+	return []tensor.Shape{in[0]}, nil
+}
+
+// FLOPs implements Op.
+func (SigmoidGrad) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 2 {
+		return 0
+	}
+	return 3 * float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (SigmoidGrad) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 2 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 3*bytesOf(in[0]))
+}
+
+// Tanh is the hyperbolic-tangent activation (LSTM cell candidates).
+type Tanh struct{}
+
+// Name implements Op.
+func (Tanh) Name() string { return "Tanh" }
+
+// InferShapes implements Op.
+func (Tanh) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	return unaryShape("Tanh", in)
+}
+
+// FLOPs implements Op.
+func (Tanh) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 1 {
+		return 0
+	}
+	return 5 * float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (Tanh) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 1 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 2*bytesOf(in[0]))
+}
+
+// TanhGrad computes dx from [y, dy]: dx = dy * (1 - y^2).
+type TanhGrad struct{}
+
+// Name implements Op.
+func (TanhGrad) Name() string { return "TanhGrad" }
+
+// InferShapes implements Op.
+func (TanhGrad) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("TanhGrad", in, 2); err != nil {
+		return nil, err
+	}
+	return []tensor.Shape{in[0]}, nil
+}
+
+// FLOPs implements Op.
+func (TanhGrad) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 2 {
+		return 0
+	}
+	return 3 * float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (TanhGrad) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 2 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 3*bytesOf(in[0]))
+}
+
+// Sub is elementwise subtraction, the companion of Mul in gated update
+// rules (a GRU's h' = n + z*(h - n) interpolation).
+type Sub struct{}
+
+// Name implements Op.
+func (Sub) Name() string { return "Sub" }
+
+// InferShapes implements Op.
+func (Sub) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("Sub", in, 2); err != nil {
+		return nil, err
+	}
+	if !in[0].Equal(in[1]) {
+		return nil, shapeError("Sub", in, "operand shapes differ")
+	}
+	return []tensor.Shape{in[0]}, nil
+}
+
+// FLOPs implements Op.
+func (Sub) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 2 {
+		return 0
+	}
+	return float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (Sub) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 2 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 3*bytesOf(in[0]))
+}
+
+// Neg is elementwise negation; Sub's gradient toward its subtrahend.
+type Neg struct{}
+
+// Name implements Op.
+func (Neg) Name() string { return "Neg" }
+
+// InferShapes implements Op.
+func (Neg) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	return unaryShape("Neg", in)
+}
+
+// FLOPs implements Op.
+func (Neg) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 1 {
+		return 0
+	}
+	return float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (Neg) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 1 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 2*bytesOf(in[0]))
+}
+
+// Mul is elementwise multiplication (gating in LSTMs and attention
+// variants). Its gradient consumes both forward inputs, so gated
+// recurrent networks exhibit the same long-gap feature-map reuse as CNNs.
+type Mul struct{}
+
+// Name implements Op.
+func (Mul) Name() string { return "Mul" }
+
+// InferShapes implements Op.
+func (Mul) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("Mul", in, 2); err != nil {
+		return nil, err
+	}
+	if !in[0].Equal(in[1]) {
+		return nil, shapeError("Mul", in, "operand shapes differ")
+	}
+	return []tensor.Shape{in[0]}, nil
+}
+
+// FLOPs implements Op.
+func (Mul) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 2 {
+		return 0
+	}
+	return float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (Mul) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 2 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 3*bytesOf(in[0]))
+}

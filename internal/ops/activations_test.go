@@ -1,0 +1,191 @@
+package ops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"capuchin/internal/tensor"
+)
+
+func TestActivationShapes(t *testing.T) {
+	x := tensor.Shape{8, 1024}
+	for _, op := range []Op{Sigmoid{}, Tanh{}} {
+		out, err := op.InferShapes(shapes(x))
+		if err != nil {
+			t.Fatalf("%s: %v", op.Name(), err)
+		}
+		if !out[0].Equal(x) {
+			t.Errorf("%s output = %v", op.Name(), out[0])
+		}
+	}
+	for _, op := range []Op{SigmoidGrad{}, TanhGrad{}} {
+		out, err := op.InferShapes(shapes(x, x))
+		if err != nil {
+			t.Fatalf("%s: %v", op.Name(), err)
+		}
+		if !out[0].Equal(x) {
+			t.Errorf("%s output = %v", op.Name(), out[0])
+		}
+	}
+	for _, op := range []Op{Sub{}} {
+		o2, err := op.InferShapes(shapes(x, x))
+		if err != nil || !o2[0].Equal(x) {
+			t.Errorf("%s: %v %v", op.Name(), o2, err)
+		}
+	}
+	if o1, err := (Neg{}).InferShapes(shapes(x)); err != nil || !o1[0].Equal(x) {
+		t.Errorf("Neg: %v %v", o1, err)
+	}
+	out, err := Mul{}.InferShapes(shapes(x, x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Equal(x) {
+		t.Errorf("Mul output = %v", out[0])
+	}
+	if _, err := (Mul{}).InferShapes(shapes(x, tensor.Shape{8, 512})); err == nil {
+		t.Error("mismatched Mul accepted")
+	}
+}
+
+func TestActivationAlgorithmContract(t *testing.T) {
+	x := tensor.Shape{8, 1024}
+	cases := []struct {
+		op Op
+		in []tensor.Shape
+	}{
+		{Sigmoid{}, shapes(x)},
+		{SigmoidGrad{}, shapes(x, x)},
+		{Tanh{}, shapes(x)},
+		{TanhGrad{}, shapes(x, x)},
+		{Mul{}, shapes(x, x)},
+		{Sub{}, shapes(x, x)},
+		{Neg{}, shapes(x)},
+	}
+	for _, c := range cases {
+		algos := c.op.Algorithms(dev, c.in)
+		if len(algos) == 0 || algos[len(algos)-1].Workspace != 0 {
+			t.Errorf("%s: bad algorithm list %v", c.op.Name(), algos)
+		}
+		if c.op.FLOPs(c.in) <= 0 {
+			t.Errorf("%s: non-positive FLOPs", c.op.Name())
+		}
+	}
+}
+
+func TestDepthwiseShapes(t *testing.T) {
+	c := DepthwiseConv2D{StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	out, err := c.InferShapes(shapes(tensor.Shape{8, 32, 112, 112}, tensor.Shape{32, 1, 3, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Equal(tensor.Shape{8, 32, 56, 56}) {
+		t.Errorf("output = %v", out[0])
+	}
+	// Channel-count mismatch and non-depthwise filters rejected.
+	if _, err := c.InferShapes(shapes(tensor.Shape{8, 32, 112, 112}, tensor.Shape{64, 1, 3, 3})); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+	if _, err := c.InferShapes(shapes(tensor.Shape{8, 32, 112, 112}, tensor.Shape{32, 2, 3, 3})); err == nil {
+		t.Error("multiplier > 1 accepted")
+	}
+
+	bi := DepthwiseBackpropInput{Conv: c, InputShape: tensor.Shape{8, 32, 112, 112}}
+	out, err = bi.InferShapes(shapes(tensor.Shape{32, 1, 3, 3}, tensor.Shape{8, 32, 56, 56}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Equal(tensor.Shape{8, 32, 112, 112}) {
+		t.Errorf("dx = %v", out[0])
+	}
+	bf := DepthwiseBackpropFilter{Conv: c, FilterShape: tensor.Shape{32, 1, 3, 3}}
+	out, err = bf.InferShapes(shapes(tensor.Shape{8, 32, 112, 112}, tensor.Shape{8, 32, 56, 56}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Equal(tensor.Shape{32, 1, 3, 3}) {
+		t.Errorf("dw = %v", out[0])
+	}
+}
+
+func TestOptimizerRules(t *testing.T) {
+	if SGD.StateSlots() != 0 || Momentum.StateSlots() != 1 || Adam.StateSlots() != 2 {
+		t.Error("state slot counts wrong")
+	}
+	if SGD.String() != "sgd" || Adam.String() != "adam" {
+		t.Error("optimizer names wrong")
+	}
+	// Legacy Momentum flag resolves to the Momentum rule.
+	if (ApplyGradient{Momentum: true}).Effective() != Momentum {
+		t.Error("legacy Momentum flag ignored")
+	}
+	if (ApplyGradient{Rule: Adam}).Effective() != Adam {
+		t.Error("Adam rule ignored")
+	}
+	// Adam accepts [var, grad, m, v].
+	s := tensor.Shape{64}
+	if _, err := (ApplyGradient{Rule: Adam}).InferShapes(shapes(s, s, s, s)); err != nil {
+		t.Errorf("Adam arity rejected: %v", err)
+	}
+	if _, err := (ApplyGradient{Rule: Adam}).InferShapes(shapes(s, s, s)); err == nil {
+		t.Error("Adam with one state slot accepted")
+	}
+	// Update costs rise with optimizer statefulness.
+	sgdT := (ApplyGradient{}).Algorithms(dev, shapes(s, s))[0].Duration
+	adamT := (ApplyGradient{Rule: Adam}).Algorithms(dev, shapes(s, s, s, s))[0].Duration
+	if adamT <= sgdT {
+		t.Error("Adam update not costlier than SGD")
+	}
+}
+
+// Property: shape inference never panics and, on success, yields
+// non-negative-dimension outputs, across randomized valid-rank inputs.
+func TestShapeInferenceRobustnessProperty(t *testing.T) {
+	mk := func(dims []uint16, rank int) tensor.Shape {
+		s := make(tensor.Shape, rank)
+		for i := range s {
+			s[i] = int64(dims[i%len(dims)]%64) + 1
+		}
+		return s
+	}
+	f := func(dims []uint16, k uint8) bool {
+		if len(dims) == 0 {
+			return true
+		}
+		x4 := mk(dims, 4)
+		x2 := mk(dims, 2)
+		c := mk(dims, 1)
+		candidates := []struct {
+			op Op
+			in []tensor.Shape
+		}{
+			{Conv2D{StrideH: 1 + int64(k%3), StrideW: 1, PadH: int64(k % 4), PadW: 0}, shapes(x4, mk(dims, 4))},
+			{MatMul{TransposeA: k%2 == 0}, shapes(x2, mk(dims, 2))},
+			{Pool{Kind: MaxPoolKind, KH: 1 + int64(k%5), KW: 2, StrideH: 1, StrideW: 1}, shapes(x4)},
+			{BatchNorm{}, shapes(x4, c, c)},
+			{Concat{Dim: int(k % 4)}, shapes(x4, mk(dims, 4))},
+			{Slice{Dim: int(k % 4), Start: int64(k % 8), Length: 1 + int64(k%4)}, shapes(x4)},
+			{DepthwiseConv2D{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, shapes(x4, mk(dims, 4))},
+		}
+		for _, cand := range candidates {
+			out, err := cand.op.InferShapes(cand.in) // must not panic
+			if err != nil {
+				continue
+			}
+			for _, s := range out {
+				for _, d := range s {
+					if d < 0 {
+						return false
+					}
+				}
+			}
+			if cand.op.FLOPs(cand.in) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

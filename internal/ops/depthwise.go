@@ -1,0 +1,135 @@
+package ops
+
+import (
+	"capuchin/internal/hw"
+	"capuchin/internal/tensor"
+)
+
+// DepthwiseConv2D convolves each channel with its own single filter
+// (filter shape [C,1,KH,KW]), the building block of MobileNet-style
+// inverted residuals. Depthwise kernels are strongly memory-bound — very
+// low arithmetic intensity — which makes them poor recomputation sources
+// by FLOPs but cheap ones by wall-clock, a distinction Capuchin's measured
+// costs capture and static FLOP heuristics miss.
+type DepthwiseConv2D struct {
+	StrideH, StrideW int64
+	PadH, PadW       int64
+}
+
+// Name implements Op.
+func (DepthwiseConv2D) Name() string { return "DepthwiseConv2D" }
+
+func (c DepthwiseConv2D) dims(in []tensor.Shape) (n, ch, oh, ow, kh, kw int64, err error) {
+	if e := arity("DepthwiseConv2D", in, 2); e != nil {
+		return 0, 0, 0, 0, 0, 0, e
+	}
+	x, f := in[0], in[1]
+	if len(x) != 4 || len(f) != 4 {
+		return 0, 0, 0, 0, 0, 0, shapeError("DepthwiseConv2D", in, "want 4-D input and filter")
+	}
+	if f[0] != x[1] || f[1] != 1 {
+		return 0, 0, 0, 0, 0, 0, shapeError("DepthwiseConv2D", in, "filter must be [C,1,KH,KW] with C=%d", x[1])
+	}
+	oh = outSpatial(x[2], f[2], c.StrideH, c.PadH)
+	ow = outSpatial(x[3], f[3], c.StrideW, c.PadW)
+	if oh <= 0 || ow <= 0 {
+		return 0, 0, 0, 0, 0, 0, shapeError("DepthwiseConv2D", in, "non-positive output %dx%d", oh, ow)
+	}
+	return x[0], x[1], oh, ow, f[2], f[3], nil
+}
+
+// InferShapes implements Op.
+func (c DepthwiseConv2D) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	n, ch, oh, ow, _, _, err := c.dims(in)
+	if err != nil {
+		return nil, err
+	}
+	return []tensor.Shape{{n, ch, oh, ow}}, nil
+}
+
+// FLOPs implements Op: one MAC per kernel tap per output element.
+func (c DepthwiseConv2D) FLOPs(in []tensor.Shape) float64 {
+	n, ch, oh, ow, kh, kw, err := c.dims(in)
+	if err != nil {
+		return 0
+	}
+	return 2 * float64(n*ch*oh*ow*kh*kw)
+}
+
+// Algorithms implements Op: memory-bound, no workspace variants.
+func (c DepthwiseConv2D) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	out, err := c.InferShapes(in)
+	if err != nil {
+		return single("invalid", dev.KernelLaunch)
+	}
+	traffic := sumBytes(in[0], in[1], out[0])
+	return single("depthwise", roofline(dev, c.FLOPs(in), 0.25, halfSatConv/4, traffic))
+}
+
+// DepthwiseBackpropInput computes dx from [filter, dy].
+type DepthwiseBackpropInput struct {
+	Conv       DepthwiseConv2D
+	InputShape tensor.Shape
+}
+
+// Name implements Op.
+func (DepthwiseBackpropInput) Name() string { return "DepthwiseBackpropInput" }
+
+// InferShapes implements Op.
+func (b DepthwiseBackpropInput) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("DepthwiseBackpropInput", in, 2); err != nil {
+		return nil, err
+	}
+	return []tensor.Shape{b.InputShape}, nil
+}
+
+// FLOPs implements Op.
+func (b DepthwiseBackpropInput) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 2 {
+		return 0
+	}
+	return b.Conv.FLOPs([]tensor.Shape{b.InputShape, in[0]})
+}
+
+// Algorithms implements Op.
+func (b DepthwiseBackpropInput) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 2 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	traffic := sumBytes(in[0], in[1], b.InputShape)
+	return single("depthwise", roofline(dev, b.FLOPs(in), 0.25, halfSatConv/4, traffic))
+}
+
+// DepthwiseBackpropFilter computes dw from [x, dy].
+type DepthwiseBackpropFilter struct {
+	Conv        DepthwiseConv2D
+	FilterShape tensor.Shape
+}
+
+// Name implements Op.
+func (DepthwiseBackpropFilter) Name() string { return "DepthwiseBackpropFilter" }
+
+// InferShapes implements Op.
+func (b DepthwiseBackpropFilter) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("DepthwiseBackpropFilter", in, 2); err != nil {
+		return nil, err
+	}
+	return []tensor.Shape{b.FilterShape}, nil
+}
+
+// FLOPs implements Op.
+func (b DepthwiseBackpropFilter) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 2 {
+		return 0
+	}
+	return b.Conv.FLOPs([]tensor.Shape{in[0], b.FilterShape})
+}
+
+// Algorithms implements Op.
+func (b DepthwiseBackpropFilter) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 2 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	traffic := sumBytes(in[0], in[1], b.FilterShape)
+	return single("depthwise", roofline(dev, b.FLOPs(in), 0.25, halfSatConv/4, traffic))
+}

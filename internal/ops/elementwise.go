@@ -1,0 +1,522 @@
+package ops
+
+import (
+	"capuchin/internal/hw"
+	"capuchin/internal/tensor"
+)
+
+// unaryShape validates a single-input op returning the same shape.
+func unaryShape(name string, in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity(name, in, 1); err != nil {
+		return nil, err
+	}
+	return []tensor.Shape{in[0]}, nil
+}
+
+// ReLU is the rectified-linear activation.
+type ReLU struct{}
+
+// Name implements Op.
+func (ReLU) Name() string { return "ReLU" }
+
+// InferShapes implements Op.
+func (ReLU) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) { return unaryShape("ReLU", in) }
+
+// FLOPs implements Op (one compare per element; memory-bound in practice).
+func (ReLU) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 1 {
+		return 0
+	}
+	return float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (ReLU) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 1 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 2*bytesOf(in[0]))
+}
+
+// ReLUGrad computes dx from [y, dy]: dx = dy where y > 0.
+type ReLUGrad struct{}
+
+// Name implements Op.
+func (ReLUGrad) Name() string { return "ReLUGrad" }
+
+// InferShapes implements Op.
+func (ReLUGrad) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("ReLUGrad", in, 2); err != nil {
+		return nil, err
+	}
+	if !in[0].Equal(in[1]) {
+		return nil, shapeError("ReLUGrad", in, "y and dy shapes differ")
+	}
+	return []tensor.Shape{in[0]}, nil
+}
+
+// FLOPs implements Op.
+func (ReLUGrad) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 2 {
+		return 0
+	}
+	return float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (ReLUGrad) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 2 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 3*bytesOf(in[0]))
+}
+
+// GELU is the Gaussian-error linear unit used by BERT.
+type GELU struct{}
+
+// Name implements Op.
+func (GELU) Name() string { return "GELU" }
+
+// InferShapes implements Op.
+func (GELU) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) { return unaryShape("GELU", in) }
+
+// FLOPs implements Op (~8 flops per element for the tanh approximation).
+func (GELU) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 1 {
+		return 0
+	}
+	return 8 * float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (GELU) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 1 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 2*bytesOf(in[0]))
+}
+
+// GELUGrad computes dx from [x, dy].
+type GELUGrad struct{}
+
+// Name implements Op.
+func (GELUGrad) Name() string { return "GELUGrad" }
+
+// InferShapes implements Op.
+func (GELUGrad) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("GELUGrad", in, 2); err != nil {
+		return nil, err
+	}
+	return []tensor.Shape{in[0]}, nil
+}
+
+// FLOPs implements Op.
+func (GELUGrad) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 2 {
+		return 0
+	}
+	return 12 * float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (GELUGrad) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 2 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 3*bytesOf(in[0]))
+}
+
+// Add is elementwise addition of two same-shaped tensors (residual joins).
+type Add struct{}
+
+// Name implements Op.
+func (Add) Name() string { return "Add" }
+
+// InferShapes implements Op.
+func (Add) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("Add", in, 2); err != nil {
+		return nil, err
+	}
+	if !in[0].Equal(in[1]) {
+		return nil, shapeError("Add", in, "operand shapes differ")
+	}
+	return []tensor.Shape{in[0]}, nil
+}
+
+// FLOPs implements Op.
+func (Add) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 2 {
+		return 0
+	}
+	return float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (Add) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 2 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 3*bytesOf(in[0]))
+}
+
+// AddN sums any number of same-shaped tensors; the autodiff builder uses it
+// to accumulate gradient contributions at fan-out points.
+type AddN struct{}
+
+// Name implements Op.
+func (AddN) Name() string { return "AddN" }
+
+// InferShapes implements Op.
+func (AddN) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if len(in) == 0 {
+		return nil, shapeError("AddN", in, "want at least one input")
+	}
+	for _, s := range in[1:] {
+		if !s.Equal(in[0]) {
+			return nil, shapeError("AddN", in, "operand shapes differ")
+		}
+	}
+	return []tensor.Shape{in[0]}, nil
+}
+
+// FLOPs implements Op.
+func (AddN) FLOPs(in []tensor.Shape) float64 {
+	if len(in) == 0 {
+		return 0
+	}
+	return float64(int64(len(in)-1) * in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (AddN) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) == 0 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", int64(len(in)+1)*bytesOf(in[0]))
+}
+
+// BiasAdd adds a per-channel bias [C] to an activation whose second
+// dimension (NCHW) or last dimension (sequence tensors) is C.
+type BiasAdd struct{}
+
+// Name implements Op.
+func (BiasAdd) Name() string { return "BiasAdd" }
+
+// biasChannel returns the channel dimension a bias applies to.
+func biasChannel(x tensor.Shape) int64 {
+	if len(x) == 4 {
+		return x[1] // NCHW
+	}
+	return x[len(x)-1]
+}
+
+// InferShapes implements Op.
+func (BiasAdd) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("BiasAdd", in, 2); err != nil {
+		return nil, err
+	}
+	if len(in[1]) != 1 || in[1][0] != biasChannel(in[0]) {
+		return nil, shapeError("BiasAdd", in, "bias %v does not match channel %d", in[1], biasChannel(in[0]))
+	}
+	return []tensor.Shape{in[0]}, nil
+}
+
+// FLOPs implements Op.
+func (BiasAdd) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 2 {
+		return 0
+	}
+	return float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (BiasAdd) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 2 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 2*bytesOf(in[0]))
+}
+
+// BiasAddGrad reduces dy over all non-channel dimensions to produce the
+// bias gradient.
+type BiasAddGrad struct{}
+
+// Name implements Op.
+func (BiasAddGrad) Name() string { return "BiasAddGrad" }
+
+// InferShapes implements Op.
+func (BiasAddGrad) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("BiasAddGrad", in, 1); err != nil {
+		return nil, err
+	}
+	return []tensor.Shape{{biasChannel(in[0])}}, nil
+}
+
+// FLOPs implements Op.
+func (BiasAddGrad) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 1 {
+		return 0
+	}
+	return float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (BiasAddGrad) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 1 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "reduce", bytesOf(in[0]))
+}
+
+// Dropout randomly zeroes elements. The mask is regenerated from the op's
+// seed during backward, so DropoutGrad does not consume the forward input.
+type Dropout struct {
+	Rate float64
+}
+
+// Name implements Op.
+func (Dropout) Name() string { return "Dropout" }
+
+// InferShapes implements Op.
+func (Dropout) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	return unaryShape("Dropout", in)
+}
+
+// FLOPs implements Op.
+func (Dropout) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 1 {
+		return 0
+	}
+	return 2 * float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (Dropout) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 1 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 2*bytesOf(in[0]))
+}
+
+// DropoutGrad applies the regenerated mask to dy.
+type DropoutGrad struct {
+	Rate float64
+}
+
+// Name implements Op.
+func (DropoutGrad) Name() string { return "DropoutGrad" }
+
+// InferShapes implements Op.
+func (DropoutGrad) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	return unaryShape("DropoutGrad", in)
+}
+
+// FLOPs implements Op.
+func (DropoutGrad) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 1 {
+		return 0
+	}
+	return 2 * float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (DropoutGrad) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 1 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "elementwise", 2*bytesOf(in[0]))
+}
+
+// Reshape reinterprets a tensor with a new shape of equal element count.
+// It is modeled as a copy: treating it as a free alias would complicate
+// memory accounting without changing any policy decision materially.
+type Reshape struct {
+	To tensor.Shape
+}
+
+// Name implements Op.
+func (Reshape) Name() string { return "Reshape" }
+
+// InferShapes implements Op.
+func (r Reshape) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("Reshape", in, 1); err != nil {
+		return nil, err
+	}
+	if in[0].Elems() != r.To.Elems() {
+		return nil, shapeError("Reshape", in, "element count mismatch with %v", r.To)
+	}
+	return []tensor.Shape{r.To}, nil
+}
+
+// FLOPs implements Op.
+func (Reshape) FLOPs([]tensor.Shape) float64 { return 0 }
+
+// Algorithms implements Op.
+func (r Reshape) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 1 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "copy", 2*bytesOf(in[0]))
+}
+
+// Transpose permutes dimensions (used by attention's head reshuffles).
+type Transpose struct {
+	Perm []int
+}
+
+// Name implements Op.
+func (Transpose) Name() string { return "Transpose" }
+
+// InferShapes implements Op.
+func (t Transpose) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("Transpose", in, 1); err != nil {
+		return nil, err
+	}
+	if len(t.Perm) != len(in[0]) {
+		return nil, shapeError("Transpose", in, "perm %v rank mismatch", t.Perm)
+	}
+	out := make(tensor.Shape, len(in[0]))
+	seen := make([]bool, len(in[0]))
+	for i, p := range t.Perm {
+		if p < 0 || p >= len(in[0]) || seen[p] {
+			return nil, shapeError("Transpose", in, "invalid perm %v", t.Perm)
+		}
+		seen[p] = true
+		out[i] = in[0][p]
+	}
+	return []tensor.Shape{out}, nil
+}
+
+// FLOPs implements Op.
+func (Transpose) FLOPs([]tensor.Shape) float64 { return 0 }
+
+// Algorithms implements Op.
+func (t Transpose) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 1 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "copy", 2*bytesOf(in[0]))
+}
+
+// Pad zero-pads spatial dimensions (Inception branch alignment).
+type Pad struct {
+	// Before and After give per-dimension padding.
+	Before, After []int64
+}
+
+// Name implements Op.
+func (Pad) Name() string { return "Pad" }
+
+// InferShapes implements Op.
+func (p Pad) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("Pad", in, 1); err != nil {
+		return nil, err
+	}
+	if len(p.Before) != len(in[0]) || len(p.After) != len(in[0]) {
+		return nil, shapeError("Pad", in, "padding rank mismatch")
+	}
+	out := make(tensor.Shape, len(in[0]))
+	for i := range out {
+		out[i] = in[0][i] + p.Before[i] + p.After[i]
+	}
+	return []tensor.Shape{out}, nil
+}
+
+// FLOPs implements Op.
+func (Pad) FLOPs([]tensor.Shape) float64 { return 0 }
+
+// Algorithms implements Op.
+func (p Pad) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	out, err := p.InferShapes(in)
+	if err != nil {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "copy", bytesOf(in[0])+bytesOf(out[0]))
+}
+
+// Slice extracts a contiguous channel range; it is the gradient of Concat.
+type Slice struct {
+	// Dim is the sliced dimension; Start and Length the range.
+	Dim    int
+	Start  int64
+	Length int64
+}
+
+// Name implements Op.
+func (Slice) Name() string { return "Slice" }
+
+// InferShapes implements Op.
+func (s Slice) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("Slice", in, 1); err != nil {
+		return nil, err
+	}
+	if s.Dim < 0 || s.Dim >= len(in[0]) {
+		return nil, shapeError("Slice", in, "dim %d out of range", s.Dim)
+	}
+	if s.Start < 0 || s.Start+s.Length > in[0][s.Dim] {
+		return nil, shapeError("Slice", in, "range [%d,%d) exceeds dim %d", s.Start, s.Start+s.Length, in[0][s.Dim])
+	}
+	out := make(tensor.Shape, len(in[0]))
+	copy(out, in[0])
+	out[s.Dim] = s.Length
+	return []tensor.Shape{out}, nil
+}
+
+// FLOPs implements Op.
+func (Slice) FLOPs([]tensor.Shape) float64 { return 0 }
+
+// Algorithms implements Op.
+func (s Slice) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	out, err := s.InferShapes(in)
+	if err != nil {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "copy", 2*bytesOf(out[0]))
+}
+
+// Concat joins tensors along one dimension (Inception/DenseNet joins).
+type Concat struct {
+	Dim int
+}
+
+// Name implements Op.
+func (Concat) Name() string { return "Concat" }
+
+// InferShapes implements Op.
+func (c Concat) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if len(in) < 2 {
+		return nil, shapeError("Concat", in, "want at least two inputs")
+	}
+	if c.Dim < 0 || c.Dim >= len(in[0]) {
+		return nil, shapeError("Concat", in, "dim %d out of range", c.Dim)
+	}
+	out := make(tensor.Shape, len(in[0]))
+	copy(out, in[0])
+	for _, s := range in[1:] {
+		if len(s) != len(in[0]) {
+			return nil, shapeError("Concat", in, "rank mismatch")
+		}
+		for d := range s {
+			if d == c.Dim {
+				continue
+			}
+			if s[d] != in[0][d] {
+				return nil, shapeError("Concat", in, "dim %d mismatch", d)
+			}
+		}
+		out[c.Dim] += s[c.Dim]
+	}
+	return []tensor.Shape{out}, nil
+}
+
+// FLOPs implements Op.
+func (Concat) FLOPs([]tensor.Shape) float64 { return 0 }
+
+// Algorithms implements Op.
+func (c Concat) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	out, err := c.InferShapes(in)
+	if err != nil {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "copy", 2*bytesOf(out[0]))
+}

@@ -1,0 +1,48 @@
+package ops
+
+import (
+	"capuchin/internal/hw"
+	"capuchin/internal/tensor"
+)
+
+// FusedBias wraps a Conv2D or MatMul with a fused bias addition, the way
+// cuDNN/cuBLAS epilogues do. Graph mode fuses BiasAdd into its producer
+// when the pre-bias intermediate has no other consumer, eliminating one
+// activation-sized tensor per layer — part of the memory advantage graph
+// execution holds over eager execution (§6.4.1). The last input is the
+// bias vector.
+type FusedBias struct {
+	Inner Op
+}
+
+// Name implements Op.
+func (f FusedBias) Name() string { return f.Inner.Name() + "+BiasAdd" }
+
+// InferShapes implements Op; the bias (last input) does not change shapes.
+func (f FusedBias) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if len(in) < 2 {
+		return nil, shapeError(f.Name(), in, "want inner inputs plus bias")
+	}
+	return f.Inner.InferShapes(in[:len(in)-1])
+}
+
+// FLOPs implements Op.
+func (f FusedBias) FLOPs(in []tensor.Shape) float64 {
+	if len(in) < 2 {
+		return 0
+	}
+	inner := in[:len(in)-1]
+	out, err := f.Inner.InferShapes(inner)
+	if err != nil {
+		return 0
+	}
+	return f.Inner.FLOPs(inner) + float64(out[0].Elems())
+}
+
+// Algorithms implements Op; the epilogue rides along with the inner kernel.
+func (f FusedBias) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) < 2 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return f.Inner.Algorithms(dev, in[:len(in)-1])
+}

@@ -1,0 +1,135 @@
+package ops
+
+import (
+	"capuchin/internal/hw"
+	"capuchin/internal/tensor"
+)
+
+// Embedding gathers rows of a [vocab, hidden] table for [batch, seq] int
+// ids, producing [batch, seq, hidden].
+type Embedding struct{}
+
+// Name implements Op.
+func (Embedding) Name() string { return "Embedding" }
+
+// InferShapes implements Op.
+func (Embedding) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("Embedding", in, 2); err != nil {
+		return nil, err
+	}
+	ids, table := in[0], in[1]
+	if len(ids) != 2 || len(table) != 2 {
+		return nil, shapeError("Embedding", in, "want [batch,seq] ids and [vocab,hidden] table")
+	}
+	return []tensor.Shape{{ids[0], ids[1], table[1]}}, nil
+}
+
+// FLOPs implements Op (a gather: no arithmetic).
+func (Embedding) FLOPs([]tensor.Shape) float64 { return 0 }
+
+// Algorithms implements Op.
+func (e Embedding) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	out, err := e.InferShapes(in)
+	if err != nil {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "gather", 2*bytesOf(out[0]))
+}
+
+// EmbeddingGrad scatters dy back into a table-shaped gradient from
+// [ids, dy].
+type EmbeddingGrad struct {
+	TableShape tensor.Shape
+}
+
+// Name implements Op.
+func (EmbeddingGrad) Name() string { return "EmbeddingGrad" }
+
+// InferShapes implements Op.
+func (g EmbeddingGrad) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("EmbeddingGrad", in, 2); err != nil {
+		return nil, err
+	}
+	return []tensor.Shape{g.TableShape}, nil
+}
+
+// FLOPs implements Op.
+func (g EmbeddingGrad) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 2 {
+		return 0
+	}
+	return float64(in[1].Elems())
+}
+
+// Algorithms implements Op.
+func (g EmbeddingGrad) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 2 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "scatter", bytesOf(in[1])+bytesOf(g.TableShape))
+}
+
+// SoftmaxCrossEntropy computes the scalar training loss from
+// [logits, labels], fusing softmax and cross-entropy like TensorFlow's
+// fused op.
+type SoftmaxCrossEntropy struct{}
+
+// Name implements Op.
+func (SoftmaxCrossEntropy) Name() string { return "SoftmaxCrossEntropy" }
+
+// InferShapes implements Op.
+func (SoftmaxCrossEntropy) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("SoftmaxCrossEntropy", in, 2); err != nil {
+		return nil, err
+	}
+	if len(in[0]) < 2 {
+		return nil, shapeError("SoftmaxCrossEntropy", in, "logits must be at least 2-D")
+	}
+	return []tensor.Shape{{}}, nil // scalar loss
+}
+
+// FLOPs implements Op.
+func (SoftmaxCrossEntropy) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 2 {
+		return 0
+	}
+	return 6 * float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (SoftmaxCrossEntropy) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 2 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "norm", 2*bytesOf(in[0]))
+}
+
+// SoftmaxCrossEntropyGrad computes dlogits from [logits, labels, dloss].
+type SoftmaxCrossEntropyGrad struct{}
+
+// Name implements Op.
+func (SoftmaxCrossEntropyGrad) Name() string { return "SoftmaxCrossEntropyGrad" }
+
+// InferShapes implements Op.
+func (SoftmaxCrossEntropyGrad) InferShapes(in []tensor.Shape) ([]tensor.Shape, error) {
+	if err := arity("SoftmaxCrossEntropyGrad", in, 3); err != nil {
+		return nil, err
+	}
+	return []tensor.Shape{in[0]}, nil
+}
+
+// FLOPs implements Op.
+func (SoftmaxCrossEntropyGrad) FLOPs(in []tensor.Shape) float64 {
+	if len(in) != 3 {
+		return 0
+	}
+	return 5 * float64(in[0].Elems())
+}
+
+// Algorithms implements Op.
+func (SoftmaxCrossEntropyGrad) Algorithms(dev hw.DeviceSpec, in []tensor.Shape) []Algorithm {
+	if len(in) != 3 {
+		return single("invalid", dev.KernelLaunch)
+	}
+	return memBound(dev, "norm", 3*bytesOf(in[0]))
+}

@@ -1,0 +1,162 @@
+// Package checkpoint implements the OpenAI gradient-checkpointing baseline
+// (a re-implementation of Chen et al.'s sublinear-memory recomputation)
+// the Capuchin paper compares against (§6.1). Memory mode checkpoints
+// ~sqrt(n) articulation points of the forward graph; speed mode keeps the
+// outputs of expensive operations (convolutions and matmuls) and
+// recomputes the cheap rest. Everything else that backward needs is
+// dropped after its last forward use and regenerated from lineage.
+package checkpoint
+
+import (
+	"math"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/graph"
+	"capuchin/internal/ops"
+	"capuchin/internal/tensor"
+)
+
+// Mode selects the checkpoint-set heuristic.
+type Mode int
+
+// Checkpointing modes (§6.1).
+const (
+	// Memory aims at O(sqrt(n)) memory by checkpointing a suitable
+	// number of articulation points.
+	Memory Mode = iota
+	// Speed checkpoints the outputs of typically-expensive operations
+	// (convolutions and matrix multiplies) so they are never recomputed.
+	Speed
+)
+
+// Policy is the gradient-checkpointing baseline.
+type Policy struct {
+	mode Mode
+	// dropAt maps {tensorID, accessCount} of a tensor's last forward
+	// access to a release-for-recompute action.
+	dropAt map[dropKey]bool
+	// drops counts planned drop tensors.
+	drops int
+	// checkpoints counts kept tensors (for tests).
+	checkpoints int
+}
+
+type dropKey struct {
+	tensorID string
+	count    int
+}
+
+var _ exec.Policy = (*Policy)(nil)
+
+// New builds the static drop schedule from the graph.
+func New(g *graph.Graph, mode Mode) *Policy {
+	p := &Policy{mode: mode, dropAt: make(map[dropKey]bool)}
+
+	keep := make(map[string]bool)
+	switch mode {
+	case Speed:
+		for _, n := range g.ForwardNodes() {
+			op := n.Op
+			if f, ok := op.(ops.FusedBias); ok {
+				op = f.Inner
+			}
+			switch op.(type) {
+			case ops.Conv2D, ops.MatMul:
+				keep[n.Outputs[0].ID] = true
+			}
+		}
+	case Memory:
+		arts := graph.ArticulationTensors(g)
+		m := int(math.Ceil(math.Sqrt(float64(len(arts)))))
+		if m < 1 {
+			m = 1
+		}
+		stride := len(arts) / m
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < len(arts); i += stride {
+			keep[arts[i].ID] = true
+		}
+	}
+	p.checkpoints = len(keep)
+
+	// Drop every forward tensor that backward needs, except checkpoints,
+	// at its last forward access.
+	for _, n := range g.ForwardNodes() {
+		if _, isVar := n.Op.(ops.Variable); isVar {
+			continue
+		}
+		if _, isInput := n.Op.(ops.Input); isInput {
+			continue // raw inputs are cheap to keep and not recomputed
+		}
+		for _, out := range n.Outputs {
+			if out.Persistent || keep[out.ID] {
+				continue
+			}
+			forwardUses, backwardUses := useCounts(g, out)
+			if backwardUses == 0 {
+				continue // dies naturally after forward
+			}
+			// Access count at the last forward access: 1 (produce) plus
+			// all forward reads.
+			p.dropAt[dropKey{out.ID, 1 + forwardUses}] = true
+			p.drops++
+		}
+	}
+	return p
+}
+
+// useCounts splits a tensor's consumer references by phase.
+func useCounts(g *graph.Graph, t *tensor.Tensor) (forward, backward int) {
+	for _, c := range g.Consumers(t) {
+		refs := 0
+		for _, in := range c.Inputs {
+			if in == t {
+				refs++
+			}
+		}
+		if c.Phase == graph.Forward {
+			forward += refs
+		} else {
+			backward += refs
+		}
+	}
+	return forward, backward
+}
+
+// Name implements exec.Policy.
+func (p *Policy) Name() string {
+	if p.mode == Speed {
+		return "openai-speed"
+	}
+	return "openai-memory"
+}
+
+// BeginIteration implements exec.Policy.
+func (p *Policy) BeginIteration(int, *exec.Env) {}
+
+// OnAccess implements exec.Policy.
+func (p *Policy) OnAccess(acc exec.Access, env *exec.Env) {
+	if acc.Kind == exec.Dealloc {
+		return
+	}
+	if p.dropAt[dropKey{acc.Tensor.ID, acc.Count}] {
+		env.ReleaseForRecompute(acc.Tensor)
+	}
+}
+
+// OnOOM implements exec.Policy: the static plan has no fallback.
+func (p *Policy) OnOOM(int64, *exec.Env) ([]*tensor.Tensor, bool) { return nil, false }
+
+// EndIteration implements exec.Policy.
+func (p *Policy) EndIteration(int, *exec.Env) {}
+
+// TracksAccesses implements exec.Policy.
+func (p *Policy) TracksAccesses() bool { return false }
+
+// Drops reports how many tensors the schedule releases for recomputation.
+func (p *Policy) Drops() int { return p.drops }
+
+// Checkpoints reports the size of the kept set.
+func (p *Policy) Checkpoints() int { return p.checkpoints }

@@ -1,0 +1,78 @@
+package sim
+
+import "container/heap"
+
+// Pending is an asynchronous completion scheduled at a future virtual time:
+// a deferred memory free, an in-flight swap-out, or any other event whose
+// effect must be applied once simulated time passes At.
+type Pending struct {
+	At   Time
+	Size int64
+	Key  string // identifies the subject, e.g. a tensor ID
+}
+
+// PendingSet is a min-heap of Pending items ordered by completion time. It
+// is the mechanism behind Capuchin's decoupled computation/swapping: memory
+// freed by a swap-out only becomes visible to the allocator once the
+// transfer completes, and an OOM can choose to block on the earliest
+// in-flight completion rather than on all of them.
+type PendingSet struct {
+	h pendingHeap
+}
+
+// Add schedules a pending completion.
+func (ps *PendingSet) Add(p Pending) { heap.Push(&ps.h, p) }
+
+// Len reports the number of pending completions.
+func (ps *PendingSet) Len() int { return len(ps.h) }
+
+// TotalSize reports the sum of Size over all pending completions.
+func (ps *PendingSet) TotalSize() int64 {
+	var total int64
+	for _, p := range ps.h {
+		total += p.Size
+	}
+	return total
+}
+
+// PeekEarliest returns the earliest pending completion without removing it.
+// The boolean is false when the set is empty.
+func (ps *PendingSet) PeekEarliest() (Pending, bool) {
+	if len(ps.h) == 0 {
+		return Pending{}, false
+	}
+	return ps.h[0], true
+}
+
+// PopEarliest removes and returns the earliest pending completion.
+// The boolean is false when the set is empty.
+func (ps *PendingSet) PopEarliest() (Pending, bool) {
+	if len(ps.h) == 0 {
+		return Pending{}, false
+	}
+	return heap.Pop(&ps.h).(Pending), true
+}
+
+// PopDue removes and returns all completions with At <= now, in time order.
+// It returns nil when none are due.
+func (ps *PendingSet) PopDue(now Time) []Pending {
+	var due []Pending
+	for len(ps.h) > 0 && ps.h[0].At <= now {
+		due = append(due, heap.Pop(&ps.h).(Pending))
+	}
+	return due
+}
+
+type pendingHeap []Pending
+
+func (h pendingHeap) Len() int            { return len(h) }
+func (h pendingHeap) Less(i, j int) bool  { return h[i].At < h[j].At }
+func (h pendingHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pendingHeap) Push(x interface{}) { *h = append(*h, x.(Pending)) }
+func (h *pendingHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}

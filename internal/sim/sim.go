@@ -1,0 +1,160 @@
+// Package sim provides the virtual-time substrate for the Capuchin
+// simulator: a nanosecond-resolution clock, FIFO device streams that model
+// CUDA streams, and time-ordered pending sets used for asynchronous
+// completions such as in-flight swap-outs and deferred frees.
+//
+// The simulator is analytic rather than callback-driven: an executor issues
+// work onto streams in program order and each stream tracks the virtual time
+// at which it becomes available again. Cross-stream dependencies are
+// expressed by passing completion times as the earliest-start argument of
+// Stream.Run, which mirrors how CUDA events serialize work between streams.
+package sim
+
+import "fmt"
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+//
+// It is a defined type (not an alias) so that durations and wall-clock
+// timestamps cannot be mixed up with virtual time by accident.
+type Time int64
+
+// Common durations expressed in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds reports t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit, for logs and traces.
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%s", (-t).String())
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.4fs", t.Seconds())
+	}
+}
+
+// FromSeconds converts a floating-point duration in seconds to virtual time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// MaxTime returns the later of two times.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinTime returns the earlier of two times.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Span records one operation executed on a stream, for timeline analysis
+// (e.g. regenerating the swap-overlap timeline of the paper's Figure 1).
+type Span struct {
+	Label string
+	Start Time
+	End   Time
+}
+
+// Duration reports the length of the span.
+func (sp Span) Duration() Time { return sp.End - sp.Start }
+
+// Stream models a CUDA stream: a FIFO queue of operations that execute
+// back-to-back in virtual time. A stream remembers when it next becomes
+// available; Run places an operation at the later of that time and the
+// caller-supplied earliest start (the join of its dependencies).
+type Stream struct {
+	name        string
+	availableAt Time
+	busyTime    Time // total time spent executing (excludes idle gaps)
+	spans       []Span
+	recording   bool
+	ops         int
+}
+
+// NewStream returns an idle stream available at time zero.
+func NewStream(name string) *Stream {
+	return &Stream{name: name}
+}
+
+// Name reports the stream's name.
+func (s *Stream) Name() string { return s.name }
+
+// SetRecording enables or disables span recording. Recording is off by
+// default because long simulations emit millions of spans.
+func (s *Stream) SetRecording(on bool) { s.recording = on }
+
+// Recording reports whether span recording is enabled.
+func (s *Stream) Recording() bool { return s.recording }
+
+// AvailableAt reports the virtual time at which the stream next becomes idle.
+func (s *Stream) AvailableAt() Time { return s.availableAt }
+
+// BusyTime reports the cumulative execution time of all operations run so
+// far, excluding idle gaps. BusyTime/AvailableAt is the stream's utilization.
+func (s *Stream) BusyTime() Time { return s.busyTime }
+
+// Ops reports the number of operations executed on the stream.
+func (s *Stream) Ops() int { return s.ops }
+
+// Run executes an operation of the given duration. The operation starts at
+// the later of the stream's availability and earliest (the completion time
+// of the operation's dependencies) and the stream becomes available again at
+// its end. It returns the operation's start and end times.
+func (s *Stream) Run(label string, earliest Time, duration Time) (start, end Time) {
+	if duration < 0 {
+		panic(fmt.Sprintf("sim: negative duration %v for %q on stream %s", duration, label, s.name))
+	}
+	start = MaxTime(s.availableAt, earliest)
+	end = start + duration
+	s.availableAt = end
+	s.busyTime += duration
+	s.ops++
+	if s.recording {
+		s.spans = append(s.spans, Span{Label: label, Start: start, End: end})
+	}
+	return start, end
+}
+
+// AdvanceTo stalls the stream until t if t is in its future. It models a
+// synchronization point (cudaStreamWaitEvent / blocking OOM wait).
+func (s *Stream) AdvanceTo(t Time) {
+	if t > s.availableAt {
+		s.availableAt = t
+	}
+}
+
+// Spans returns the recorded spans. The returned slice is owned by the
+// stream; callers must not modify it.
+func (s *Stream) Spans() []Span { return s.spans }
+
+// Reset returns the stream to its initial idle state, clearing spans and
+// counters. Used between benchmark configurations.
+func (s *Stream) Reset() {
+	s.availableAt = 0
+	s.busyTime = 0
+	s.spans = nil
+	s.ops = 0
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{Microsecond, "1.00us"},
+		{1500 * Nanosecond, "1.50us"},
+		{Millisecond, "1.000ms"},
+		{474 * Microsecond, "474.00us"},
+		{Second, "1.0000s"},
+		{-Microsecond, "-1.00us"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+	if got := (3 * Millisecond).Milliseconds(); got != 3.0 {
+		t.Errorf("Milliseconds() = %v, want 3", got)
+	}
+	if got := (5 * Microsecond).Microseconds(); got != 5.0 {
+		t.Errorf("Microseconds() = %v, want 5", got)
+	}
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v, want 1.5s", got)
+	}
+}
+
+func TestMaxMinTime(t *testing.T) {
+	if MaxTime(1, 2) != 2 || MaxTime(2, 1) != 2 {
+		t.Error("MaxTime wrong")
+	}
+	if MinTime(1, 2) != 1 || MinTime(2, 1) != 1 {
+		t.Error("MinTime wrong")
+	}
+}
+
+func TestStreamSequencing(t *testing.T) {
+	s := NewStream("compute")
+	start, end := s.Run("a", 0, 100)
+	if start != 0 || end != 100 {
+		t.Fatalf("first op: got [%d,%d], want [0,100]", start, end)
+	}
+	// Second op with an earlier dependency still queues behind the first.
+	start, end = s.Run("b", 50, 30)
+	if start != 100 || end != 130 {
+		t.Fatalf("second op: got [%d,%d], want [100,130]", start, end)
+	}
+	// Third op with a future dependency waits for it.
+	start, end = s.Run("c", 500, 10)
+	if start != 500 || end != 510 {
+		t.Fatalf("third op: got [%d,%d], want [500,510]", start, end)
+	}
+	if s.AvailableAt() != 510 {
+		t.Errorf("AvailableAt = %d, want 510", s.AvailableAt())
+	}
+	if s.BusyTime() != 140 {
+		t.Errorf("BusyTime = %d, want 140", s.BusyTime())
+	}
+	if s.Ops() != 3 {
+		t.Errorf("Ops = %d, want 3", s.Ops())
+	}
+}
+
+func TestStreamAdvanceTo(t *testing.T) {
+	s := NewStream("h2d")
+	s.Run("x", 0, 10)
+	s.AdvanceTo(5) // in the past: no effect
+	if s.AvailableAt() != 10 {
+		t.Errorf("AdvanceTo past moved the stream: %d", s.AvailableAt())
+	}
+	s.AdvanceTo(100)
+	if s.AvailableAt() != 100 {
+		t.Errorf("AdvanceTo future: got %d, want 100", s.AvailableAt())
+	}
+	// Stall does not count as busy time.
+	if s.BusyTime() != 10 {
+		t.Errorf("BusyTime after stall = %d, want 10", s.BusyTime())
+	}
+}
+
+func TestStreamRecording(t *testing.T) {
+	s := NewStream("d2h")
+	s.Run("hidden", 0, 5)
+	if len(s.Spans()) != 0 {
+		t.Fatal("spans recorded while recording disabled")
+	}
+	s.SetRecording(true)
+	if !s.Recording() {
+		t.Fatal("Recording() false after SetRecording(true)")
+	}
+	s.Run("visible", 0, 7)
+	spans := s.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Label != "visible" || sp.Start != 5 || sp.End != 12 {
+		t.Errorf("span = %+v, want {visible 5 12}", sp)
+	}
+	if sp.Duration() != 7 {
+		t.Errorf("Duration = %d, want 7", sp.Duration())
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	s := NewStream("compute")
+	s.SetRecording(true)
+	s.Run("a", 0, 10)
+	s.Reset()
+	if s.AvailableAt() != 0 || s.BusyTime() != 0 || s.Ops() != 0 || len(s.Spans()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestStreamNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative duration")
+		}
+	}()
+	NewStream("x").Run("bad", 0, -1)
+}
+
+func TestPendingSetOrdering(t *testing.T) {
+	var ps PendingSet
+	ps.Add(Pending{At: 30, Size: 3, Key: "c"})
+	ps.Add(Pending{At: 10, Size: 1, Key: "a"})
+	ps.Add(Pending{At: 20, Size: 2, Key: "b"})
+	if ps.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ps.Len())
+	}
+	if ps.TotalSize() != 6 {
+		t.Fatalf("TotalSize = %d, want 6", ps.TotalSize())
+	}
+	p, ok := ps.PeekEarliest()
+	if !ok || p.Key != "a" {
+		t.Fatalf("PeekEarliest = %+v, %v", p, ok)
+	}
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		p, ok := ps.PopEarliest()
+		if !ok || p.Key != w {
+			t.Fatalf("pop %d: got %+v, want key %s", i, p, w)
+		}
+	}
+	if _, ok := ps.PopEarliest(); ok {
+		t.Fatal("PopEarliest on empty set returned ok")
+	}
+	if _, ok := ps.PeekEarliest(); ok {
+		t.Fatal("PeekEarliest on empty set returned ok")
+	}
+}
+
+func TestPendingSetPopDue(t *testing.T) {
+	var ps PendingSet
+	for _, at := range []Time{50, 10, 30, 70} {
+		ps.Add(Pending{At: at})
+	}
+	due := ps.PopDue(30)
+	if len(due) != 2 || due[0].At != 10 || due[1].At != 30 {
+		t.Fatalf("PopDue(30) = %+v", due)
+	}
+	if ps.Len() != 2 {
+		t.Fatalf("remaining = %d, want 2", ps.Len())
+	}
+	if due := ps.PopDue(0); due != nil {
+		t.Fatalf("PopDue(0) = %+v, want nil", due)
+	}
+}
+
+// Property: popping everything from a PendingSet yields a non-decreasing
+// time sequence regardless of insertion order.
+func TestPendingSetSortedProperty(t *testing.T) {
+	f := func(times []int64) bool {
+		var ps PendingSet
+		for _, at := range times {
+			ps.Add(Pending{At: Time(at)})
+		}
+		prev := Time(math.MinInt64)
+		for {
+			p, ok := ps.PopEarliest()
+			if !ok {
+				break
+			}
+			if p.At < prev {
+				return false
+			}
+			prev = p.At
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a stream never starts an op before its dependency nor before the
+// previous op ends, and busy time equals the sum of durations.
+func TestStreamInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		s := NewStream("p")
+		var prevEnd Time
+		var busy Time
+		for i := 0; i < 50; i++ {
+			dep := Time(rng.Int63n(1000))
+			d := Time(rng.Int63n(100))
+			start, end := s.Run("op", dep, d)
+			if start < dep {
+				t.Fatalf("op started %d before dependency %d", start, dep)
+			}
+			if start < prevEnd {
+				t.Fatalf("op started %d before previous end %d", start, prevEnd)
+			}
+			if end != start+d {
+				t.Fatalf("end %d != start %d + duration %d", end, start, d)
+			}
+			prevEnd = end
+			busy += d
+		}
+		if s.BusyTime() != busy {
+			t.Fatalf("BusyTime %d != sum of durations %d", s.BusyTime(), busy)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package testutil provides small training graphs and device helpers
+// shared by tests across the simulator's packages.
+package testutil
+
+import (
+	"fmt"
+	"testing"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/graph"
+	"capuchin/internal/hw"
+	"capuchin/internal/ops"
+	"capuchin/internal/tensor"
+)
+
+// SmallCNN builds a constant-width convolution chain: depth conv+relu
+// pairs of width channels on batch 8 64x64 inputs, global pool, dense
+// classifier. Constant width keeps per-op working sets small relative to
+// the total activation footprint, leaving policies room to act.
+func SmallCNN(tb testing.TB, depth int, width int64, opt graph.BuildOptions) *graph.Graph {
+	tb.Helper()
+	b := graph.NewBuilder("smallcnn")
+	x := b.Input("data", tensor.Shape{8, 3, 64, 64}, tensor.Float32)
+	labels := b.Input("labels", tensor.Shape{8, 10}, tensor.Float32)
+	h := x
+	for i := 0; i < depth; i++ {
+		w := b.Variable(fmt.Sprintf("conv%d_w", i), tensor.Shape{width, h.Shape[1], 3, 3})
+		h = b.Apply1(fmt.Sprintf("conv%d", i), ops.Conv2D{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, h, w)
+		h = b.Apply1(fmt.Sprintf("relu%d", i), ops.ReLU{}, h)
+	}
+	h = b.Apply1("gap", ops.Pool{Kind: ops.AvgPoolKind}, h)
+	flat := b.Apply1("flatten", ops.Reshape{To: tensor.Shape{8, h.Shape.Elems() / 8}}, h)
+	w := b.Variable("fc_w", tensor.Shape{flat.Shape[1], 10})
+	logits := b.Apply1("fc", ops.MatMul{}, flat, w)
+	loss := b.Apply1("loss", ops.SoftmaxCrossEntropy{}, logits, labels)
+	g, err := b.Build(loss, opt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// Device returns a P100 with the given memory capacity.
+func Device(mem int64) hw.DeviceSpec {
+	d := hw.P100()
+	d.MemoryBytes = mem
+	return d
+}
+
+// Oracle runs the uncapped baseline for n iterations and returns stats.
+func Oracle(tb testing.TB, build func() *graph.Graph, n int) []exec.IterStats {
+	tb.Helper()
+	s, err := exec.NewSession(build(), exec.Config{Device: Device(8 * hw.GiB)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sts, err := s.Run(n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sts
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/graph"
+	"capuchin/internal/hw"
+	"capuchin/internal/sim"
+	"capuchin/internal/testutil"
+)
+
+func TestRecorderCapturesAccesses(t *testing.T) {
+	g := testutil.SmallCNN(t, 2, 16, graph.GraphModeOptions())
+	rec := NewRecorder(nil, nil)
+	s, err := exec.NewSession(g, exec.Config{Device: testutil.Device(hw.GiB), Policy: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.RunIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) != st.Accesses {
+		t.Errorf("recorded %d events, executor reported %d accesses", len(rec.Events()), st.Accesses)
+	}
+	if rec.Name() != "tf-ori+trace" {
+		t.Errorf("Name = %q", rec.Name())
+	}
+	var sb strings.Builder
+	if err := rec.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "iter\ttensor") {
+		t.Error("missing TSV header")
+	}
+	if !strings.Contains(out, "conv0:0") {
+		t.Error("conv0 output access missing from trace")
+	}
+	rec.Reset()
+	if len(rec.Events()) != 0 {
+		t.Error("Reset did not clear events")
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	g := testutil.SmallCNN(t, 2, 16, graph.GraphModeOptions())
+	rec := NewRecorder(nil, func(acc exec.Access) bool {
+		return acc.Tensor.ID == "relu0:0"
+	})
+	s, err := exec.NewSession(g, exec.Config{Device: testutil.Device(hw.GiB), Policy: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunIteration(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) == 0 {
+		t.Fatal("filter recorded nothing")
+	}
+	for _, e := range rec.Events() {
+		if e.TensorID != "relu0:0" {
+			t.Errorf("filter leaked %s", e.TensorID)
+		}
+	}
+}
+
+func TestWriteSpansTSV(t *testing.T) {
+	spans := []sim.Span{
+		{Label: "conv0", Start: 0, End: 10 * sim.Microsecond},
+		{Label: "swapout x", Start: 10 * sim.Microsecond, End: 30 * sim.Microsecond},
+	}
+	var sb strings.Builder
+	if err := WriteSpansTSV(&sb, "d2h", spans); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "swapout x") || !strings.Contains(out, "d2h") {
+		t.Errorf("spans TSV incomplete:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Errorf("TSV has %d lines, want 3", got)
+	}
+}
