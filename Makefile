@@ -1,0 +1,29 @@
+# CI entry points. `make check` is what the repo considers green:
+# vet + build + full tests + the race detector over the packages the
+# parallel experiment engine touches.
+GO ?= go
+
+.PHONY: check vet build test race bench goldens
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/bench ./internal/exec ./internal/sim
+
+# bench reproduces the numbers in BENCH_parallel_runner.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMatrix' -benchtime 3x .
+
+# goldens regenerates the quick-mode regression tables after an
+# intentional policy or cost-model change.
+goldens:
+	$(GO) test ./internal/bench -run Golden -update

@@ -256,6 +256,55 @@ func BenchmarkAblationAllocator(b *testing.B) {
 	}
 }
 
+// matrixConfigs is the model×system×batch sweep behind the harness
+// parallelism benchmarks: 16 independent cells, the shape of one slice of
+// the paper's evaluation matrix.
+func matrixConfigs() []bench.RunConfig {
+	dev := hw.P100().WithMemory(2 * hw.GiB)
+	var cfgs []bench.RunConfig
+	for _, m := range []string{"resnet50", "mobilenetv2"} {
+		for _, sys := range []bench.System{
+			bench.SystemTF, bench.SystemVDNN, bench.SystemOpenAISpeed, bench.SystemCapuchin,
+		} {
+			for _, b := range []int64{8, 16} {
+				cfgs = append(cfgs, bench.RunConfig{Model: m, Batch: b, System: sys,
+					Device: dev, Iterations: 2})
+			}
+		}
+	}
+	return cfgs
+}
+
+// BenchmarkMatrixSerial executes the sweep one cell at a time, the
+// harness's pre-Runner behavior. Compare against BenchmarkMatrixParallel;
+// the measured speedup is recorded in BENCH_parallel_runner.json.
+func BenchmarkMatrixSerial(b *testing.B) {
+	cfgs := matrixConfigs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var nodes int
+		for _, c := range cfgs {
+			nodes += bench.Run(c).Steady.Nodes
+		}
+		b.ReportMetric(float64(nodes), "nodes")
+	}
+}
+
+// BenchmarkMatrixParallel executes the same sweep through the Runner's
+// worker pool. A fresh Runner per round keeps the cache from amortizing
+// across b.N, so this measures fan-out, not memoization.
+func BenchmarkMatrixParallel(b *testing.B) {
+	cfgs := matrixConfigs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var nodes int
+		for _, r := range bench.NewRunner(0).RunAll(cfgs) {
+			nodes += r.Steady.Nodes
+		}
+		b.ReportMetric(float64(nodes), "nodes")
+	}
+}
+
 // BenchmarkIterationResNet50Capuchin is a microbenchmark of the simulator
 // itself: one guided training iteration of ResNet-50 at 2x the framework's
 // maximum batch.

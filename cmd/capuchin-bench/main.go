@@ -4,7 +4,12 @@
 // Usage:
 //
 //	capuchin-bench [-exp all|fig1|fig2|fig3|fig8a|fig8b|table2|table3|fig9|fig10|overhead|ablations]
-//	               [-device p100|v100|t4] [-mem GiB] [-iters N] [-quick] [-markdown]
+//	               [-device p100|v100|t4] [-mem GiB] [-iters N] [-jobs N] [-quick] [-markdown]
+//
+// Experiments run on the concurrent engine: -jobs bounds simultaneous
+// simulations (default GOMAXPROCS) and a config-keyed cache deduplicates
+// cells shared between experiments. The simulator is deterministic, so
+// the output is byte-identical at every -jobs value.
 //
 // Each experiment prints a table with a note recalling the paper's
 // reported numbers for comparison.
@@ -13,7 +18,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strings"
 
@@ -26,6 +30,7 @@ func main() {
 	device := flag.String("device", "p100", "device model: p100, v100, t4")
 	mem := flag.Int64("mem", 0, "override device memory in GiB (0 = device default)")
 	iters := flag.Int("iters", 0, "iterations per timed run (0 = default 8)")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial); output is identical at any value")
 	quick := flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
 	markdown := flag.Bool("markdown", false, "emit Markdown tables instead of aligned text")
 	tsv := flag.Bool("tsv", false, "emit tab-separated values (plot-ready; single experiments only)")
@@ -46,7 +51,7 @@ func main() {
 	if *mem > 0 {
 		dev = dev.WithMemory(*mem * hw.GiB)
 	}
-	o := bench.Options{Device: dev, Iterations: *iters, Quick: *quick}
+	o := bench.Options{Device: dev, Iterations: *iters, Quick: *quick, Jobs: *jobs}
 
 	write := func(t *bench.Table) {
 		var err error
@@ -71,13 +76,18 @@ func main() {
 
 	switch strings.ToLower(*exp) {
 	case "all":
-		if *markdown {
-			writeAllMarkdown(os.Stdout, o)
-			return
-		}
-		if err := bench.WriteAll(os.Stdout, o); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		for _, t := range bench.AllTables(o) {
+			if *markdown {
+				if err := t.WriteMarkdown(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				continue
+			}
+			if err := t.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 	case "fig1":
 		write(bench.Fig1(o))
@@ -110,23 +120,5 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
-	}
-}
-
-// writeAllMarkdown mirrors bench.WriteAll with Markdown output.
-func writeAllMarkdown(w io.Writer, o bench.Options) {
-	tables := []*bench.Table{
-		bench.Fig1(o), bench.Fig2(o), bench.Fig3(o),
-		bench.Fig8a(o), bench.Fig8b(o), bench.Table2(o), bench.Table3(o),
-	}
-	tables = append(tables, bench.Fig9(o)...)
-	tables = append(tables, bench.Fig10(o)...)
-	tables = append(tables, bench.Overhead(o), bench.CapacitySweep(o), bench.TableExtensions(o), bench.DeviceSensitivity(o))
-	tables = append(tables, bench.Ablations(o)...)
-	for _, t := range tables {
-		if err := t.WriteMarkdown(w); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
 	}
 }

@@ -190,13 +190,19 @@ const maxBatchCeiling = 4096
 
 // MaxBatch finds the largest batch size that completes for the
 // configuration (cfg.Batch is ignored). Exponential probe then binary
-// search; returns 0 when even batch 1 fails.
+// search; returns 0 when even batch 1 fails. Runner.MaxBatch is the
+// cached, concurrent-sweep equivalent.
 func MaxBatch(cfg RunConfig) int64 {
-	probe := func(b int64) bool {
+	return maxBatchSearch(func(b int64) bool {
 		c := cfg
 		c.Batch = b
 		return Fits(c)
-	}
+	})
+}
+
+// maxBatchSearch runs the exponential-probe-then-binary-search shared by
+// the serial and Runner-backed MaxBatch implementations.
+func maxBatchSearch(probe func(int64) bool) int64 {
 	if !probe(1) {
 		return 0
 	}

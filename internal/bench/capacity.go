@@ -22,18 +22,31 @@ func CapacitySweep(o Options) *Table {
 	if o.Quick {
 		caps = []int64{4 * hw.GiB, 8 * hw.GiB}
 	}
+	// Phase 1: both searches per capacity, all capacities concurrently.
+	var mbCfgs []RunConfig
 	for _, mem := range caps {
 		dev := o.Device.WithMemory(mem)
-		tf := MaxBatch(RunConfig{Model: "resnet50", System: SystemTF, Device: dev})
-		cp := MaxBatch(RunConfig{Model: "resnet50", System: SystemCapuchin, Device: dev})
+		mbCfgs = append(mbCfgs,
+			RunConfig{Model: "resnet50", System: SystemTF, Device: dev},
+			RunConfig{Model: "resnet50", System: SystemCapuchin, Device: dev})
+	}
+	maxes := o.Runner.MaxBatchAll(mbCfgs)
+	// Phase 2: the throughput run at each capacity's own pressure point.
+	var runCfgs []RunConfig
+	for i := range caps {
+		dev := o.Device.WithMemory(caps[i])
+		runCfgs = append(runCfgs, RunConfig{Model: "resnet50", Batch: maxes[2*i] * 3 / 2,
+			System: SystemCapuchin, Device: dev, Iterations: o.Iterations})
+	}
+	speeds := o.Runner.RunAll(runCfgs)
+	for i, mem := range caps {
+		tf, cp := maxes[2*i], maxes[2*i+1]
 		ratio := "-"
 		if tf > 0 {
 			ratio = fmt.Sprintf("%.2fx", float64(cp)/float64(tf))
 		}
-		speed := Run(RunConfig{Model: "resnet50", Batch: tf * 3 / 2, System: SystemCapuchin,
-			Device: dev, Iterations: o.Iterations})
 		t.AddRow(fmt.Sprintf("%d GiB", mem/hw.GiB),
-			fmt.Sprintf("%d", tf), fmt.Sprintf("%d", cp), ratio, speedCell(speed))
+			fmt.Sprintf("%d", tf), fmt.Sprintf("%d", cp), ratio, speedCell(speeds[i]))
 	}
 	t.AddNote("the batch multiplier is roughly capacity-independent: Capuchin turns any card into a ~6x larger one on this workload, which is why the paper targets 16 GB cloud GPUs rather than waiting for bigger hardware (§1)")
 	return t
@@ -49,16 +62,26 @@ func TableExtensions(o Options) *Table {
 		Title:  "Extension workloads: maximum batch size, graph mode",
 		Header: []string{"model", "TF-ori", "SuperNeurons", "OpenAI", "Capuchin", "Capuchin/TF"},
 	}
-	for _, m := range []string{"lstm", "gru", "mobilenetv2", "alexnet"} {
-		tf := MaxBatch(RunConfig{Model: m, System: SystemTF, Device: o.Device})
-		sn := MaxBatch(RunConfig{Model: m, System: SystemSuperNeurons, Device: o.Device})
-		om := MaxBatch(RunConfig{Model: m, System: SystemOpenAIMemory, Device: o.Device})
-		os := MaxBatch(RunConfig{Model: m, System: SystemOpenAISpeed, Device: o.Device})
+	extModels := []string{"lstm", "gru", "mobilenetv2", "alexnet"}
+	search := newSearchSet(o.Runner, o.Device)
+	for _, m := range extModels {
+		search.add(m, SystemTF)
+		search.add(m, SystemSuperNeurons)
+		search.add(m, SystemOpenAIMemory)
+		search.add(m, SystemOpenAISpeed)
+		search.add(m, SystemCapuchin)
+	}
+	search.resolve()
+	for _, m := range extModels {
+		tf := search.get(m, SystemTF)
+		sn := search.get(m, SystemSuperNeurons)
+		om := search.get(m, SystemOpenAIMemory)
+		os := search.get(m, SystemOpenAISpeed)
 		oa := om
 		if os > oa {
 			oa = os
 		}
-		cp := MaxBatch(RunConfig{Model: m, System: SystemCapuchin, Device: o.Device})
+		cp := search.get(m, SystemCapuchin)
 		ratio := "-"
 		if tf > 0 {
 			ratio = fmt.Sprintf("%.2fx", float64(cp)/float64(tf))

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"capuchin/internal/exec"
 	"capuchin/internal/graph"
@@ -24,6 +25,14 @@ type Options struct {
 	Iterations int
 	// Quick trims sweeps for use inside unit tests.
 	Quick bool
+	// Jobs bounds concurrent simulations; 0 means GOMAXPROCS. The output
+	// is byte-identical at every job count — the simulator is
+	// deterministic and tables are assembled in submission order — so
+	// Jobs only changes wall-clock time.
+	Jobs int
+	// Runner overrides the experiment engine, sharing its result cache
+	// across generators; nil builds one from Jobs.
+	Runner *Runner
 }
 
 func (o Options) fill() Options {
@@ -35,6 +44,9 @@ func (o Options) fill() Options {
 		if o.Quick {
 			o.Iterations = 3
 		}
+	}
+	if o.Runner == nil {
+		o.Runner = NewRunner(o.Jobs)
 	}
 	return o
 }
@@ -57,15 +69,18 @@ func Fig1(o Options) *Table {
 		Title:  "Fig 1: vDNN synchronization overhead on VGG16",
 		Header: []string{"metric", "value"},
 	}
-	batch := MaxBatch(RunConfig{Model: "vgg16", System: SystemVDNN, Device: o.Device})
+	batch := o.Runner.MaxBatch(RunConfig{Model: "vgg16", System: SystemVDNN, Device: o.Device})
 	if batch == 0 {
 		t.AddNote("vDNN cannot run VGG16 at any batch on this device")
 		return t
 	}
-	ideal := Run(RunConfig{Model: "vgg16", Batch: batch, System: SystemTF,
-		Device: o.Device.WithMemory(256 * hw.GiB), Iterations: 2})
-	vd := Run(RunConfig{Model: "vgg16", Batch: batch, System: SystemVDNN,
-		Device: o.Device, Iterations: 2, RecordSpans: true})
+	pair := o.Runner.RunAll([]RunConfig{
+		{Model: "vgg16", Batch: batch, System: SystemTF,
+			Device: o.Device.WithMemory(256 * hw.GiB), Iterations: 2},
+		{Model: "vgg16", Batch: batch, System: SystemVDNN,
+			Device: o.Device, Iterations: 2, RecordSpans: true},
+	})
+	ideal, vd := pair[0], pair[1]
 	if !vd.OK || !ideal.OK {
 		t.AddNote("run failed: vdnn=%v ideal=%v", vd.Err, ideal.Err)
 		return t
@@ -252,19 +267,27 @@ func Fig8a(o Options) *Table {
 		Title:  "Fig 8a: swap breakdown on InceptionV3 (images/sec)",
 		Header: []string{"batch", "vDNN", "ATP+DS", "ATP+DS+FA"},
 	}
-	vmax := MaxBatch(RunConfig{Model: "inceptionv3", System: SystemVDNN, Device: o.Device})
+	vmax := o.Runner.MaxBatch(RunConfig{Model: "inceptionv3", System: SystemVDNN, Device: o.Device})
 	if vmax == 0 {
 		t.AddNote("vDNN cannot run InceptionV3 here")
 		return t
 	}
 	batches := []int64{vmax / 2, vmax}
+	systems := []System{SystemVDNN, SystemCapuchinSwapNoFA, SystemCapuchinSwap}
+	var cfgs []RunConfig
 	for _, b := range batches {
-		row := []string{fmt.Sprintf("%d", b)}
-		for _, sys := range []System{SystemVDNN, SystemCapuchinSwapNoFA, SystemCapuchinSwap} {
-			row = append(row, speedCell(Run(RunConfig{
+		for _, sys := range systems {
+			cfgs = append(cfgs, RunConfig{
 				Model: "inceptionv3", Batch: b, System: sys,
 				Device: o.Device, Iterations: o.Iterations,
-			})))
+			})
+		}
+	}
+	cells := o.Runner.RunAll(cfgs)
+	for i, b := range batches {
+		row := []string{fmt.Sprintf("%d", b)}
+		for j := range systems {
+			row = append(row, speedCell(cells[i*len(systems)+j]))
 		}
 		t.AddRow(row...)
 	}
@@ -281,23 +304,79 @@ func Fig8b(o Options) *Table {
 		Title:  "Fig 8b: recomputation breakdown on ResNet-50 (images/sec)",
 		Header: []string{"batch", "OpenAI-S", "OpenAI-M", "ATP", "ATP+CR"},
 	}
-	smax := MaxBatch(RunConfig{Model: "resnet50", System: SystemOpenAISpeed, Device: o.Device})
-	mmax := MaxBatch(RunConfig{Model: "resnet50", System: SystemOpenAIMemory, Device: o.Device})
-	for _, b := range []int64{smax, mmax} {
+	maxes := o.Runner.MaxBatchAll([]RunConfig{
+		{Model: "resnet50", System: SystemOpenAISpeed, Device: o.Device},
+		{Model: "resnet50", System: SystemOpenAIMemory, Device: o.Device},
+	})
+	systems := []System{SystemOpenAISpeed, SystemOpenAIMemory, SystemCapuchinRecompNoCR, SystemCapuchinRecompute}
+	var batches []int64
+	var cfgs []RunConfig
+	for _, b := range maxes {
 		if b == 0 {
 			continue
 		}
-		row := []string{fmt.Sprintf("%d", b)}
-		for _, sys := range []System{SystemOpenAISpeed, SystemOpenAIMemory, SystemCapuchinRecompNoCR, SystemCapuchinRecompute} {
-			row = append(row, speedCell(Run(RunConfig{
+		batches = append(batches, b)
+		for _, sys := range systems {
+			cfgs = append(cfgs, RunConfig{
 				Model: "resnet50", Batch: b, System: sys,
 				Device: o.Device, Iterations: o.Iterations,
-			})))
+			})
+		}
+	}
+	cells := o.Runner.RunAll(cfgs)
+	for i, b := range batches {
+		row := []string{fmt.Sprintf("%d", b)}
+		for j := range systems {
+			row = append(row, speedCell(cells[i*len(systems)+j]))
 		}
 		t.AddRow(row...)
 	}
 	t.AddNote("paper: at OpenAI-S max batch ATP wins by 37.9%%; at OpenAI-M max batch ATP adds 10.7%% and CR another 7.1%%")
 	return t
+}
+
+// searchKey identifies one max-batch search within a searchSet.
+type searchKey struct {
+	model string
+	sys   System
+	mode  exec.Mode
+}
+
+// searchSet batches independent MaxBatch searches on one device so table
+// generators can fan them all out through the Runner and read the results
+// back by (model, system, mode) while assembling rows in order.
+type searchSet struct {
+	r     *Runner
+	dev   hw.DeviceSpec
+	cfgs  []RunConfig
+	idx   map[searchKey]int
+	maxes []int64
+}
+
+func newSearchSet(r *Runner, dev hw.DeviceSpec) *searchSet {
+	return &searchSet{r: r, dev: dev, idx: make(map[searchKey]int)}
+}
+
+func (s *searchSet) add(model string, sys System) { s.addMode(model, sys, exec.GraphMode) }
+
+func (s *searchSet) addMode(model string, sys System, mode exec.Mode) {
+	k := searchKey{model, sys, mode}
+	if _, ok := s.idx[k]; ok {
+		return
+	}
+	s.idx[k] = len(s.cfgs)
+	s.cfgs = append(s.cfgs, RunConfig{Model: model, System: sys, Device: s.dev, Mode: mode})
+}
+
+// resolve runs every registered search concurrently.
+func (s *searchSet) resolve() { s.maxes = s.r.MaxBatchAll(s.cfgs) }
+
+func (s *searchSet) get(model string, sys System) int64 {
+	return s.getMode(model, sys, exec.GraphMode)
+}
+
+func (s *searchSet) getMode(model string, sys System, mode exec.Mode) int64 {
+	return s.maxes[s.idx[searchKey{model, sys, mode}]]
 }
 
 // Table2 reproduces Table 2: maximum batch sizes in graph mode.
@@ -311,19 +390,31 @@ func Table2(o Options) *Table {
 	if o.Quick {
 		modelsList = []string{"resnet50", "bert"}
 	}
+	// Every (model, system) search is independent: fan them all out.
+	search := newSearchSet(o.Runner, o.Device)
 	for _, m := range modelsList {
-		tf := MaxBatch(RunConfig{Model: m, System: SystemTF, Device: o.Device})
-		vd := int64(0)
+		search.add(m, SystemTF)
 		if m != "bert" { // vDNN targets CNNs only (§6.1)
-			vd = MaxBatch(RunConfig{Model: m, System: SystemVDNN, Device: o.Device})
+			search.add(m, SystemVDNN)
 		}
-		om := MaxBatch(RunConfig{Model: m, System: SystemOpenAIMemory, Device: o.Device})
-		os := MaxBatch(RunConfig{Model: m, System: SystemOpenAISpeed, Device: o.Device})
+		search.add(m, SystemOpenAIMemory)
+		search.add(m, SystemOpenAISpeed)
+		search.add(m, SystemCapuchin)
+	}
+	search.resolve()
+	for _, m := range modelsList {
+		tf := search.get(m, SystemTF)
+		vd := int64(0)
+		if m != "bert" {
+			vd = search.get(m, SystemVDNN)
+		}
+		om := search.get(m, SystemOpenAIMemory)
+		os := search.get(m, SystemOpenAISpeed)
 		oa := om
 		if os > oa {
 			oa = os
 		}
-		cp := MaxBatch(RunConfig{Model: m, System: SystemCapuchin, Device: o.Device})
+		cp := search.get(m, SystemCapuchin)
 		second := vd
 		if oa > second {
 			second = oa
@@ -352,10 +443,18 @@ func Table3(o Options) *Table {
 		Title:  "Table 3: maximum batch size, eager mode",
 		Header: []string{"model", "TF eager", "Capuchin eager", "ratio", "TF graph (ref)"},
 	}
-	for _, m := range []string{"resnet50", "densenet"} {
-		tf := MaxBatch(RunConfig{Model: m, System: SystemTF, Device: o.Device, Mode: exec.EagerMode})
-		cp := MaxBatch(RunConfig{Model: m, System: SystemCapuchin, Device: o.Device, Mode: exec.EagerMode})
-		gr := MaxBatch(RunConfig{Model: m, System: SystemTF, Device: o.Device, Mode: exec.GraphMode})
+	eagerModels := []string{"resnet50", "densenet"}
+	search := newSearchSet(o.Runner, o.Device)
+	for _, m := range eagerModels {
+		search.addMode(m, SystemTF, exec.EagerMode)
+		search.addMode(m, SystemCapuchin, exec.EagerMode)
+		search.addMode(m, SystemTF, exec.GraphMode)
+	}
+	search.resolve()
+	for _, m := range eagerModels {
+		tf := search.getMode(m, SystemTF, exec.EagerMode)
+		cp := search.getMode(m, SystemCapuchin, exec.EagerMode)
+		gr := search.getMode(m, SystemTF, exec.GraphMode)
 		ratio := "-"
 		if tf > 0 {
 			ratio = fmt.Sprintf("%.2fx", float64(cp)/float64(tf))
@@ -407,25 +506,48 @@ func Fig9(o Options) []*Table {
 	if o.Quick {
 		modelsList = []string{"resnet50"}
 	}
-	var tables []*Table
+	// Phase 1: the ladder endpoints for every model, concurrently.
+	search := newSearchSet(o.Runner, o.Device)
 	for _, m := range modelsList {
+		search.add(m, SystemTF)
+		search.add(m, SystemCapuchin)
+	}
+	search.resolve()
+	// Phase 2: every cell of every per-model table in one fan-out.
+	systems := []System{SystemTF, SystemVDNN, SystemOpenAIMemory, SystemOpenAISpeed, SystemCapuchin}
+	ladders := make([][]int64, len(modelsList))
+	var cfgs []RunConfig
+	for i, m := range modelsList {
+		ladders[i] = batchLadder(search.get(m, SystemTF), search.get(m, SystemCapuchin), o.Quick)
+		for _, b := range ladders[i] {
+			for _, sys := range systems {
+				if m == "bert" && sys == SystemVDNN {
+					continue
+				}
+				cfgs = append(cfgs, RunConfig{
+					Model: m, Batch: b, System: sys,
+					Device: o.Device, Iterations: o.Iterations,
+				})
+			}
+		}
+	}
+	cells := o.Runner.RunAll(cfgs)
+	var tables []*Table
+	k := 0
+	for i, m := range modelsList {
 		t := &Table{
 			Title:  fmt.Sprintf("Fig 9: training speed vs batch, %s (samples/sec)", m),
 			Header: []string{"batch", "TF-ori", "vDNN", "OpenAI-M", "OpenAI-S", "Capuchin"},
 		}
-		tfMax := MaxBatch(RunConfig{Model: m, System: SystemTF, Device: o.Device})
-		capMax := MaxBatch(RunConfig{Model: m, System: SystemCapuchin, Device: o.Device})
-		for _, b := range batchLadder(tfMax, capMax, o.Quick) {
+		for _, b := range ladders[i] {
 			row := []string{fmt.Sprintf("%d", b)}
-			for _, sys := range []System{SystemTF, SystemVDNN, SystemOpenAIMemory, SystemOpenAISpeed, SystemCapuchin} {
+			for _, sys := range systems {
 				if m == "bert" && sys == SystemVDNN {
 					row = append(row, "-")
 					continue
 				}
-				row = append(row, speedCell(Run(RunConfig{
-					Model: m, Batch: b, System: sys,
-					Device: o.Device, Iterations: o.Iterations,
-				})))
+				row = append(row, speedCell(cells[k]))
+				k++
 			}
 			t.AddRow(row...)
 		}
@@ -438,21 +560,41 @@ func Fig9(o Options) []*Table {
 // Fig10 reproduces Figure 10: eager-mode training speed versus batch size.
 func Fig10(o Options) []*Table {
 	o = o.fill()
+	eagerModels := []string{"resnet50", "densenet"}
+	systems := []System{SystemTF, SystemCapuchin}
+	search := newSearchSet(o.Runner, o.Device)
+	for _, m := range eagerModels {
+		search.addMode(m, SystemTF, exec.EagerMode)
+		search.addMode(m, SystemCapuchin, exec.EagerMode)
+	}
+	search.resolve()
+	ladders := make([][]int64, len(eagerModels))
+	var cfgs []RunConfig
+	for i, m := range eagerModels {
+		ladders[i] = batchLadder(search.getMode(m, SystemTF, exec.EagerMode),
+			search.getMode(m, SystemCapuchin, exec.EagerMode), o.Quick)
+		for _, b := range ladders[i] {
+			for _, sys := range systems {
+				cfgs = append(cfgs, RunConfig{
+					Model: m, Batch: b, System: sys, Mode: exec.EagerMode,
+					Device: o.Device, Iterations: o.Iterations,
+				})
+			}
+		}
+	}
+	cells := o.Runner.RunAll(cfgs)
 	var tables []*Table
-	for _, m := range []string{"resnet50", "densenet"} {
+	k := 0
+	for i, m := range eagerModels {
 		t := &Table{
 			Title:  fmt.Sprintf("Fig 10: eager-mode speed vs batch, %s (samples/sec)", m),
 			Header: []string{"batch", "TF eager", "Capuchin eager"},
 		}
-		tfMax := MaxBatch(RunConfig{Model: m, System: SystemTF, Device: o.Device, Mode: exec.EagerMode})
-		capMax := MaxBatch(RunConfig{Model: m, System: SystemCapuchin, Device: o.Device, Mode: exec.EagerMode})
-		for _, b := range batchLadder(tfMax, capMax, o.Quick) {
+		for _, b := range ladders[i] {
 			row := []string{fmt.Sprintf("%d", b)}
-			for _, sys := range []System{SystemTF, SystemCapuchin} {
-				row = append(row, speedCell(Run(RunConfig{
-					Model: m, Batch: b, System: sys, Mode: exec.EagerMode,
-					Device: o.Device, Iterations: o.Iterations,
-				})))
+			for range systems {
+				row = append(row, speedCell(cells[k]))
+				k++
 			}
 			t.AddRow(row...)
 		}
@@ -474,14 +616,27 @@ func Overhead(o Options) *Table {
 	if o.Quick {
 		modelsList = []string{"resnet50"}
 	}
+	search := newSearchSet(o.Runner, o.Device)
 	for _, m := range modelsList {
-		tfMax := MaxBatch(RunConfig{Model: m, System: SystemTF, Device: o.Device})
-		b := tfMax * 4 / 5 // below the pressure point so the plan stays idle
+		search.add(m, SystemTF)
+	}
+	search.resolve()
+	batches := make([]int64, len(modelsList))
+	var cfgs []RunConfig
+	for i, m := range modelsList {
+		b := search.get(m, SystemTF) * 4 / 5 // below the pressure point so the plan stays idle
 		if b < 1 {
 			b = 1
 		}
-		base := Run(RunConfig{Model: m, Batch: b, System: SystemTF, Device: o.Device, Iterations: 3})
-		cap := Run(RunConfig{Model: m, Batch: b, System: SystemCapuchin, Device: o.Device, Iterations: 3})
+		batches[i] = b
+		cfgs = append(cfgs,
+			RunConfig{Model: m, Batch: b, System: SystemTF, Device: o.Device, Iterations: 3},
+			RunConfig{Model: m, Batch: b, System: SystemCapuchin, Device: o.Device, Iterations: 3})
+	}
+	cells := o.Runner.RunAll(cfgs)
+	for i, m := range modelsList {
+		b := batches[i]
+		base, cap := cells[2*i], cells[2*i+1]
 		if !base.OK || !cap.OK {
 			t.AddRow(m, fmt.Sprintf("%d", b), speedCell(base), speedCell(cap), "-")
 			continue
@@ -496,14 +651,50 @@ func Overhead(o Options) *Table {
 	return t
 }
 
+// AllTables runs the full experiment suite and returns the tables in
+// canonical order. The generators execute concurrently on the options'
+// shared Runner — independent cells overlap across experiments and
+// repeated cells (the resnet50 TF-ori search appears in five of them) are
+// simulated once — while the returned order, and therefore the rendered
+// output, is identical at any job count.
+func AllTables(o Options) []*Table {
+	o = o.fill()
+	gens := []func() []*Table{
+		func() []*Table { return []*Table{Fig1(o)} },
+		func() []*Table { return []*Table{Fig2(o)} },
+		func() []*Table { return []*Table{Fig3(o)} },
+		func() []*Table { return []*Table{Fig8a(o)} },
+		func() []*Table { return []*Table{Fig8b(o)} },
+		func() []*Table { return []*Table{Table2(o)} },
+		func() []*Table { return []*Table{Table3(o)} },
+		func() []*Table { return Fig9(o) },
+		func() []*Table { return Fig10(o) },
+		func() []*Table { return []*Table{Overhead(o)} },
+		func() []*Table { return []*Table{CapacitySweep(o)} },
+		func() []*Table { return []*Table{TableExtensions(o)} },
+		func() []*Table { return []*Table{DeviceSensitivity(o)} },
+		func() []*Table { return Ablations(o) },
+	}
+	groups := make([][]*Table, len(gens))
+	var wg sync.WaitGroup
+	for i, g := range gens {
+		wg.Add(1)
+		go func(i int, g func() []*Table) {
+			defer wg.Done()
+			groups[i] = g()
+		}(i, g)
+	}
+	wg.Wait()
+	var tables []*Table
+	for _, g := range groups {
+		tables = append(tables, g...)
+	}
+	return tables
+}
+
 // WriteAll runs every experiment and writes the tables to w.
 func WriteAll(w io.Writer, o Options) error {
-	tables := []*Table{Fig1(o), Fig2(o), Fig3(o), Fig8a(o), Fig8b(o), Table2(o), Table3(o)}
-	tables = append(tables, Fig9(o)...)
-	tables = append(tables, Fig10(o)...)
-	tables = append(tables, Overhead(o), CapacitySweep(o), TableExtensions(o), DeviceSensitivity(o))
-	tables = append(tables, Ablations(o)...)
-	for _, t := range tables {
+	for _, t := range AllTables(o) {
 		if err := t.WriteText(w); err != nil {
 			return err
 		}

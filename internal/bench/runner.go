@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"capuchin/internal/exec"
+)
+
+// Runner is the concurrent experiment engine. It executes independent
+// RunConfigs on a bounded worker pool and memoizes completed runs behind
+// a config-keyed cache, so MaxBatch searches and figure generators that
+// revisit the same cell (Fig1, Table2 and the capacity sweep all probe
+// resnet50 under TF-ori, for example) pay for the simulation once.
+//
+// Safety rests on two properties this package tests:
+//
+//   - every exec.Session is self-contained: Run builds a fresh graph per
+//     cell, the model registry is read-only after init, and hw.DeviceSpec
+//     has value semantics, so concurrent cells share no mutable state;
+//   - the simulator is deterministic: a cell's Result depends only on its
+//     RunConfig, never on scheduling, so parallel results are
+//     byte-identical to serial ones and caching is sound.
+//
+// A panicking cell is recovered into a failed Result rather than killing
+// the sweep, and a cancelled context aborts queued cells with a failed
+// Result that is not cached (a later sweep may retry them).
+type Runner struct {
+	jobs int
+	ctx  context.Context
+	sem  chan struct{}
+
+	// runFn executes one cell; it is Run except in tests that inject
+	// failures.
+	runFn func(RunConfig) Result
+
+	mu    sync.Mutex
+	cache map[RunConfig]*cacheEntry
+	hits  int64
+	miss  int64
+
+	panics atomic.Int64
+}
+
+// cacheEntry is a single-flight slot: the goroutine that installs it
+// computes the result; everyone else waits on done.
+type cacheEntry struct {
+	done chan struct{}
+	res  Result
+}
+
+// NewRunner returns a Runner executing at most jobs simulations
+// concurrently; jobs <= 0 means GOMAXPROCS.
+func NewRunner(jobs int) *Runner {
+	return NewRunnerContext(context.Background(), jobs)
+}
+
+// NewRunnerContext is NewRunner with a cancellation context: once ctx is
+// done, not-yet-started cells return failed Results wrapping ctx's error.
+func NewRunnerContext(ctx context.Context, jobs int) *Runner {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		jobs:  jobs,
+		ctx:   ctx,
+		sem:   make(chan struct{}, jobs),
+		runFn: Run,
+		cache: make(map[RunConfig]*cacheEntry),
+	}
+}
+
+// Jobs reports the worker-pool bound.
+func (r *Runner) Jobs() int { return r.jobs }
+
+// RunnerStats summarizes cache and recovery activity.
+type RunnerStats struct {
+	// Hits counts Run calls served from (or coalesced into) an existing
+	// cache entry; Misses counts cells actually simulated.
+	Hits, Misses int64
+	// Panics counts cells recovered into failed Results.
+	Panics int64
+	// Cached is the number of completed entries currently held.
+	Cached int
+}
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RunnerStats{
+		Hits:   r.hits,
+		Misses: r.miss,
+		Panics: r.panics.Load(),
+		Cached: len(r.cache),
+	}
+}
+
+// cacheKey canonicalizes defaulted RunConfig fields so equivalent
+// configurations share one cache entry. It must mirror Run's defaults.
+func cacheKey(cfg RunConfig) RunConfig {
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 3
+	}
+	if cfg.Allocator == "" {
+		cfg.Allocator = "bfc"
+	}
+	return cfg
+}
+
+// Run executes one configuration, serving repeats from the cache.
+// Concurrent calls for the same key coalesce into a single simulation.
+func (r *Runner) Run(cfg RunConfig) Result {
+	key := cacheKey(cfg)
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.hits++
+		r.mu.Unlock()
+		<-e.done
+		return e.res
+	}
+	r.miss++
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+
+	e.res = r.execute(key)
+	close(e.done)
+	if aborted(e.res.Err) {
+		// Do not memoize cancellation: a later sweep with a live context
+		// must be able to retry the cell.
+		r.mu.Lock()
+		if r.cache[key] == e {
+			delete(r.cache, key)
+		}
+		r.mu.Unlock()
+	}
+	return e.res
+}
+
+// aborted reports whether err came from context cancellation.
+func aborted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// execute acquires a worker slot and runs one cell with panic recovery.
+// Only computing goroutines hold slots — cache waiters do not — so a
+// MaxBatch search waiting on another search's probe cannot deadlock the
+// pool.
+func (r *Runner) execute(cfg RunConfig) (res Result) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-r.ctx.Done():
+		return Result{Config: cfg, Err: fmt.Errorf("bench: run aborted: %w", r.ctx.Err())}
+	}
+	defer func() { <-r.sem }()
+	if err := r.ctx.Err(); err != nil {
+		return Result{Config: cfg, Err: fmt.Errorf("bench: run aborted: %w", err)}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			r.panics.Add(1)
+			res = Result{Config: cfg, Err: fmt.Errorf("bench: run panicked: %v", p)}
+		}
+	}()
+	return r.runFn(cfg)
+}
+
+// RunAll executes the configurations concurrently (bounded by the worker
+// pool) and returns results in submission order.
+func (r *Runner) RunAll(cfgs []RunConfig) []Result {
+	out := make([]Result, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg RunConfig) {
+			defer wg.Done()
+			out[i] = r.Run(cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+	return out
+}
+
+// Fits reports whether the configuration completes without OOM, through
+// the cache.
+func (r *Runner) Fits(cfg RunConfig) bool {
+	res := r.Run(cfg)
+	return res.OK && !errors.Is(res.Err, exec.ErrIterationOOM)
+}
+
+// MaxBatch finds the largest batch size that completes for the
+// configuration (cfg.Batch is ignored), with every probe served through
+// the cache. The search itself is sequential — each probe depends on the
+// last — but independent searches fan out across the pool, and repeated
+// searches are nearly free.
+func (r *Runner) MaxBatch(cfg RunConfig) int64 {
+	cfg.Batch = 0
+	return maxBatchSearch(func(b int64) bool {
+		c := cfg
+		c.Batch = b
+		return r.Fits(c)
+	})
+}
+
+// MaxBatchAll runs the max-batch searches concurrently, returning results
+// in submission order.
+func (r *Runner) MaxBatchAll(cfgs []RunConfig) []int64 {
+	out := make([]int64, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg RunConfig) {
+			defer wg.Done()
+			out[i] = r.MaxBatch(cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"capuchin/internal/hw"
+)
+
+// matrixConfigs is a small model×system×batch sweep used by the
+// differential determinism tests.
+func matrixConfigs() []RunConfig {
+	dev := smallDev()
+	var cfgs []RunConfig
+	for _, m := range []string{"resnet50", "mobilenetv2"} {
+		for _, sys := range []System{SystemTF, SystemVDNN, SystemOpenAISpeed, SystemCapuchin} {
+			for _, b := range []int64{4, 8} {
+				cfgs = append(cfgs, RunConfig{Model: m, Batch: b, System: sys,
+					Device: dev, Iterations: 2})
+			}
+		}
+	}
+	return cfgs
+}
+
+// renderMatrix formats a result set the way the figure generators do, so
+// byte-level comparison covers the rendering path too.
+func renderMatrix(rs []Result) string {
+	t := &Table{
+		Title:  "matrix",
+		Header: []string{"model", "system", "batch", "img/s", "steady"},
+	}
+	for _, r := range rs {
+		t.AddRow(r.Config.Model, string(r.Config.System),
+			fmt.Sprintf("%d", r.Config.Batch), speedCell(r), r.Steady.String())
+	}
+	var sb strings.Builder
+	if err := t.WriteText(&sb); err != nil {
+		panic(err)
+	}
+	return sb.String()
+}
+
+// TestRunnerMatchesSerial is the contract that makes the cache and the
+// parallelism safe: the Runner at 8 jobs produces results — per-iteration
+// IterStats and rendered tables — byte-identical to strictly serial
+// execution.
+func TestRunnerMatchesSerial(t *testing.T) {
+	cfgs := matrixConfigs()
+	serial := make([]Result, len(cfgs))
+	for i, c := range cfgs {
+		serial[i] = Run(c)
+	}
+	par := NewRunner(8).RunAll(cfgs)
+	for i := range cfgs {
+		if par[i].OK != serial[i].OK {
+			t.Errorf("%v: OK %v (parallel) vs %v (serial)", cfgs[i], par[i].OK, serial[i].OK)
+			continue
+		}
+		if !reflect.DeepEqual(par[i].Stats, serial[i].Stats) {
+			t.Errorf("%v: per-iteration IterStats diverged\nparallel: %v\nserial:   %v",
+				cfgs[i], par[i].Stats, serial[i].Stats)
+		}
+	}
+	if got, want := renderMatrix(par), renderMatrix(serial); got != want {
+		t.Errorf("rendered tables differ\nparallel:\n%s\nserial:\n%s", got, want)
+	}
+}
+
+// TestGeneratorsDeterministicAcrossJobs runs a real generator at -jobs 1
+// and -jobs 8 and requires byte-identical text output.
+func TestGeneratorsDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick Table2 takes a few seconds")
+	}
+	render := func(jobs int) string {
+		o := Options{Device: hw.P100().WithMemory(4 * hw.GiB), Quick: true, Iterations: 2, Jobs: jobs}
+		var sb strings.Builder
+		if err := Table2(o).WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := Fig8a(o).WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if one, eight := render(1), render(8); one != eight {
+		t.Errorf("-jobs 1 and -jobs 8 output differ\njobs=1:\n%s\njobs=8:\n%s", one, eight)
+	}
+}
+
+func TestRunnerCacheMemoizes(t *testing.T) {
+	r := NewRunner(4)
+	cfg := RunConfig{Model: "resnet50", Batch: 8, System: SystemTF, Device: smallDev(), Iterations: 2}
+	first := r.Run(cfg)
+	second := r.Run(cfg)
+	if !first.OK || !second.OK {
+		t.Fatalf("runs failed: %v / %v", first.Err, second.Err)
+	}
+	if first.Session != second.Session {
+		t.Error("repeat run was re-simulated instead of served from cache")
+	}
+	st := r.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Cached != 1 {
+		t.Errorf("stats = %+v, want 1 miss, 1 hit, 1 cached", st)
+	}
+	// Defaulted fields canonicalize to one entry: Iterations 0 means 3,
+	// Allocator "" means bfc.
+	base := RunConfig{Model: "resnet50", Batch: 4, System: SystemTF, Device: smallDev()}
+	explicit := base
+	explicit.Iterations = 3
+	explicit.Allocator = "bfc"
+	a, b := r.Run(base), r.Run(explicit)
+	if a.Session != b.Session {
+		t.Error("defaulted and explicit configs did not share a cache entry")
+	}
+}
+
+func TestRunnerPanicBecomesFailedResult(t *testing.T) {
+	r := NewRunner(2)
+	r.runFn = func(cfg RunConfig) Result {
+		if cfg.Model == "boom" {
+			panic("synthetic cell failure")
+		}
+		return Run(cfg)
+	}
+	res := r.RunAll([]RunConfig{
+		{Model: "boom", Batch: 8, System: SystemTF, Device: smallDev(), Iterations: 2},
+		{Model: "resnet50", Batch: 8, System: SystemTF, Device: smallDev(), Iterations: 2},
+	})
+	if res[0].OK || res[0].Err == nil || !strings.Contains(res[0].Err.Error(), "panicked") {
+		t.Errorf("panicking cell: OK=%v err=%v, want failed Result wrapping the panic", res[0].OK, res[0].Err)
+	}
+	if !res[1].OK {
+		t.Errorf("healthy cell died with the panicking one: %v", res[1].Err)
+	}
+	if got := r.Stats().Panics; got != 1 {
+		t.Errorf("Panics = %d, want 1", got)
+	}
+}
+
+func TestRunnerContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunnerContext(ctx, 2)
+	cfg := RunConfig{Model: "resnet50", Batch: 8, System: SystemTF, Device: smallDev(), Iterations: 2}
+	res := r.Run(cfg)
+	if res.OK || res.Err == nil || !aborted(res.Err) {
+		t.Errorf("cancelled run: OK=%v err=%v, want failed Result wrapping context.Canceled", res.OK, res.Err)
+	}
+	// Aborted cells must not poison the cache.
+	if got := r.Stats().Cached; got != 0 {
+		t.Errorf("cancelled result was cached (%d entries)", got)
+	}
+	// A live runner can still execute the same cell.
+	if res := NewRunner(2).Run(cfg); !res.OK {
+		t.Errorf("fresh runner failed: %v", res.Err)
+	}
+}
+
+func TestRunnerMaxBatchMatchesSerial(t *testing.T) {
+	dev := hw.P100().WithMemory(4 * hw.GiB)
+	cfg := RunConfig{Model: "resnet50", System: SystemTF, Device: dev}
+	serial := MaxBatch(cfg)
+	r := NewRunner(8)
+	if got := r.MaxBatch(cfg); got != serial {
+		t.Errorf("Runner.MaxBatch = %d, serial MaxBatch = %d", got, serial)
+	}
+	// The second search replays entirely from cache.
+	before := r.Stats()
+	if got := r.MaxBatch(cfg); got != serial {
+		t.Errorf("cached re-search = %d, want %d", got, serial)
+	}
+	after := r.Stats()
+	if after.Misses != before.Misses {
+		t.Errorf("repeat MaxBatch simulated %d new cells", after.Misses-before.Misses)
+	}
+	// Batch in the input config is ignored, as for serial MaxBatch.
+	withBatch := cfg
+	withBatch.Batch = 999
+	if got := r.MaxBatch(withBatch); got != serial {
+		t.Errorf("MaxBatch with Batch set = %d, want %d", got, serial)
+	}
+}
+
+func TestRunnerJobsDefault(t *testing.T) {
+	if NewRunner(0).Jobs() < 1 {
+		t.Error("jobs <= 0 should default to GOMAXPROCS")
+	}
+	if got := NewRunner(3).Jobs(); got != 3 {
+		t.Errorf("Jobs() = %d, want 3", got)
+	}
+}

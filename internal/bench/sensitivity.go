@@ -21,17 +21,28 @@ func DeviceSensitivity(o Options) *Table {
 			"samples/s"},
 	}
 	devices := []hw.DeviceSpec{hw.P100(), hw.V100().WithMemory(16 * hw.GiB), hw.T4()}
+	// Phase 1: each device's own framework limit, concurrently.
+	var mbCfgs []RunConfig
 	for _, dev := range devices {
-		// Same relative pressure everywhere: 1.8x the device's own limit.
-		tfMax := MaxBatch(RunConfig{Model: "resnet50", System: SystemTF, Device: dev})
-		b := tfMax * 9 / 5
-		r := Run(RunConfig{Model: "resnet50", Batch: b, System: SystemCapuchin,
-			Device: dev, Iterations: o.Iterations})
+		mbCfgs = append(mbCfgs, RunConfig{Model: "resnet50", System: SystemTF, Device: dev})
+	}
+	maxes := o.Runner.MaxBatchAll(mbCfgs)
+	// Phase 2: same relative pressure everywhere: 1.8x the device's limit.
+	batches := make([]int64, len(devices))
+	var runCfgs []RunConfig
+	for i, dev := range devices {
+		batches[i] = maxes[i] * 9 / 5
+		runCfgs = append(runCfgs, RunConfig{Model: "resnet50", Batch: batches[i],
+			System: SystemCapuchin, Device: dev, Iterations: o.Iterations})
+	}
+	runs := o.Runner.RunAll(runCfgs)
+	for i, dev := range devices {
+		r := runs[i]
 		if !r.OK {
-			t.AddRow(dev.Name, fmt.Sprintf("%d", b), "-", "-", "-", "-", "OOM")
+			t.AddRow(dev.Name, fmt.Sprintf("%d", batches[i]), "-", "-", "-", "-", "OOM")
 			continue
 		}
-		t.AddRow(dev.Name, fmt.Sprintf("%d", b),
+		t.AddRow(dev.Name, fmt.Sprintf("%d", batches[i]),
 			fmt.Sprintf("%d", r.Plan.SwapTensors),
 			fmt.Sprintf("%d", r.Plan.SwapBytes>>20),
 			fmt.Sprintf("%d", r.Plan.RecomputeCount),

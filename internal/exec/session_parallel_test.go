@@ -1,0 +1,113 @@
+// Concurrency-isolation tests: sessions built from the same model name
+// must be fully self-contained, so stepping them from separate goroutines
+// (as the bench.Runner does) is race-free and bit-identical to serial
+// execution. Run under -race to catch registry or device-spec aliasing.
+package exec_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/graph"
+	"capuchin/internal/hw"
+	"capuchin/internal/models"
+	"capuchin/internal/policy/vdnn"
+)
+
+// sessionCase builds one session variant of the shared model.
+type sessionCase struct {
+	name  string
+	build func(t *testing.T) *exec.Session
+}
+
+// parallelCases cover the plain framework path and the swap-heavy vDNN
+// path, which exercises the transfer streams and host arena concurrently.
+func parallelCases() []sessionCase {
+	dev := hw.P100().WithMemory(2 * hw.GiB)
+	newSession := func(t *testing.T, cfg exec.Config) *exec.Session {
+		t.Helper()
+		spec, err := models.Get("resnet50")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := spec.Build(8, graph.GraphModeOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := exec.NewSession(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return []sessionCase{
+		{"null-policy", func(t *testing.T) *exec.Session {
+			return newSession(t, exec.Config{Device: dev})
+		}},
+		{"vdnn", func(t *testing.T) *exec.Session {
+			spec, err := models.Get("resnet50")
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := spec.Build(8, graph.GraphModeOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := exec.NewSession(g, exec.Config{
+				Device: dev, Policy: vdnn.New(g, vdnn.ConvOnly), CoupledSwap: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+}
+
+func TestSessionsIsolatedAcrossGoroutines(t *testing.T) {
+	const iters = 3
+	for _, c := range parallelCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			// Serial references: two independent runs of the same config.
+			serial := func() []exec.IterStats {
+				st, err := c.build(t).Run(iters)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+			ref1, ref2 := serial(), serial()
+
+			// The same two runs, stepped from separate goroutines.
+			s1, s2 := c.build(t), c.build(t)
+			var wg sync.WaitGroup
+			var got [2][]exec.IterStats
+			var errs [2]error
+			for i, s := range []*exec.Session{s1, s2} {
+				wg.Add(1)
+				go func(i int, s *exec.Session) {
+					defer wg.Done()
+					got[i], errs[i] = s.Run(iters)
+				}(i, s)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("concurrent session %d: %v", i, err)
+				}
+			}
+			if !reflect.DeepEqual(got[0], ref1) {
+				t.Errorf("concurrent session 0 diverged from serial run\ngot:  %v\nwant: %v", got[0], ref1)
+			}
+			if !reflect.DeepEqual(got[1], ref2) {
+				t.Errorf("concurrent session 1 diverged from serial run\ngot:  %v\nwant: %v", got[1], ref2)
+			}
+			if got[0][iters-1].ParamFingerprint != got[1][iters-1].ParamFingerprint {
+				t.Error("identically configured sessions reached different parameter fingerprints")
+			}
+		})
+	}
+}

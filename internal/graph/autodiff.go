@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"sync"
 
 	"capuchin/internal/ops"
 	"capuchin/internal/tensor"
@@ -36,16 +37,32 @@ func (gc *GradientContext) NeedsGradient(t *tensor.Tensor) bool {
 // holds the gradients of the node's outputs (nil entries have none).
 type GradientFunc func(gc *GradientContext, n *Node, dys []*tensor.Tensor) error
 
-// gradientRegistry maps op names to user-registered gradient rules.
-// Builders are single-goroutine, so no locking is needed.
-var gradientRegistry = map[string]GradientFunc{}
+// gradientRegistry maps op names to user-registered gradient rules. Each
+// build runs on a single goroutine, but the experiment engine builds many
+// graphs concurrently, so the registry itself must be locked against a
+// late RegisterGradient racing those reads.
+var (
+	gradientMu       sync.RWMutex
+	gradientRegistry = map[string]GradientFunc{}
+)
 
 // RegisterGradient installs a gradient rule for a custom operator (keyed
 // by Op.Name()), enabling autodiff over user-defined operations — the
 // "user-defined operations" case the paper's §1 calls out as breaking
-// static policies. Built-in operators cannot be overridden.
+// static policies. Built-in operators cannot be overridden. Safe to call
+// concurrently with graph builds.
 func RegisterGradient(opName string, f GradientFunc) {
+	gradientMu.Lock()
+	defer gradientMu.Unlock()
 	gradientRegistry[opName] = f
+}
+
+// customGradient looks up a registered rule for an op name.
+func customGradient(opName string) (GradientFunc, bool) {
+	gradientMu.RLock()
+	defer gradientMu.RUnlock()
+	f, ok := gradientRegistry[opName]
+	return f, ok
 }
 
 // autodiff derives the backward pass of a built forward graph using
@@ -369,7 +386,7 @@ func (ad *autodiff) emit(n *Node, dys []*tensor.Tensor) error {
 		ad.addGrad(in[0], dl)
 
 	default:
-		if f, ok := gradientRegistry[n.Op.Name()]; ok {
+		if f, ok := customGradient(n.Op.Name()); ok {
 			return f(&GradientContext{ad: ad}, n, dys)
 		}
 		return fmt.Errorf("graph: no gradient rule for op %s (node %s)", n.Op.Name(), n.ID)
