@@ -1,11 +1,11 @@
 # CI entry points. `make check` is what the repo considers green:
 # vet + build + full tests + the race detector over the packages the
-# parallel experiment engine touches.
+# parallel experiment engine touches + the chaos soak suite.
 GO ?= go
 
-.PHONY: check vet build test race bench goldens
+.PHONY: check vet build test race soak bench goldens
 
-check: vet build test race
+check: vet build test race soak
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,14 @@ test:
 
 race:
 	$(GO) test -race ./internal/bench ./internal/exec ./internal/sim
+
+# soak runs the deterministic fault-injection suites twice under the race
+# detector: seeded chaos plans across every memory-managing system must
+# complete or fail with typed errors — never panic — and reproduce
+# identical statistics on the second run.
+soak:
+	$(GO) test -race -count=2 ./internal/bench -run 'Chaos|Resilience|ZeroPlan'
+	$(GO) test -race -count=2 ./internal/exec -run 'Fault|FallsBack|Abandonment|Spikes|ErrorChain'
 
 # bench reproduces the numbers in BENCH_parallel_runner.json.
 bench:

@@ -3,8 +3,16 @@
 //
 // Usage:
 //
-//	capuchin-bench [-exp all|fig1|fig2|fig3|fig8a|fig8b|table2|table3|fig9|fig10|overhead|ablations]
+//	capuchin-bench [-exp all|fig1|fig2|fig3|fig8a|fig8b|table2|table3|fig9|fig10|overhead|ablations|resilience]
 //	               [-device p100|v100|t4] [-mem GiB] [-iters N] [-jobs N] [-quick] [-markdown]
+//	               [-faults spec]
+//
+// -faults selects the deterministic fault-injection plan used by the
+// resilience experiment. The spec is "default", "off", or comma-separated
+// key=value pairs (seed=N, transfer=R, retries=N, backoff=USEC,
+// degrade=F, degrade-period=MS, degrade-window=MS, kernel=R,
+// kernel-factor=F, alloc=R, host=R). Identical seeds reproduce identical
+// tables; the paper-reproduction experiments always run fault-free.
 //
 // Experiments run on the concurrent engine: -jobs bounds simultaneous
 // simulations (default GOMAXPROCS) and a config-keyed cache deduplicates
@@ -22,11 +30,12 @@ import (
 	"strings"
 
 	"capuchin/internal/bench"
+	"capuchin/internal/fault"
 	"capuchin/internal/hw"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig8a, fig8b, table2, table3, fig9, fig10, overhead, capacity, extensions, sensitivity, ablations")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig8a, fig8b, table2, table3, fig9, fig10, overhead, capacity, extensions, sensitivity, ablations, resilience")
 	device := flag.String("device", "p100", "device model: p100, v100, t4")
 	mem := flag.Int64("mem", 0, "override device memory in GiB (0 = device default)")
 	iters := flag.Int("iters", 0, "iterations per timed run (0 = default 8)")
@@ -34,7 +43,14 @@ func main() {
 	quick := flag.Bool("quick", false, "trimmed sweeps for a fast smoke run")
 	markdown := flag.Bool("markdown", false, "emit Markdown tables instead of aligned text")
 	tsv := flag.Bool("tsv", false, "emit tab-separated values (plot-ready; single experiments only)")
+	faults := flag.String("faults", "", "fault-injection plan for -exp resilience: \"default\", \"off\", or key=value pairs (see package doc)")
 	flag.Parse()
+
+	plan, err := fault.ParsePlan(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "invalid -faults spec: %v\n", err)
+		os.Exit(2)
+	}
 
 	var dev hw.DeviceSpec
 	switch strings.ToLower(*device) {
@@ -117,6 +133,8 @@ func main() {
 		write(bench.DeviceSensitivity(o))
 	case "ablations":
 		writeAll(bench.Ablations(o))
+	case "resilience":
+		write(bench.Resilience(o, plan))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -11,6 +11,7 @@ import (
 
 	"capuchin/internal/core"
 	"capuchin/internal/exec"
+	"capuchin/internal/fault"
 	"capuchin/internal/graph"
 	"capuchin/internal/hw"
 	"capuchin/internal/models"
@@ -55,6 +56,10 @@ type RunConfig struct {
 	// ForceCoupledSwap enables layer-wise swap synchronization regardless
 	// of system (the decoupled-swap ablation).
 	ForceCoupledSwap bool
+	// Faults is the deterministic fault-injection plan; the zero value
+	// injects nothing. Kept flat and comparable so RunConfig remains a
+	// valid cache key for Runner's single-flight result cache.
+	Faults fault.Plan
 }
 
 // Result is the outcome of one run.
@@ -114,6 +119,7 @@ func Run(cfg RunConfig) Result {
 		Allocator:   cfg.Allocator,
 		RecordSpans: cfg.RecordSpans,
 		HostMemory:  cfg.HostMemory,
+		Faults:      cfg.Faults,
 	}
 	var cap *core.Capuchin
 	switch cfg.System {

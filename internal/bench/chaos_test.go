@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/fault"
+	"capuchin/internal/hw"
+)
+
+// chaosSystems are soaked under fault injection; they cover the swap-only
+// (vdnn), recompute-only (openai-m) and adaptive (capuchin) recovery
+// paths.
+var chaosSystems = []System{SystemVDNN, SystemOpenAIMemory, SystemCapuchin}
+
+// chaosPlans builds one representative plan per fault dimension plus the
+// default mixed plan, all derived from one seed.
+func chaosPlans(seed uint64) []fault.Plan {
+	return []fault.Plan{
+		fault.DefaultPlan(seed),
+		{Seed: seed, TransferFailRate: 0.3, MaxTransferRetries: 2},
+		{Seed: seed, TransferFailRate: 1, MaxTransferRetries: 1},
+		{Seed: seed, AllocFailRate: 0.5, HostFailRate: 0.5},
+		{Seed: seed, DegradeFactor: 6, DegradePeriod: 2 * fault.DefaultPlan(seed).DegradePeriod / 3, DegradeDuration: fault.DefaultPlan(seed).DegradeDuration, KernelSpikeRate: 0.2},
+	}
+}
+
+// TestChaosSoak drives every system through seeded fault plans at an
+// over-subscribed batch. Every run must either complete or fail with a
+// typed (OOM or transfer) error — never panic, never corrupt allocator
+// state — and identical seeds must reproduce identical statistics. The
+// suite must also demonstrate both graceful-degradation paths at least
+// once: a swap→recompute fallback and a recovered OOM.
+func TestChaosSoak(t *testing.T) {
+	runner := NewRunner(0)
+	dev := hw.P100().WithMemory(4 * hw.GiB)
+
+	var cfgs []RunConfig
+	for seed := uint64(1); seed <= 3; seed++ {
+		for _, plan := range chaosPlans(seed) {
+			for _, sys := range chaosSystems {
+				cfgs = append(cfgs, RunConfig{Model: "resnet50", Batch: 48, System: sys,
+					Device: dev, Iterations: 2, Faults: plan})
+			}
+		}
+	}
+	results := runner.RunAll(cfgs)
+
+	sawFallback, sawRecovery := false, false
+	for i, r := range results {
+		cfg := cfgs[i]
+		if !r.OK {
+			if !isOOM(r.Err) && !isTransfer(r.Err) {
+				t.Errorf("%s seed %d plan %v: untyped failure: %v",
+					cfg.System, cfg.Faults.Seed, cfg.Faults, r.Err)
+			}
+			continue
+		}
+		total := sumFaults(r.Stats)
+		if total.SwapFallbacks > 0 {
+			sawFallback = true
+		}
+		if total.OOMRecoveries > 0 {
+			sawRecovery = true
+		}
+	}
+	if st := runner.Stats(); st.Panics != 0 {
+		t.Fatalf("chaos soak recovered %d panics; faults must surface as typed errors", st.Panics)
+	}
+	if !sawFallback {
+		t.Error("no run demonstrated a swap→recompute fallback")
+	}
+	if !sawRecovery {
+		t.Error("no run demonstrated a recovered OOM (OOMRecoveries)")
+	}
+
+	// Determinism: replay a faulted subset on a fresh runner (the first
+	// runner would serve cache hits) and require identical statistics.
+	replay := NewRunner(2)
+	again := replay.RunAll(cfgs[:len(chaosPlans(1))*len(chaosSystems)])
+	for i, r := range again {
+		orig := results[i]
+		if r.OK != orig.OK {
+			t.Errorf("%s plan %v: replay OK=%v, original OK=%v", cfgs[i].System, cfgs[i].Faults, r.OK, orig.OK)
+			continue
+		}
+		if fmt.Sprintf("%+v", r.Stats) != fmt.Sprintf("%+v", orig.Stats) {
+			t.Errorf("%s plan %v: replay stats diverged from original", cfgs[i].System, cfgs[i].Faults)
+		}
+	}
+}
+
+// renderTable renders a table to text for byte-level comparison.
+func renderTable(t *testing.T, tbl *Table) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := tbl.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestResilienceTableDeterministic renders the resilience table twice with
+// independent runners and requires byte-identical output.
+func TestResilienceTableDeterministic(t *testing.T) {
+	opts := func() Options {
+		return Options{Device: hw.P100().WithMemory(4 * hw.GiB), Quick: true, Iterations: 2, Jobs: 4}
+	}
+	plan := fault.DefaultPlan(42)
+	a := renderTable(t, Resilience(opts(), plan))
+	b := renderTable(t, Resilience(opts(), plan))
+	if a != b {
+		t.Errorf("resilience table not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if a == renderTable(t, Resilience(opts(), fault.DefaultPlan(43))) {
+		t.Error("different fault seeds produced identical resilience tables")
+	}
+}
+
+// TestZeroPlanMatchesCleanRun asserts the bench layer preserves byte-level
+// equivalence: a RunConfig with a zero fault plan must produce exactly the
+// stats of one without the field set.
+func TestZeroPlanMatchesCleanRun(t *testing.T) {
+	dev := hw.P100().WithMemory(4 * hw.GiB)
+	base := Run(RunConfig{Model: "resnet50", Batch: 32, System: SystemCapuchin, Device: dev, Iterations: 2})
+	zero := Run(RunConfig{Model: "resnet50", Batch: 32, System: SystemCapuchin, Device: dev, Iterations: 2, Faults: fault.Plan{}})
+	if !base.OK || !zero.OK {
+		t.Fatalf("clean runs failed: %v / %v", base.Err, zero.Err)
+	}
+	if len(base.Stats) != len(zero.Stats) {
+		t.Fatal("iteration counts differ")
+	}
+	for i := range base.Stats {
+		if base.Stats[i] != zero.Stats[i] {
+			t.Errorf("iter %d: zero fault plan changed stats", i)
+		}
+	}
+	var faulted exec.IterStats
+	if sumFaults(base.Stats) != faulted {
+		t.Error("clean run reported nonzero fault counters")
+	}
+}

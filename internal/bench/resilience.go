@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/fault"
+	"capuchin/internal/memory"
+)
+
+// isOOM reports whether err is an out-of-memory failure at either layer.
+func isOOM(err error) bool {
+	return errors.Is(err, exec.ErrIterationOOM) || errors.Is(err, memory.ErrOOM)
+}
+
+// isTransfer reports whether err is an exhausted transfer-retry failure.
+func isTransfer(err error) bool { return errors.Is(err, exec.ErrTransferFailed) }
+
+// isInvariant reports whether err is a structural invariant violation.
+func isInvariant(err error) bool {
+	return errors.Is(err, exec.ErrInvariant) || errors.Is(err, memory.ErrInvariant)
+}
+
+// resilienceSystems are the memory-managing systems compared under fault
+// injection: each must survive faults on the swap path, and only Capuchin
+// can degrade swapping to recomputation.
+var resilienceSystems = []System{SystemVDNN, SystemOpenAIMemory, SystemCapuchin}
+
+// sumFaults aggregates the fault/recovery counters across a run's
+// iterations.
+func sumFaults(stats []exec.IterStats) exec.IterStats {
+	var total exec.IterStats
+	for _, st := range stats {
+		total.TransferFaults += st.TransferFaults
+		total.TransferRetries += st.TransferRetries
+		total.KernelSpikes += st.KernelSpikes
+		total.SpikeTime += st.SpikeTime
+		total.AllocFaults += st.AllocFaults
+		total.HostFaults += st.HostFaults
+		total.SwapFallbacks += st.SwapFallbacks
+		total.OOMRecoveries += st.OOMRecoveries
+		total.RecoveryEvicts += st.RecoveryEvicts
+	}
+	return total
+}
+
+// resilienceCell describes a faulted run's outcome: throughput retained
+// versus the clean run, or the typed failure class.
+func resilienceCell(clean, faulted Result) string {
+	if !faulted.OK {
+		return "failed: " + errClass(faulted.Err)
+	}
+	if !clean.OK || clean.Throughput <= 0 {
+		return fmt.Sprintf("%.1f img/s", faulted.Throughput)
+	}
+	return fmt.Sprintf("%.0f%%", 100*faulted.Throughput/clean.Throughput)
+}
+
+// errClass names the typed failure category of a run error, for table
+// cells and soak assertions.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case isOOM(err):
+		return "oom"
+	case isTransfer(err):
+		return "transfer"
+	case isInvariant(err):
+		return "invariant"
+	default:
+		return "other"
+	}
+}
+
+// Resilience is the fault-injection experiment this reproduction adds: it
+// runs each memory-managing system at an over-subscribed batch size under
+// a deterministic fault plan and reports throughput retention plus the
+// recovery behaviour (retries, swap→recompute fallbacks, OOM recoveries).
+// A zero plan is replaced by the default plan seeded from its Seed field.
+func Resilience(o Options, plan fault.Plan) *Table {
+	o = o.fill()
+	if !plan.Enabled() {
+		plan = fault.DefaultPlan(plan.Seed)
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Resilience under fault injection (ResNet-50, plan %v)", plan),
+		Header: []string{"system", "clean img/s", "faulted", "xfer faults", "retries",
+			"alloc/host faults", "fallbacks", "recoveries"},
+	}
+	model := "resnet50"
+	search := newSearchSet(o.Runner, o.Device)
+	search.add(model, SystemTF)
+	search.resolve()
+	tfMax := search.get(model, SystemTF)
+	batch := tfMax * 3 / 2
+	if batch < 1 {
+		batch = 1
+	}
+
+	var cfgs []RunConfig
+	for _, sys := range resilienceSystems {
+		base := RunConfig{Model: model, Batch: batch, System: sys,
+			Device: o.Device, Iterations: o.Iterations}
+		faulted := base
+		faulted.Faults = plan
+		cfgs = append(cfgs, base, faulted)
+	}
+	results := o.Runner.RunAll(cfgs)
+	for i, sys := range resilienceSystems {
+		clean, faulted := results[2*i], results[2*i+1]
+		total := sumFaults(faulted.Stats)
+		t.AddRow(string(sys), speedCell(clean), resilienceCell(clean, faulted),
+			fmt.Sprintf("%d", total.TransferFaults),
+			fmt.Sprintf("%d", total.TransferRetries),
+			fmt.Sprintf("%d/%d", total.AllocFaults, total.HostFaults),
+			fmt.Sprintf("%d", total.SwapFallbacks),
+			fmt.Sprintf("%d", total.OOMRecoveries))
+	}
+	t.AddNote("not in the paper; batch is 1.5x the framework maximum (%d), so every system leans on its swap path while faults hit it; identical seeds reproduce identical tables", batch)
+	return t
+}

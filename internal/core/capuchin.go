@@ -132,7 +132,18 @@ func (c *Capuchin) OnAccess(acc exec.Access, env *exec.Env) {
 	if action, ok := c.plan.evict[k]; ok {
 		switch action {
 		case actionSwap:
-			env.SwapOutAsync(t)
+			if env.FaultsEnabled() {
+				// Graceful degradation: when the planned swap-out cannot
+				// proceed (injected DMA abort, host pressure) or the link
+				// is inside a degradation window, fall back to releasing
+				// the tensor for recomputation instead of keeping it
+				// resident and risking passive-mode stalls later.
+				if env.LinkDegraded() || !env.SwapOutAsync(t) {
+					env.FallbackToRecompute(t)
+				}
+			} else {
+				env.SwapOutAsync(t)
+			}
 		case actionRecompute:
 			env.ReleaseForRecompute(t)
 		}

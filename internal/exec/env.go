@@ -1,7 +1,9 @@
 package exec
 
 import (
+	"capuchin/internal/fault"
 	"capuchin/internal/graph"
+	"capuchin/internal/memory"
 	"capuchin/internal/sim"
 	"capuchin/internal/tensor"
 )
@@ -55,22 +57,49 @@ func (e *Env) SwapInDuration(bytes int64) sim.Time {
 	return e.s.dev.H2D.TransferTime(bytes)
 }
 
+// FaultsEnabled reports whether the session runs under an active
+// fault-injection plan. Policies use it to gate degradation heuristics so
+// fault-free runs stay bit-identical to the unfaulted executor.
+func (e *Env) FaultsEnabled() bool { return e.s.inj.Enabled() }
+
+// LinkDegraded reports whether the PCIe link is inside an injected
+// bandwidth-degradation window right now. Always false without faults.
+func (e *Env) LinkDegraded() bool { return e.s.inj.LinkDegraded(e.s.actionAnchor) }
+
 // SwapOutAsync proactively evicts a resident tensor: the D2H copy is
 // enqueued at the action anchor and the device memory becomes free when
 // the copy completes (decoupled computation and swapping, §5.3). The call
 // is a no-op if the tensor is not currently resident or host memory is
-// exhausted.
+// exhausted. Proactive swaps fail fast under injected faults — returning
+// false instead of spending the retry budget — so the policy can fall
+// back to recomputation.
 func (e *Env) SwapOutAsync(t *tensor.Tensor) bool {
 	s := e.s
 	if t.Status != tensor.In || t.Persistent {
 		return false
 	}
+	if s.inj.HostFails(t.ID) {
+		s.stats.HostFaults++
+		return false
+	}
 	if err := s.host.Reserve(t.ID, t.Bytes()); err != nil {
 		return false
 	}
-	_, end := s.d2h.Run("swapout "+t.ID, s.actionAnchor, s.dev.D2H.TransferTime(t.Bytes()))
+	dur := s.dev.D2H.DegradedTransferTime(t.Bytes(), s.inj.LinkSlowdown(sim.MaxTime(s.d2h.AvailableAt(), s.actionAnchor)))
+	if s.inj.TransferFails(fault.D2H, t.ID) {
+		// Aborted DMA: the link is occupied to the abort point, the host
+		// reservation is rolled back and the tensor stays resident.
+		s.stats.TransferFaults++
+		s.d2h.Run("swapout "+t.ID+" !fault", s.actionAnchor, dur/2)
+		if err := s.host.Release(t.ID); err != nil {
+			s.defErr = invariant("swapout-async", t.ID, err)
+		}
+		return false
+	}
+	_, end := s.d2h.Run("swapout "+t.ID, s.actionAnchor, dur)
 	if err := t.TransitionTo(tensor.SwappingOut); err != nil {
-		panic(err)
+		s.defErr = invariant("swapout-async", t.ID, err)
+		return false
 	}
 	s.pendingFrees.Add(sim.Pending{At: end, Size: t.Alloc.Size, Key: t.ID})
 	s.stats.SwapOutCount++
@@ -90,16 +119,35 @@ func (e *Env) SwapInAsync(t *tensor.Tensor) bool {
 	if t.Status != tensor.Out {
 		return false
 	}
-	s.applyDueFrees(s.now())
+	if err := s.applyDueFrees(s.now()); err != nil {
+		s.defErr = err
+		return false
+	}
+	if s.inj.AllocFails("prefetch") {
+		// Spurious allocation failure: skip the prefetch; the back-access
+		// fetches on demand.
+		s.stats.AllocFaults++
+		return false
+	}
 	a, err := s.pool.Alloc(t.Bytes())
 	if err != nil {
 		return false
 	}
+	dur := s.dev.H2D.DegradedTransferTime(t.Bytes(), s.inj.LinkSlowdown(sim.MaxTime(s.h2d.AvailableAt(), s.actionAnchor)))
+	if s.inj.TransferFails(fault.H2D, t.ID) {
+		// Aborted prefetch DMA: occupy the link to the abort point and put
+		// the buffer back; the back-access fetches on demand or recomputes.
+		s.stats.TransferFaults++
+		s.h2d.Run("swapin "+t.ID+" !fault", s.actionAnchor, dur/2)
+		memory.MustFree(s.pool, a) // freeing the just-made allocation cannot fail
+		return false
+	}
 	t.Alloc = a
 	if err := t.TransitionTo(tensor.SwappingIn); err != nil {
-		panic(err)
+		s.defErr = invariant("swapin-async", t.ID, err)
+		return false
 	}
-	_, end := s.h2d.Run("swapin "+t.ID, s.actionAnchor, s.dev.H2D.TransferTime(t.Bytes()))
+	_, end := s.h2d.Run("swapin "+t.ID, s.actionAnchor, dur)
 	s.swapInDone[t.ID] = end
 	s.stats.PrefetchCount++
 	s.stats.PrefetchBytes += t.Bytes()
@@ -128,12 +176,30 @@ func (e *Env) ReleaseForRecompute(t *tensor.Tensor) bool {
 	if t.Status != tensor.In || t.Persistent {
 		return false
 	}
-	s.pool.Free(t.Alloc)
+	if err := s.pool.Free(t.Alloc); err != nil {
+		s.defErr = invariant("release-for-recompute", t.ID, err)
+		return false
+	}
 	t.Alloc = nil
 	s.dropLRU(t)
 	if err := t.TransitionTo(tensor.Recompute); err != nil {
-		panic(err)
+		s.defErr = invariant("release-for-recompute", t.ID, err)
+		return false
 	}
+	return true
+}
+
+// FallbackToRecompute abandons the swap path for t and releases it for
+// lineage recomputation, recording the degradation in the iteration's
+// SwapFallbacks counter. Policies call it when SwapOutAsync fails or the
+// link is degraded under fault injection. Tensors still needed after an
+// in-place parameter update are refused: their replay would read updated
+// weights and corrupt the computation.
+func (e *Env) FallbackToRecompute(t *tensor.Tensor) bool {
+	if !e.s.fallbackSafe(t) || !e.ReleaseForRecompute(t) {
+		return false
+	}
+	e.s.stats.SwapFallbacks++
 	return true
 }
 

@@ -1,0 +1,86 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"capuchin/internal/fault"
+	"capuchin/internal/sim"
+)
+
+// ErrIterationOOM wraps allocation failures that no policy action could
+// resolve; the max-batch searches treat it as "this batch does not fit".
+// The full cause chain is preserved: a typical failure matches both
+// ErrIterationOOM and memory.ErrOOM.
+var ErrIterationOOM = errors.New("iteration failed with out-of-memory")
+
+// ErrInvariant is the sentinel wrapped by InvariantError: executor state
+// (residency transitions, host-arena bookkeeping, allocator handles) was
+// violated. Unlike OOM or transfer faults this is never recoverable — it
+// indicates a bug, surfaced as a structured failed Result instead of a
+// panic so concurrent sweeps keep running and report the cause chain.
+var ErrInvariant = errors.New("executor invariant violated")
+
+// InvariantError reports a violated executor invariant with tensor and
+// operation diagnostics.
+type InvariantError struct {
+	// Op names the executor operation that tripped, e.g. "release",
+	// "finish-swapout", "swapout-async".
+	Op string
+	// TensorID identifies the tensor involved, when known.
+	TensorID string
+	// Err is the underlying cause (a state-machine rejection, a
+	// memory.InvariantError, a host-arena error).
+	Err error
+}
+
+func (e *InvariantError) Error() string {
+	if e.TensorID == "" {
+		return fmt.Sprintf("exec: %s: %v", e.Op, e.Err)
+	}
+	return fmt.Sprintf("exec: %s of tensor %s: %v", e.Op, e.TensorID, e.Err)
+}
+
+// Unwrap exposes both the ErrInvariant sentinel and the underlying cause,
+// so errors.Is works against either.
+func (e *InvariantError) Unwrap() []error {
+	if e.Err == nil {
+		return []error{ErrInvariant}
+	}
+	return []error{ErrInvariant, e.Err}
+}
+
+// invariant wraps an underlying error as an InvariantError.
+func invariant(op, tensorID string, err error) error {
+	return &InvariantError{Op: op, TensorID: tensorID, Err: err}
+}
+
+// ErrTransferFailed is the sentinel wrapped by TransferError: a PCIe
+// transfer kept failing after its full retry budget.
+var ErrTransferFailed = errors.New("transfer failed after retries")
+
+// TransferError reports a logical transfer that exhausted its retries.
+type TransferError struct {
+	// Dir is the failed direction.
+	Dir fault.Direction
+	// TensorID is the transferred tensor.
+	TensorID string
+	// Bytes is the transfer size.
+	Bytes int64
+	// Attempts is the number of DMA attempts made (initial + retries).
+	Attempts int
+	// GaveUpAt is the virtual time the last attempt aborted.
+	GaveUpAt sim.Time
+}
+
+func (e *TransferError) Error() string {
+	return fmt.Sprintf("exec: %s transfer of %s (%d bytes) failed after %d attempts at %v",
+		e.Dir, e.TensorID, e.Bytes, e.Attempts, e.GaveUpAt)
+}
+
+// Unwrap exposes the ErrTransferFailed sentinel and fault.ErrInjected:
+// exhausted retries only occur under injection, and recovery code treats
+// the whole chain as injected-fault fallout.
+func (e *TransferError) Unwrap() []error {
+	return []error{ErrTransferFailed, fault.ErrInjected}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"capuchin/internal/fault"
 	"capuchin/internal/graph"
 	"capuchin/internal/memory"
 	"capuchin/internal/ops"
@@ -12,13 +13,14 @@ import (
 	"capuchin/internal/tensor"
 )
 
-// ErrIterationOOM wraps allocation failures that no policy action could
-// resolve; the max-batch searches treat it as "this batch does not fit".
-var ErrIterationOOM = errors.New("iteration failed with out-of-memory")
-
 // maxReplayDepth bounds recomputation recursion; real lineages are bounded
 // by forward-graph depth.
 const maxReplayDepth = 10000
+
+// maxSpuriousAllocRetries bounds consecutive injected allocation failures
+// absorbed per allocate call, so even a 100% injection rate cannot
+// livelock the recovery loop.
+const maxSpuriousAllocRetries = 4
 
 // RunIteration executes one training iteration and returns its statistics.
 // On out-of-memory failure the returned error matches ErrIterationOOM.
@@ -27,13 +29,22 @@ func (s *Session) RunIteration() (IterStats, error) {
 	s.stats = IterStats{Iter: s.iter}
 	s.startTime = s.now()
 	s.penalty = 0
+	s.defErr = nil
 
-	// Per-iteration reference counts: one per scheduled use.
+	// Per-iteration reference counts: one per scheduled use. The same
+	// pass records each tensor's final read position and the first
+	// in-place parameter update, which bound the swap→recompute fallback.
 	s.refs = make(map[string]int, len(s.g.Tensors()))
-	for _, n := range s.g.Nodes {
+	s.lastUse = make(map[string]int, len(s.g.Tensors()))
+	s.updateBarrier = len(s.g.Nodes)
+	for i, n := range s.g.Nodes {
+		if _, isUpdate := n.Op.(ops.ApplyGradient); isUpdate && i < s.updateBarrier {
+			s.updateBarrier = i
+		}
 		for _, in := range n.Inputs {
 			if !in.Persistent {
 				s.refs[in.ID]++
+				s.lastUse[in.ID] = i
 			}
 		}
 	}
@@ -61,7 +72,9 @@ func (s *Session) RunIteration() (IterStats, error) {
 			break
 		}
 	}
-	s.endIteration(env)
+	if err := s.endIteration(env); err != nil && runErr == nil {
+		runErr = err
+	}
 	s.policy.EndIteration(s.iter, env)
 
 	st := s.stats
@@ -104,6 +117,52 @@ func (s *Session) unpin(ids []string) {
 	}
 }
 
+// runTransfer issues one logical PCIe transfer on st, retrying injected
+// DMA aborts with exponential virtual-time backoff. A failed attempt
+// occupies the link for half its duration (the abort point), then the next
+// attempt waits out the backoff. Mandatory transfers (passive evictions,
+// on-demand swap-ins) go through here; proactive ones fail fast instead.
+// Returns the completion time of the successful attempt, or a
+// *TransferError after the retry budget is spent.
+func (s *Session) runTransfer(dir fault.Direction, st *sim.Stream, label, key string, bytes int64, earliest sim.Time) (sim.Time, error) {
+	link := s.dev.H2D
+	if dir == fault.D2H {
+		link = s.dev.D2H
+	}
+	attempts := 1
+	if s.inj.Enabled() {
+		attempts = s.inj.Plan().TransferRetries() + 1
+	}
+	for attempt := 0; ; attempt++ {
+		start := sim.MaxTime(st.AvailableAt(), earliest)
+		dur := link.DegradedTransferTime(bytes, s.inj.LinkSlowdown(start))
+		if !s.inj.TransferFails(dir, key) {
+			_, end := st.Run(label, earliest, dur)
+			return end, nil
+		}
+		s.stats.TransferFaults++
+		_, failEnd := st.Run(label+" !fault", earliest, dur/2)
+		if attempt+1 >= attempts {
+			return 0, &TransferError{Dir: dir, TensorID: key, Bytes: bytes, Attempts: attempt + 1, GaveUpAt: failEnd}
+		}
+		s.stats.TransferRetries++
+		earliest = failEnd + sim.Backoff(s.inj.Plan().Backoff(), attempt)
+	}
+}
+
+// spikeKernel applies an injected kernel latency spike to dur, recording
+// the extra time it cost.
+func (s *Session) spikeKernel(nodeID string, dur sim.Time) sim.Time {
+	f := s.inj.KernelSpike(nodeID)
+	if f <= 1 {
+		return dur
+	}
+	extra := sim.Time(float64(dur) * (f - 1))
+	s.stats.KernelSpikes++
+	s.stats.SpikeTime += extra
+	return dur + extra
+}
+
 // executeNode runs one scheduled node: residency, allocation, algorithm
 // choice, kernel execution, access reporting and deallocation.
 func (s *Session) executeNode(n *graph.Node, env *Env) error {
@@ -119,7 +178,9 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 	// vDNN-style coupled execution: wait for all outstanding swap-outs
 	// before issuing the next layer (§3.1, Fig. 1).
 	if s.cfg.CoupledSwap {
-		s.drainSwapOuts()
+		if err := s.drainSwapOuts(); err != nil {
+			return err
+		}
 	}
 
 	issueAt := s.now()
@@ -158,7 +219,7 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 		}
 		out.Alloc = a
 		if err := out.TransitionTo(tensor.In); err != nil {
-			return err
+			return invariant("produce", out.ID, err)
 		}
 		s.touchLRU(out)
 	}
@@ -171,9 +232,12 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 	for i, in := range n.Inputs {
 		inShapes[i] = in.Shape
 	}
-	algo, wsAlloc := s.chooseAlgorithm(n.Op, inShapes)
+	algo, wsAlloc, err := s.chooseAlgorithm(n.Op, inShapes)
+	if err != nil {
+		return err
+	}
 
-	dur := algo.Duration
+	dur := s.spikeKernel(n.ID, algo.Duration)
 	if s.trackCost > 0 {
 		dur += sim.Time(len(n.Inputs)+len(n.Outputs)) * s.trackCost
 	}
@@ -187,14 +251,16 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 		s.penalty += exposed
 	}
 	if wsAlloc != nil {
-		s.pool.Free(wsAlloc)
+		if err := s.pool.Free(wsAlloc); err != nil {
+			return invariant("free-workspace", "", err)
+		}
 	}
 
 	// Produce fingerprints: the correctness oracle.
 	inFPs := make([]uint64, len(n.Inputs))
 	for i, in := range n.Inputs {
 		if in.Fingerprint == 0 {
-			return fmt.Errorf("input %s consumed with empty fingerprint (residency bug)", in.ID)
+			return invariant("fingerprint", in.ID, fmt.Errorf("input consumed with empty fingerprint (residency bug)"))
 		}
 		inFPs[i] = in.Fingerprint
 	}
@@ -229,32 +295,46 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 		}
 		s.refs[in.ID]--
 		if s.refs[in.ID] == 0 && !s.retained[in.ID] {
-			s.release(in, end, env)
+			if err := s.release(in, end, env); err != nil {
+				return err
+			}
 		}
 	}
 	for _, out := range n.Outputs {
 		if !out.Persistent && s.refs[out.ID] == 0 && !s.retained[out.ID] {
-			s.release(out, end, env)
+			if err := s.release(out, end, env); err != nil {
+				return err
+			}
 		}
+	}
+	// Policy actions run inside bool-returning Env methods; an invariant
+	// violation raised there is parked in defErr and fails the iteration
+	// at this node boundary.
+	if s.defErr != nil {
+		err := s.defErr
+		s.defErr = nil
+		return err
 	}
 	return nil
 }
 
 // chooseAlgorithm picks the fastest algorithm whose workspace can be
 // allocated, falling back to the terminal zero-workspace variant.
-func (s *Session) chooseAlgorithm(op ops.Op, inShapes []tensor.Shape) (ops.Algorithm, *memory.Allocation) {
+func (s *Session) chooseAlgorithm(op ops.Op, inShapes []tensor.Shape) (ops.Algorithm, *memory.Allocation, error) {
 	algos := op.Algorithms(s.dev, inShapes)
 	for _, a := range algos {
 		if a.Workspace == 0 {
-			return a, nil
+			return a, nil, nil
 		}
-		s.applyDueFrees(s.now())
+		if err := s.applyDueFrees(s.now()); err != nil {
+			return ops.Algorithm{}, nil, err
+		}
 		ws, err := s.pool.Alloc(a.Workspace)
 		if err == nil {
-			return a, ws
+			return a, ws, nil
 		}
 	}
-	return algos[len(algos)-1], nil
+	return algos[len(algos)-1], nil, nil
 }
 
 // reportAccess updates access bookkeeping and notifies the policy.
@@ -276,34 +356,36 @@ func (s *Session) reportAccess(t *tensor.Tensor, kind AccessKind, at sim.Time, s
 }
 
 // release frees a dead tensor and reports the deallocation to the policy.
-func (s *Session) release(t *tensor.Tensor, at sim.Time, env *Env) {
+func (s *Session) release(t *tensor.Tensor, at sim.Time, env *Env) error {
 	switch t.Status {
 	case tensor.In:
-		s.pool.Free(t.Alloc)
+		if err := s.pool.Free(t.Alloc); err != nil {
+			return invariant("release", t.ID, err)
+		}
 		t.Alloc = nil
 		s.dropLRU(t)
 		if err := t.TransitionTo(tensor.Freed); err != nil {
-			panic(err)
+			return invariant("release", t.ID, err)
 		}
 	case tensor.Out:
 		if s.host.Holds(t.ID) {
 			if err := s.host.Release(t.ID); err != nil {
-				panic(err)
+				return invariant("release", t.ID, err)
 			}
 		}
 		s.dropLRU(t)
 		if err := t.TransitionTo(tensor.Freed); err != nil {
-			panic(err)
+			return invariant("release", t.ID, err)
 		}
 	case tensor.Recompute:
 		s.dropLRU(t)
 		if err := t.TransitionTo(tensor.Freed); err != nil {
-			panic(err)
+			return invariant("release", t.ID, err)
 		}
 	default:
 		// SwappingOut/SwappingIn: an in-flight transfer owns the buffer;
 		// the pending completion or the iteration barrier cleans up.
-		return
+		return nil
 	}
 	s.stats.Accesses++
 	s.policy.OnAccess(Access{
@@ -315,6 +397,7 @@ func (s *Session) release(t *tensor.Tensor, at sim.Time, env *Env) {
 		NodeID: "",
 		Iter:   s.iter,
 	}, env)
+	return nil
 }
 
 // materialize ensures a scheduled input is readable on device, returning
@@ -342,11 +425,11 @@ func (s *Session) ensureOnDevice(t *tensor.Tensor, env *Env, countStats bool) (r
 		done := s.swapInDone[t.ID]
 		delete(s.swapInDone, t.ID)
 		if err := t.TransitionTo(tensor.In); err != nil {
-			return 0, false, true, err
+			return 0, false, true, invariant("finish-swapin", t.ID, err)
 		}
 		if s.host.Holds(t.ID) {
 			if err := s.host.Release(t.ID); err != nil {
-				return 0, false, true, err
+				return 0, false, true, invariant("finish-swapin", t.ID, err)
 			}
 		}
 		s.touchLRU(t)
@@ -359,14 +442,17 @@ func (s *Session) ensureOnDevice(t *tensor.Tensor, env *Env, countStats bool) (r
 		}
 		t.Alloc = a
 		if err := t.TransitionTo(tensor.SwappingIn); err != nil {
-			return 0, false, true, err
+			return 0, false, true, invariant("ondemand-in", t.ID, err)
 		}
-		_, end := s.h2d.Run("ondemand "+t.ID, s.now(), s.dev.H2D.TransferTime(t.Bytes()))
+		end, terr := s.runTransfer(fault.H2D, s.h2d, "ondemand "+t.ID, t.ID, t.Bytes(), s.now())
+		if terr != nil {
+			return s.abandonSwapIn(t, terr)
+		}
 		if err := t.TransitionTo(tensor.In); err != nil {
-			return 0, false, true, err
+			return 0, false, true, invariant("ondemand-in", t.ID, err)
 		}
 		if err := s.host.Release(t.ID); err != nil {
-			return 0, false, true, err
+			return 0, false, true, invariant("ondemand-in", t.ID, err)
 		}
 		if countStats {
 			s.stats.OnDemandInCount++
@@ -377,6 +463,31 @@ func (s *Session) ensureOnDevice(t *tensor.Tensor, env *Env, countStats bool) (r
 	default:
 		return 0, false, false, nil
 	}
+}
+
+// abandonSwapIn degrades a permanently failed on-demand swap-in to
+// recomputation: the device buffer and host copy are dropped and the
+// tensor re-enters via lineage replay (handled=false). Tensors without a
+// replayable producer surface the transfer failure instead.
+func (s *Session) abandonSwapIn(t *tensor.Tensor, terr error) (sim.Time, bool, bool, error) {
+	if err := s.pool.Free(t.Alloc); err != nil {
+		return 0, false, true, invariant("abandon-swapin", t.ID, err)
+	}
+	t.Alloc = nil
+	if err := t.TransitionTo(tensor.Out); err != nil {
+		return 0, false, true, invariant("abandon-swapin", t.ID, err)
+	}
+	if !s.fallbackSafe(t) {
+		return 0, false, true, fmt.Errorf("on-demand swap-in of %s: %w", t.ID, terr)
+	}
+	if err := s.host.Release(t.ID); err != nil {
+		return 0, false, true, invariant("abandon-swapin", t.ID, err)
+	}
+	if err := t.TransitionTo(tensor.Recompute); err != nil {
+		return 0, false, true, invariant("abandon-swapin", t.ID, err)
+	}
+	s.stats.SwapFallbacks++
+	return 0, false, false, nil
 }
 
 // recompute regenerates t by replaying its lineage. The collective
@@ -432,7 +543,7 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 	}
 	t.Alloc = a
 	if err := t.TransitionTo(tensor.In); err != nil {
-		return 0, err
+		return 0, invariant("replay", t.ID, err)
 	}
 	s.touchLRU(t)
 
@@ -441,18 +552,24 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 	for i, in := range node.Inputs {
 		inShapes[i] = in.Shape
 		if in.Fingerprint == 0 {
-			return 0, fmt.Errorf("recompute of %s reads %s with empty fingerprint", t.ID, in.ID)
+			return 0, invariant("replay", in.ID, fmt.Errorf("recompute of %s reads input with empty fingerprint", t.ID))
 		}
 		inFPs[i] = in.Fingerprint
 	}
-	algo, wsAlloc := s.chooseAlgorithm(node.Op, inShapes)
-	_, end := s.compute.Run("recompute "+node.ID, deps, algo.Duration)
+	algo, wsAlloc, err := s.chooseAlgorithm(node.Op, inShapes)
+	if err != nil {
+		return 0, err
+	}
+	dur := s.spikeKernel(node.ID, algo.Duration)
+	_, end := s.compute.Run("recompute "+node.ID, deps, dur)
 	if wsAlloc != nil {
-		s.pool.Free(wsAlloc)
+		if err := s.pool.Free(wsAlloc); err != nil {
+			return 0, invariant("free-workspace", "", err)
+		}
 	}
 	t.Fingerprint = tensor.ComputeFingerprint(node.ID, 0, inFPs)
 	s.stats.RecomputeCount++
-	s.stats.RecomputeTime += algo.Duration
+	s.stats.RecomputeTime += dur
 	regenerated[t] = true
 
 	// Progressive collective-recomputation retention (§5.3): now that t
@@ -472,7 +589,9 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 		if keep {
 			continue
 		}
-		s.pool.Free(in.Alloc)
+		if err := s.pool.Free(in.Alloc); err != nil {
+			return 0, invariant("replay-release", in.ID, err)
+		}
 		in.Alloc = nil
 		s.dropLRU(in)
 		next := tensor.Freed
@@ -480,7 +599,7 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 			next = tensor.Recompute
 		}
 		if err := in.TransitionTo(next); err != nil {
-			return 0, err
+			return 0, invariant("replay-release", in.ID, err)
 		}
 		delete(regenerated, in)
 	}
@@ -490,14 +609,39 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 // allocate reserves device memory, in order of escalation: apply due
 // in-flight frees, stall on the earliest outstanding swap-out (decoupled
 // OOM synchronization, §5.3), then ask the policy for synchronous passive
-// evictions (§5.2). Fails with ErrIterationOOM when nothing helps.
+// evictions (§5.2). Injected spurious allocation failures are absorbed by
+// retrying after a virtual-time backoff; real failures that later succeed
+// are counted as OOM recoveries. Fails with ErrIterationOOM when nothing
+// helps.
 func (s *Session) allocate(size int64, env *Env) (*memory.Allocation, error) {
+	oomSeen := false
+	spurious := 0
+	evicts := 0
 	for {
-		s.applyDueFrees(s.now())
+		if err := s.applyDueFrees(s.now()); err != nil {
+			return nil, err
+		}
+		if spurious < maxSpuriousAllocRetries && s.inj.AllocFails("device") {
+			// Transient cudaMalloc hiccup: back off in virtual time and
+			// retry the same request.
+			s.stats.AllocFaults++
+			spurious++
+			if delay := sim.Backoff(s.inj.Plan().Backoff(), spurious-1); delay > 0 {
+				s.stats.StallTime += delay
+				s.penalty += delay
+				s.compute.AdvanceTo(s.now() + delay)
+			}
+			continue
+		}
 		a, err := s.pool.Alloc(size)
 		if err == nil {
+			if oomSeen || spurious > 0 {
+				s.stats.OOMRecoveries++
+				s.stats.RecoveryEvicts += evicts
+			}
 			return a, nil
 		}
+		oomSeen = true
 		if p, ok := s.pendingFrees.PeekEarliest(); ok {
 			if p.At > s.now() {
 				stall := p.At - s.now()
@@ -505,38 +649,96 @@ func (s *Session) allocate(size int64, env *Env) (*memory.Allocation, error) {
 				s.penalty += stall
 				s.compute.AdvanceTo(p.At)
 			}
-			s.applyDueFrees(s.now())
+			if err := s.applyDueFrees(s.now()); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		victims, ok := s.policy.OnOOM(size, env)
 		if !ok {
-			return nil, fmt.Errorf("allocating %d bytes: %v: %w", size, err, ErrIterationOOM)
+			return nil, fmt.Errorf("allocating %d bytes: %w: %w", size, err, ErrIterationOOM)
+		}
+		if s.defErr != nil {
+			err := s.defErr
+			s.defErr = nil
+			return nil, err
 		}
 		evicted := false
 		for _, v := range victims {
 			if v.Status != tensor.In || v.Persistent || s.pinned[v.ID] {
 				continue
 			}
-			if err := s.passiveEvict(v); err != nil {
-				return nil, fmt.Errorf("passive eviction of %s: %v: %w", v.ID, err, ErrIterationOOM)
+			if everr := s.passiveEvict(v); everr != nil {
+				if errors.Is(everr, ErrInvariant) {
+					return nil, everr
+				}
+				// Host-side failure (arena pressure or an injected fault):
+				// under injection, degrade the victim to recomputation so
+				// passive mode still makes progress.
+				if s.inj.Enabled() {
+					ok, ferr := s.recomputeFallback(v)
+					if ferr != nil {
+						return nil, ferr
+					}
+					if ok {
+						evicted = true
+						evicts++
+					}
+					continue
+				}
+				return nil, fmt.Errorf("passive eviction of %s: %w: %w", v.ID, everr, ErrIterationOOM)
 			}
 			evicted = true
+			evicts++
 		}
 		if !evicted {
 			// Last resort: wait for an in-flight prefetch to land so its
 			// buffer becomes evictable on the next round.
-			if s.completeEarliestSwapIn() {
+			progressed, cerr := s.completeEarliestSwapIn()
+			if cerr != nil {
+				return nil, cerr
+			}
+			if progressed {
 				continue
 			}
-			return nil, fmt.Errorf("allocating %d bytes with no evictable tensors: %v: %w", size, err, ErrIterationOOM)
+			return nil, fmt.Errorf("allocating %d bytes with no evictable tensors: %w: %w", size, err, ErrIterationOOM)
 		}
 	}
+}
+
+// fallbackSafe reports whether t may be degraded from swapping to
+// recomputation: it needs a replayable producer and every remaining use
+// must precede the first in-place parameter update, so the replay cannot
+// observe modified weights (recompute-after-update would produce
+// different values than the preserved host copy).
+func (s *Session) fallbackSafe(t *tensor.Tensor) bool {
+	return !t.Persistent && s.g.Producer(t) != nil && s.lastUse[t.ID] < s.updateBarrier
+}
+
+// recomputeFallback abandons the swap path for a resident victim and
+// releases its device memory for lineage recomputation instead — the
+// swap→recompute degradation used when the host arena or the D2H link is
+// unusable. Reports false when v has no replayable lineage.
+func (s *Session) recomputeFallback(v *tensor.Tensor) (bool, error) {
+	if v.Status != tensor.In || v.Alloc == nil || !s.fallbackSafe(v) {
+		return false, nil
+	}
+	if err := s.pool.Free(v.Alloc); err != nil {
+		return false, invariant("recompute-fallback", v.ID, err)
+	}
+	v.Alloc = nil
+	s.dropLRU(v)
+	if err := v.TransitionTo(tensor.Recompute); err != nil {
+		return false, invariant("recompute-fallback", v.ID, err)
+	}
+	s.stats.SwapFallbacks++
+	return true, nil
 }
 
 // completeEarliestSwapIn stalls until the earliest in-flight swap-in
 // finishes and marks its tensor resident (and therefore evictable).
 // Returns false when no swap-in is in flight.
-func (s *Session) completeEarliestSwapIn() bool {
+func (s *Session) completeEarliestSwapIn() (bool, error) {
 	var bestID string
 	var bestAt sim.Time
 	for id, at := range s.swapInDone {
@@ -545,12 +747,12 @@ func (s *Session) completeEarliestSwapIn() bool {
 		}
 	}
 	if bestID == "" {
-		return false
+		return false, nil
 	}
 	t := s.g.Tensor(bestID)
 	delete(s.swapInDone, bestID)
 	if t == nil || t.Status != tensor.SwappingIn {
-		return true // state moved on; let the caller retry
+		return true, nil // state moved on; let the caller retry
 	}
 	if bestAt > s.now() {
 		stall := bestAt - s.now()
@@ -559,38 +761,52 @@ func (s *Session) completeEarliestSwapIn() bool {
 		s.compute.AdvanceTo(bestAt)
 	}
 	if err := t.TransitionTo(tensor.In); err != nil {
-		panic(err)
+		return true, invariant("complete-swapin", bestID, err)
 	}
 	if s.host.Holds(bestID) {
 		if err := s.host.Release(bestID); err != nil {
-			panic(err)
+			return true, invariant("complete-swapin", bestID, err)
 		}
 	}
 	s.touchLRU(t)
-	return true
+	return true, nil
 }
 
 // passiveEvict synchronously copies a tensor to host and frees its device
-// memory, stalling the compute stream for the copy (§5.2).
+// memory, stalling the compute stream for the copy (§5.2). Injected D2H
+// faults are retried with backoff; a permanent failure leaves the tensor
+// resident with the host reservation rolled back.
 func (s *Session) passiveEvict(v *tensor.Tensor) error {
+	if s.inj.HostFails(v.ID) {
+		s.stats.HostFaults++
+		return fmt.Errorf("host reservation for %s: %w", v.ID, fault.ErrInjected)
+	}
 	if err := s.host.Reserve(v.ID, v.Bytes()); err != nil {
 		return err
 	}
-	_, end := s.d2h.Run("passive "+v.ID, s.now(), s.dev.D2H.TransferTime(v.Bytes()))
+	end, terr := s.runTransfer(fault.D2H, s.d2h, "passive "+v.ID, v.ID, v.Bytes(), s.now())
+	if terr != nil {
+		if err := s.host.Release(v.ID); err != nil {
+			return invariant("passive-evict", v.ID, err)
+		}
+		return terr
+	}
 	if end > s.now() {
 		stall := end - s.now()
 		s.stats.StallTime += stall
 		s.penalty += stall
 		s.compute.AdvanceTo(end)
 	}
-	s.pool.Free(v.Alloc)
+	if err := s.pool.Free(v.Alloc); err != nil {
+		return invariant("passive-evict", v.ID, err)
+	}
 	v.Alloc = nil
 	s.dropLRU(v)
 	if err := v.TransitionTo(tensor.SwappingOut); err != nil {
-		return err
+		return invariant("passive-evict", v.ID, err)
 	}
 	if err := v.TransitionTo(tensor.Out); err != nil {
-		return err
+		return invariant("passive-evict", v.ID, err)
 	}
 	s.stats.PassiveEvicts++
 	s.stats.PassiveBytes += v.Bytes()
@@ -601,18 +817,21 @@ func (s *Session) passiveEvict(v *tensor.Tensor) error {
 }
 
 // applyDueFrees releases device memory whose swap-out completed by now.
-func (s *Session) applyDueFrees(now sim.Time) {
+func (s *Session) applyDueFrees(now sim.Time) error {
 	for _, p := range s.pendingFrees.PopDue(now) {
-		s.finishSwapOut(p.Key)
+		if err := s.finishSwapOut(p.Key); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // drainSwapOuts waits for every outstanding swap-out (coupled mode).
-func (s *Session) drainSwapOuts() {
+func (s *Session) drainSwapOuts() error {
 	for {
 		p, ok := s.pendingFrees.PopEarliest()
 		if !ok {
-			return
+			return nil
 		}
 		if p.At > s.now() {
 			stall := p.At - s.now()
@@ -620,35 +839,43 @@ func (s *Session) drainSwapOuts() {
 			s.penalty += stall
 			s.compute.AdvanceTo(p.At)
 		}
-		s.finishSwapOut(p.Key)
+		if err := s.finishSwapOut(p.Key); err != nil {
+			return err
+		}
 	}
 }
 
 // finishSwapOut completes one swap-out: free device memory, mark Out.
-func (s *Session) finishSwapOut(id string) {
+func (s *Session) finishSwapOut(id string) error {
 	t := s.g.Tensor(id)
 	if t == nil || t.Status != tensor.SwappingOut {
-		return
+		return nil
 	}
-	s.pool.Free(t.Alloc)
+	if err := s.pool.Free(t.Alloc); err != nil {
+		return invariant("finish-swapout", id, err)
+	}
 	t.Alloc = nil
 	s.dropLRU(t)
 	if err := t.TransitionTo(tensor.Out); err != nil {
-		panic(err)
+		return invariant("finish-swapout", id, err)
 	}
+	return nil
 }
 
 // endIteration waits for outstanding transfers, snapshots the parameter
 // fingerprint and resets per-iteration tensor state.
-func (s *Session) endIteration(env *Env) {
+func (s *Session) endIteration(env *Env) error {
 	barrier := sim.MaxTime(s.now(), sim.MaxTime(s.d2h.AvailableAt(), s.h2d.AvailableAt()))
 	s.compute.AdvanceTo(barrier)
+	var firstErr error
 	for {
 		p, ok := s.pendingFrees.PopEarliest()
 		if !ok {
 			break
 		}
-		s.finishSwapOut(p.Key)
+		if err := s.finishSwapOut(p.Key); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 
 	// Parameter fingerprint over variables in declaration order.
@@ -668,12 +895,14 @@ func (s *Session) endIteration(env *Env) {
 				continue
 			}
 			if t.Alloc != nil {
-				s.pool.Free(t.Alloc)
+				if err := s.pool.Free(t.Alloc); err != nil && firstErr == nil {
+					firstErr = invariant("end-iteration", t.ID, err)
+				}
 				t.Alloc = nil
 			}
 			if s.host.Holds(t.ID) {
-				if err := s.host.Release(t.ID); err != nil {
-					panic(err)
+				if err := s.host.Release(t.ID); err != nil && firstErr == nil {
+					firstErr = invariant("end-iteration", t.ID, err)
 				}
 			}
 			t.ResetIteration()
@@ -683,4 +912,9 @@ func (s *Session) endIteration(env *Env) {
 	s.lruPos = make(map[string]*list.Element)
 	s.swapInDone = make(map[string]sim.Time)
 	s.pinned = make(map[string]bool)
+	if firstErr == nil && s.defErr != nil {
+		firstErr = s.defErr
+		s.defErr = nil
+	}
+	return firstErr
 }

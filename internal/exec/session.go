@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 
+	"capuchin/internal/fault"
 	"capuchin/internal/graph"
 	"capuchin/internal/hw"
 	"capuchin/internal/memory"
@@ -58,6 +59,9 @@ type Config struct {
 	RecomputeHeadroom int64
 	// RecordSpans enables stream span recording for timeline figures.
 	RecordSpans bool
+	// Faults is the deterministic fault-injection plan; the zero value
+	// injects nothing and leaves every virtual-time outcome untouched.
+	Faults fault.Plan
 }
 
 // Session executes iterations of one training graph.
@@ -84,6 +88,13 @@ type Session struct {
 
 	// refs counts remaining scheduled uses of each tensor this iteration.
 	refs map[string]int
+	// lastUse maps tensor ID -> schedule index of its final read this
+	// iteration; updateBarrier is the index of the first in-place
+	// parameter update. Together they bound which tensors may be degraded
+	// from swapping to recomputation: a replay after a parameter update
+	// would read modified weights and change the computed values.
+	lastUse       map[string]int
+	updateBarrier int
 	// retained marks tensors pinned by the eager tape until iteration end.
 	retained map[string]bool
 	// lru orders resident tensors by last access for passive eviction
@@ -101,6 +112,15 @@ type Session struct {
 	// penalty accumulates stall time subtracted from access timestamps to
 	// reconstruct the infinite-memory timeline (§5.2).
 	penalty sim.Time
+
+	// inj answers fault-injection queries; disabled (but never nil) when
+	// Config.Faults is the zero plan.
+	inj *fault.Injector
+	// defErr records an invariant violation raised inside a policy-driven
+	// Env action, whose bool-returning signature cannot carry it; the
+	// executor checks it at the next node boundary and fails the
+	// iteration with the structured cause.
+	defErr error
 
 	iter      int
 	stats     IterStats
@@ -148,6 +168,7 @@ func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
 		lru:        list.New(),
 		lruPos:     make(map[string]*list.Element),
 		pinned:     make(map[string]bool),
+		inj:        fault.NewInjector(cfg.Faults),
 	}
 	if cfg.Mode == EagerMode {
 		s.cpu = sim.NewStream("cpu")

@@ -33,6 +33,32 @@ type IterStats struct {
 	RecomputeCount int
 	RecomputeTime  sim.Time
 
+	// Fault injection and recovery. All fields are zero in a fault-free
+	// run; nonzero values record how the executor degraded gracefully.
+	//
+	// TransferFaults counts injected DMA aborts observed on either PCIe
+	// direction; TransferRetries counts the re-issued attempts (a fault on
+	// the final attempt is not retried).
+	TransferFaults  int
+	TransferRetries int
+	// KernelSpikes counts kernels slowed by an injected latency spike and
+	// SpikeTime the extra compute time they cost.
+	KernelSpikes int
+	SpikeTime    sim.Time
+	// AllocFaults counts spurious device-allocation failures absorbed by
+	// the OOM recovery loop; HostFaults counts spurious pinned-host
+	// reservation failures.
+	AllocFaults int
+	HostFaults  int
+	// SwapFallbacks counts tensors whose swap path (prefetch, on-demand
+	// swap-in or eviction-to-host) was abandoned for recomputation.
+	SwapFallbacks int
+	// OOMRecoveries counts allocations that initially failed but
+	// succeeded after eviction, backoff or retry; RecoveryEvicts counts
+	// the passive evictions those recoveries triggered.
+	OOMRecoveries  int
+	RecoveryEvicts int
+
 	// Memory.
 	PeakBytes int64
 	HostPeak  int64
@@ -51,10 +77,30 @@ func (st IterStats) Throughput(batch int64) float64 {
 	return float64(batch) / st.Duration.Seconds()
 }
 
+// Faulted reports whether the iteration observed any injected fault.
+func (st IterStats) Faulted() bool {
+	return st.TransferFaults > 0 || st.KernelSpikes > 0 || st.AllocFaults > 0 || st.HostFaults > 0
+}
+
+// FaultSummary formats the fault/recovery counters, e.g. for resilience
+// tables; it returns "-" for a fault-free iteration.
+func (st IterStats) FaultSummary() string {
+	if !st.Faulted() && st.SwapFallbacks == 0 && st.OOMRecoveries == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("xfer %d(+%d retry), kernel %d, alloc %d, host %d, fallback %d, recovered %d/%d evicts",
+		st.TransferFaults, st.TransferRetries, st.KernelSpikes, st.AllocFaults,
+		st.HostFaults, st.SwapFallbacks, st.OOMRecoveries, st.RecoveryEvicts)
+}
+
 // String implements fmt.Stringer.
 func (st IterStats) String() string {
-	return fmt.Sprintf("iter %d: %v (stall %v), swapout %d/%dMB, prefetch %d, ondemand %d, passive %d, recompute %d/%v, peak %dMB",
+	s := fmt.Sprintf("iter %d: %v (stall %v), swapout %d/%dMB, prefetch %d, ondemand %d, passive %d, recompute %d/%v, peak %dMB",
 		st.Iter, st.Duration, st.StallTime, st.SwapOutCount, st.SwapOutBytes>>20,
 		st.PrefetchCount, st.OnDemandInCount, st.PassiveEvicts,
 		st.RecomputeCount, st.RecomputeTime, st.PeakBytes>>20)
+	if f := st.FaultSummary(); f != "-" {
+		s += ", faults[" + f + "]"
+	}
+	return s
 }

@@ -1,0 +1,243 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"capuchin/internal/sim"
+)
+
+func TestZeroPlanDisabled(t *testing.T) {
+	in := NewInjector(Plan{})
+	if in.Enabled() {
+		t.Fatal("zero plan must be disabled")
+	}
+	if in.TransferFails(H2D, "t1") || in.AllocFails("alloc") || in.HostFails("t1") {
+		t.Fatal("disabled injector produced a fault")
+	}
+	if f := in.KernelSpike("n1"); f != 1 {
+		t.Fatalf("KernelSpike = %v, want 1", f)
+	}
+	if f := in.LinkSlowdown(sim.Second); f != 1 {
+		t.Fatalf("LinkSlowdown = %v, want 1", f)
+	}
+	if in.Queries() != 0 {
+		t.Fatalf("disabled injector drew %d samples", in.Queries())
+	}
+}
+
+// replayDecisions records a fixed query sequence's outcomes.
+func replayDecisions(in *Injector) []bool {
+	var out []bool
+	for i := 0; i < 50; i++ {
+		out = append(out, in.TransferFails(D2H, "conv1:0"))
+		out = append(out, in.TransferFails(H2D, "conv2:0"))
+		out = append(out, in.AllocFails("device"))
+		out = append(out, in.HostFails("conv1:0"))
+		out = append(out, in.KernelSpike("node7") > 1)
+	}
+	return out
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	p := DefaultPlan(42)
+	a := replayDecisions(NewInjector(p))
+	b := replayDecisions(NewInjector(p))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical injectors", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	// High rate so schedules are dense enough that a collision across all
+	// 250 decisions is essentially impossible.
+	mk := func(seed uint64) Plan {
+		p := DefaultPlan(seed)
+		p.TransferFailRate = 0.5
+		return p
+	}
+	a := replayDecisions(NewInjector(mk(1)))
+	b := replayDecisions(NewInjector(mk(2)))
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+// TestKeyedStreamsIndependent verifies the ordering-robustness property:
+// interleaving queries for an unrelated subject does not perturb the
+// decisions another subject observes.
+func TestKeyedStreamsIndependent(t *testing.T) {
+	p := Plan{Seed: 7, TransferFailRate: 0.3}
+	plain := NewInjector(p)
+	noisy := NewInjector(p)
+	var want, got []bool
+	for i := 0; i < 100; i++ {
+		want = append(want, plain.TransferFails(D2H, "a"))
+		noisy.TransferFails(D2H, "b") // extra interleaved traffic
+		noisy.TransferFails(H2D, "a") // same key, different site
+		got = append(got, noisy.TransferFails(D2H, "a"))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("decision %d for subject a shifted under interleaved queries", i)
+		}
+	}
+}
+
+func TestRateExtremes(t *testing.T) {
+	always := NewInjector(Plan{Seed: 3, TransferFailRate: 1})
+	for i := 0; i < 20; i++ {
+		if !always.TransferFails(H2D, "t") {
+			t.Fatal("rate 1 must always fail")
+		}
+	}
+	// Rate 0 on an otherwise-enabled plan never fails.
+	never := NewInjector(Plan{Seed: 3, TransferFailRate: 1, AllocFailRate: 0})
+	for i := 0; i < 20; i++ {
+		if never.AllocFails("device") {
+			t.Fatal("rate 0 must never fail")
+		}
+	}
+}
+
+func TestRateApproximatelyHonored(t *testing.T) {
+	in := NewInjector(Plan{Seed: 11, TransferFailRate: 0.25})
+	n, hits := 10000, 0
+	for i := 0; i < n; i++ {
+		if in.TransferFails(D2H, "x") {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("empirical rate %.3f far from configured 0.25", got)
+	}
+}
+
+func TestLinkSlowdownWindows(t *testing.T) {
+	p := Plan{
+		Seed:            5,
+		DegradeFactor:   4,
+		DegradePeriod:   10 * sim.Millisecond,
+		DegradeDuration: 2 * sim.Millisecond,
+	}
+	in := NewInjector(p)
+	var degraded, total int
+	for at := sim.Time(0); at < sim.Second; at += 100 * sim.Microsecond {
+		total++
+		f := in.LinkSlowdown(at)
+		if f != 1 && f != 4 {
+			t.Fatalf("slowdown %v at %v, want 1 or 4", f, at)
+		}
+		if f == 4 {
+			degraded++
+			if !in.LinkDegraded(at) {
+				t.Fatalf("LinkDegraded false at %v despite slowdown", at)
+			}
+		}
+	}
+	frac := float64(degraded) / float64(total)
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("degraded fraction %.3f, want about duration/period = 0.2", frac)
+	}
+	// Windows are a pure function of time: re-querying gives the same answer.
+	if in.LinkSlowdown(3*sim.Millisecond) != in.LinkSlowdown(3*sim.Millisecond) {
+		t.Fatal("LinkSlowdown not idempotent")
+	}
+}
+
+func TestPlanDefaults(t *testing.T) {
+	var p Plan
+	if p.TransferRetries() != DefaultTransferRetries {
+		t.Fatalf("TransferRetries = %d, want %d", p.TransferRetries(), DefaultTransferRetries)
+	}
+	if p.Backoff() != DefaultRetryBackoff {
+		t.Fatalf("Backoff = %v, want %v", p.Backoff(), DefaultRetryBackoff)
+	}
+	if p.SpikeFactor() != DefaultKernelSpikeFactor {
+		t.Fatalf("SpikeFactor = %v, want %v", p.SpikeFactor(), DefaultKernelSpikeFactor)
+	}
+	p.MaxTransferRetries = 7
+	p.RetryBackoff = sim.Millisecond
+	p.KernelSpikeFactor = 2.5
+	if p.TransferRetries() != 7 || p.Backoff() != sim.Millisecond || p.SpikeFactor() != 2.5 {
+		t.Fatal("explicit recovery parameters not honored")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	if p, err := ParsePlan(""); err != nil || p.Enabled() {
+		t.Fatalf("empty spec: plan %+v err %v, want disabled", p, err)
+	}
+	if p, err := ParsePlan("off"); err != nil || p.Enabled() {
+		t.Fatalf("off spec: plan %+v err %v, want disabled", p, err)
+	}
+	p, err := ParsePlan("default,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultPlan(0)
+	want.Seed = 9
+	if p != want {
+		t.Fatalf("default,seed=9 = %+v, want %+v", p, want)
+	}
+	p, err = ParsePlan("seed=3,transfer=0.1,degrade=2,degrade-period=20,degrade-window=5,kernel=0.05,kernel-factor=3,alloc=0.02,host=0.01,retries=5,backoff=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 3 || p.TransferFailRate != 0.1 || p.DegradeFactor != 2 ||
+		p.DegradePeriod != 20*sim.Millisecond || p.DegradeDuration != 5*sim.Millisecond ||
+		p.KernelSpikeRate != 0.05 || p.KernelSpikeFactor != 3 ||
+		p.AllocFailRate != 0.02 || p.HostFailRate != 0.01 ||
+		p.MaxTransferRetries != 5 || p.RetryBackoff != 100*sim.Microsecond {
+		t.Fatalf("full spec parsed to %+v", p)
+	}
+	for _, bad := range []string{
+		"nonsense",
+		"transfer=2",  // rate above 1
+		"degrade=0.5", // sub-unity slowdown
+		"seed=abc",    // malformed number
+		"mystery=1",   // unknown key
+		"degrade=2,degrade-period=1,degrade-window=5", // window > period
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid spec", bad)
+		}
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	if got := (Plan{}).String(); got != "faults off" {
+		t.Fatalf("zero plan String = %q", got)
+	}
+	s := DefaultPlan(4).String()
+	if s == "" || s == "faults off" {
+		t.Fatalf("enabled plan String = %q", s)
+	}
+}
+
+func TestErrInjectedSentinel(t *testing.T) {
+	wrapped := errorsJoin()
+	if !errors.Is(wrapped, ErrInjected) {
+		t.Fatal("wrapped injected fault must match ErrInjected")
+	}
+}
+
+// errorsJoin builds a representative wrapped chain the executor produces.
+func errorsJoin() error {
+	return &wrapErr{ErrInjected}
+}
+
+type wrapErr struct{ err error }
+
+func (w *wrapErr) Error() string { return "transfer aborted: " + w.err.Error() }
+func (w *wrapErr) Unwrap() error { return w.err }

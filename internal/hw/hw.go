@@ -30,6 +30,17 @@ func (l Link) TransferTime(bytes int64) sim.Time {
 	return l.Latency + sim.FromSeconds(float64(bytes)/l.BytesPerSec)
 }
 
+// DegradedTransferTime reports the transfer duration under a bandwidth
+// slowdown factor (fault-injected PCIe contention windows). The factor
+// scales only the bandwidth term — DMA setup latency is unaffected by
+// contention — and a factor of 1 or less reproduces TransferTime exactly.
+func (l Link) DegradedTransferTime(bytes int64, slowdown float64) sim.Time {
+	if slowdown <= 1 || bytes <= 0 {
+		return l.TransferTime(bytes)
+	}
+	return l.Latency + sim.FromSeconds(float64(bytes)*slowdown/l.BytesPerSec)
+}
+
 // DeviceSpec describes a GPU and its host link for the cost model.
 type DeviceSpec struct {
 	Name string

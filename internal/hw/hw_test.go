@@ -130,3 +130,24 @@ func TestWithMemory(t *testing.T) {
 		t.Error("WithMemory changed unrelated fields")
 	}
 }
+
+func TestDegradedTransferTime(t *testing.T) {
+	l := Link{BytesPerSec: 10e9, Latency: 15 * sim.Microsecond}
+	// A slowdown of 1 or less must reproduce TransferTime exactly — the
+	// fault-free golden outputs depend on this identity.
+	for _, f := range []float64{-1, 0, 0.5, 1} {
+		if got, want := l.DegradedTransferTime(1<<20, f), l.TransferTime(1<<20); got != want {
+			t.Errorf("DegradedTransferTime(1MiB, %g) = %v, want %v", f, got, want)
+		}
+	}
+	if got, want := l.DegradedTransferTime(0, 4), l.TransferTime(0); got != want {
+		t.Errorf("DegradedTransferTime(0, 4) = %v, want %v", got, want)
+	}
+	// The factor scales only the bandwidth term, not the setup latency
+	// (±1ns float rounding between the two computations is acceptable).
+	base := l.TransferTime(1 << 20)
+	got, want := l.DegradedTransferTime(1<<20, 4)-l.Latency, 4*(base-l.Latency)
+	if diff := got - want; diff < -2 || diff > 2 {
+		t.Errorf("degraded bandwidth term = %v, want %v", got, want)
+	}
+}

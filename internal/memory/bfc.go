@@ -168,21 +168,11 @@ func (a *BFC) findChunk(rounded int64) *chunk {
 }
 
 // Free implements Pool.
-func (a *BFC) Free(al *Allocation) {
-	if al == nil {
-		panic("memory: Free(nil)")
+func (a *BFC) Free(al *Allocation) error {
+	if ierr := checkFree(a, al); ierr != nil {
+		return ierr
 	}
-	if al.freed {
-		panic(fmt.Sprintf("memory: double free of allocation at offset %d", al.Offset))
-	}
-	if al.owner != a || al.chunk == nil {
-		panic("memory: allocation freed to the wrong allocator")
-	}
-	al.freed = true
 	c := al.chunk
-	if !c.inUse {
-		panic("memory: freeing a chunk that is not in use")
-	}
 	a.used -= c.size
 	a.reqUsed -= c.requested
 	a.frees++
@@ -208,6 +198,7 @@ func (a *BFC) Free(al *Allocation) {
 		c = p
 	}
 	a.binFor(c.size).insert(c)
+	return nil
 }
 
 // Used implements Pool.

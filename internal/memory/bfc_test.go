@@ -169,28 +169,59 @@ func TestBFCFragmentationOOM(t *testing.T) {
 	}
 }
 
-func TestBFCDoubleFreePanics(t *testing.T) {
+func TestBFCDoubleFreeError(t *testing.T) {
 	a := NewBFC(1 << 20)
 	al, _ := a.Alloc(512)
-	a.Free(al)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double free did not panic")
-		}
-	}()
-	a.Free(al)
+	if err := a.Free(al); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Free(al)
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("double free returned %v, want ErrInvariant", err)
+	}
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("double free error is %T, want *InvariantError", err)
+	}
+	if ie.Allocator != "bfc" || ie.Op != "free" || ie.Offset != al.Offset || ie.Size != al.Size {
+		t.Errorf("invariant diagnostics = %+v", ie)
+	}
+	// The failed free must not corrupt accounting.
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 }
 
-func TestBFCWrongAllocatorPanics(t *testing.T) {
+func TestBFCWrongAllocatorError(t *testing.T) {
 	a := NewBFC(1 << 20)
 	b := NewBFC(1 << 20)
 	al, _ := a.Alloc(512)
+	if err := b.Free(al); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("cross-allocator free returned %v, want ErrInvariant", err)
+	}
+	// The allocation is still live in its true owner.
+	if err := a.Free(al); err != nil {
+		t.Fatalf("owner free after rejected cross-free: %v", err)
+	}
+}
+
+func TestMustFree(t *testing.T) {
+	a := NewBFC(1 << 20)
+	al, _ := a.Alloc(512)
+	MustFree(a, al) // legal free must not panic
 	defer func() {
 		if recover() == nil {
-			t.Fatal("cross-allocator free did not panic")
+			t.Fatal("MustFree of a double free did not panic")
 		}
 	}()
-	b.Free(al)
+	MustFree(a, al)
+}
+
+func TestFreeNilError(t *testing.T) {
+	a := NewBFC(1 << 20)
+	if err := a.Free(nil); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("Free(nil) returned %v, want ErrInvariant", err)
+	}
 }
 
 func TestBFCPeak(t *testing.T) {
@@ -355,16 +386,15 @@ func TestFirstFitTakesFirstHole(t *testing.T) {
 	_ = l1
 }
 
-func TestFirstFitDoubleFreePanics(t *testing.T) {
+func TestFirstFitDoubleFreeError(t *testing.T) {
 	a := NewFirstFit(1 << 20)
 	al, _ := a.Alloc(512)
-	a.Free(al)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double free did not panic")
-		}
-	}()
-	a.Free(al)
+	if err := a.Free(al); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(al); !errors.Is(err, ErrInvariant) {
+		t.Fatalf("double free returned %v, want ErrInvariant", err)
+	}
 }
 
 func TestPoolNames(t *testing.T) {

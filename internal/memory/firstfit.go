@@ -73,21 +73,11 @@ func (a *FirstFit) Alloc(size int64) (*Allocation, error) {
 }
 
 // Free implements Pool.
-func (a *FirstFit) Free(al *Allocation) {
-	if al == nil {
-		panic("memory: Free(nil)")
+func (a *FirstFit) Free(al *Allocation) error {
+	if ierr := checkFree(a, al); ierr != nil {
+		return ierr
 	}
-	if al.freed {
-		panic(fmt.Sprintf("memory: double free of allocation at offset %d", al.Offset))
-	}
-	if al.owner != a || al.chunk == nil {
-		panic("memory: allocation freed to the wrong allocator")
-	}
-	al.freed = true
 	c := al.chunk
-	if !c.inUse {
-		panic("memory: freeing a chunk that is not in use")
-	}
 	a.used -= c.size
 	a.reqUsed -= c.requested
 	a.frees++
@@ -107,6 +97,7 @@ func (a *FirstFit) Free(al *Allocation) {
 			c.next.prev = p
 		}
 	}
+	return nil
 }
 
 // Used implements Pool.

@@ -35,7 +35,10 @@ func (h *HostArena) Reserve(key string, size int64) error {
 		return fmt.Errorf("memory: duplicate host reservation for %q", key)
 	}
 	if h.used+size > h.capacity {
-		return &OOMError{Requested: size, FreeBytes: h.capacity - h.used, LargestFree: h.capacity - h.used, Capacity: h.capacity}
+		// The arena is counter-based and does not model fragmentation, so
+		// there is no meaningful "largest contiguous" figure to report;
+		// Host routes Error() to the host-specific message without one.
+		return &OOMError{Requested: size, FreeBytes: h.capacity - h.used, Capacity: h.capacity, Host: true}
 	}
 	h.live[key] = size
 	h.used += size

@@ -2,6 +2,7 @@ package memory
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -49,6 +50,19 @@ func TestHostArenaOOM(t *testing.T) {
 	err := h.Reserve("b", 600)
 	if !errors.Is(err, ErrOOM) {
 		t.Fatalf("expected ErrOOM, got %v", err)
+	}
+	var oe *OOMError
+	if !errors.As(err, &oe) {
+		t.Fatalf("host OOM is %T, want *OOMError", err)
+	}
+	if !oe.Host {
+		t.Error("host OOM not marked Host")
+	}
+	if oe.LargestFree != 0 {
+		t.Errorf("host OOM reports LargestFree=%d; the arena has no contiguity model", oe.LargestFree)
+	}
+	if msg := oe.Error(); strings.Contains(msg, "contiguous") || !strings.Contains(msg, "pinned host") {
+		t.Errorf("host OOM message %q should name pinned host memory and omit the contiguous figure", msg)
 	}
 	// Capacity check is exact: a 400-byte reservation still fits.
 	if err := h.Reserve("c", 400); err != nil {

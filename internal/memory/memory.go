@@ -19,15 +19,50 @@ import (
 // trigger eviction.
 var ErrOOM = errors.New("out of device memory")
 
+// ErrInvariant is the sentinel wrapped by InvariantError. A matching error
+// means allocator bookkeeping was violated (double free, cross-allocator
+// free) — an executor bug, not a recoverable memory condition.
+var ErrInvariant = errors.New("allocator invariant violated")
+
+// InvariantError reports a violated allocator invariant with the
+// diagnostics needed to locate the offending allocation.
+type InvariantError struct {
+	// Allocator is the pool's Name (or "host" for the host arena).
+	Allocator string
+	// Op is the operation that tripped the invariant, e.g. "free".
+	Op string
+	// Offset and Size locate the allocation when known.
+	Offset, Size int64
+	// Detail explains which invariant broke.
+	Detail string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("memory: %s %s of allocation at offset %d (size %d): %s",
+		e.Allocator, e.Op, e.Offset, e.Size, e.Detail)
+}
+
+// Unwrap lets errors.Is(err, ErrInvariant) match.
+func (e *InvariantError) Unwrap() error { return ErrInvariant }
+
 // OOMError carries diagnostic detail about a failed allocation.
 type OOMError struct {
-	Requested   int64
-	FreeBytes   int64
+	Requested int64
+	FreeBytes int64
+	// LargestFree is the largest contiguous free region. It is meaningful
+	// only for device pools; the host arena does not model fragmentation,
+	// so host-side errors set Host and leave this zero.
 	LargestFree int64
 	Capacity    int64
+	// Host marks a pinned host-memory failure rather than a device one.
+	Host bool
 }
 
 func (e *OOMError) Error() string {
+	if e.Host {
+		return fmt.Sprintf("out of pinned host memory: requested %d bytes, %d free of %d capacity",
+			e.Requested, e.FreeBytes, e.Capacity)
+	}
 	return fmt.Sprintf("out of device memory: requested %d bytes, %d free (largest contiguous %d) of %d capacity",
 		e.Requested, e.FreeBytes, e.LargestFree, e.Capacity)
 }
@@ -52,9 +87,12 @@ type Pool interface {
 	// Alloc reserves size bytes, returning an *OOMError (matching ErrOOM)
 	// on failure. Alloc(0) is legal and reserves a minimum-sized chunk.
 	Alloc(size int64) (*Allocation, error)
-	// Free releases an allocation. Freeing twice panics: the simulator's
-	// ref-counting must never double-free.
-	Free(a *Allocation)
+	// Free releases an allocation. A double free or a free to the wrong
+	// allocator returns an *InvariantError (matching ErrInvariant): the
+	// simulator's ref-counting must never double-free, and a violation is
+	// surfaced as a structured failure rather than a panic. MustFree is
+	// the panicking variant for tests and teardown paths.
+	Free(a *Allocation) error
 	// Used reports the bytes currently reserved by live allocations
 	// (rounded chunk sizes).
 	Used() int64
@@ -70,6 +108,34 @@ type Pool interface {
 	Peak() int64
 	// Name identifies the allocator for stats and ablation output.
 	Name() string
+}
+
+// MustFree releases an allocation and panics on an invariant violation.
+// It is the escape hatch for tests and teardown code where a violated
+// invariant should abort loudly instead of threading an error.
+func MustFree(p Pool, a *Allocation) {
+	if err := p.Free(a); err != nil {
+		panic(err)
+	}
+}
+
+// checkFree validates an allocation handed to p.Free and marks it freed.
+// It returns the structured invariant violation, if any.
+func checkFree(p Pool, al *Allocation) *InvariantError {
+	if al == nil {
+		return &InvariantError{Allocator: p.Name(), Op: "free", Detail: "Free(nil)"}
+	}
+	if al.freed {
+		return &InvariantError{Allocator: p.Name(), Op: "free", Offset: al.Offset, Size: al.Size, Detail: "double free"}
+	}
+	if al.owner != p || al.chunk == nil {
+		return &InvariantError{Allocator: p.Name(), Op: "free", Offset: al.Offset, Size: al.Size, Detail: "allocation belongs to a different allocator"}
+	}
+	if !al.chunk.inUse {
+		return &InvariantError{Allocator: p.Name(), Op: "free", Offset: al.Offset, Size: al.Size, Detail: "chunk is not in use"}
+	}
+	al.freed = true
+	return nil
 }
 
 // Stats summarizes allocator activity.

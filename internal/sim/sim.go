@@ -70,6 +70,25 @@ func MinTime(a, b Time) Time {
 	return b
 }
 
+// maxBackoffShift caps exponential backoff doubling so pathological retry
+// budgets cannot overflow virtual time.
+const maxBackoffShift = 16
+
+// Backoff reports the exponential retry delay for the given zero-based
+// attempt: base doubled per prior attempt (base, 2*base, 4*base, ...),
+// with the doubling capped at 2^16. It is the virtual-time analogue of a
+// driver's retry backoff; the executor uses it between re-issued PCIe
+// transfers.
+func Backoff(base Time, attempt int) Time {
+	if base <= 0 || attempt < 0 {
+		return 0
+	}
+	if attempt > maxBackoffShift {
+		attempt = maxBackoffShift
+	}
+	return base << attempt
+}
+
 // Span records one operation executed on a stream, for timeline analysis
 // (e.g. regenerating the swap-overlap timeline of the paper's Figure 1).
 type Span struct {

@@ -241,3 +241,19 @@ func TestStreamInvariantsProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestBackoff(t *testing.T) {
+	base := 25 * Microsecond
+	for attempt, want := range []Time{base, 2 * base, 4 * base, 8 * base} {
+		if got := Backoff(base, attempt); got != want {
+			t.Errorf("Backoff(%v, %d) = %v, want %v", base, attempt, got, want)
+		}
+	}
+	if Backoff(0, 3) != 0 || Backoff(-Second, 3) != 0 || Backoff(base, -1) != 0 {
+		t.Error("Backoff must be zero for non-positive base or negative attempt")
+	}
+	// Doubling is capped so huge attempt counts cannot overflow.
+	if got, want := Backoff(base, 1000), Backoff(base, maxBackoffShift); got != want {
+		t.Errorf("Backoff cap: got %v, want %v", got, want)
+	}
+}

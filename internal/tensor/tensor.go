@@ -146,8 +146,8 @@ func (st Status) String() string {
 // legalTransitions encodes the residency state machine.
 var legalTransitions = map[Status][]Status{
 	In:          {SwappingOut, Recompute, Freed, In},
-	SwappingOut: {Out, In}, // In: swap-out cancelled because the tensor was re-accessed first
-	Out:         {SwappingIn, Freed},
+	SwappingOut: {Out, In},                      // In: swap-out cancelled because the tensor was re-accessed first
+	Out:         {SwappingIn, Recompute, Freed}, // Recompute: swap-in abandoned under faults; regenerate from lineage
 	SwappingIn:  {In, Out},
 	Recompute:   {In, Freed},
 	Freed:       {In}, // a new iteration re-materializes the tensor
