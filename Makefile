@@ -3,9 +3,9 @@
 # parallel experiment engine touches + the chaos soak suite.
 GO ?= go
 
-.PHONY: check vet build test race soak bench goldens
+.PHONY: check vet build test race soak bench goldens profile-smoke
 
-check: vet build test race soak
+check: vet build test race soak profile-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,18 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMatrix' -benchtime 3x .
 
 # goldens regenerates the quick-mode regression tables after an
-# intentional policy or cost-model change.
+# intentional policy or cost-model change. The Chrome trace golden lives
+# in internal/trace and regenerates the same way.
 goldens:
 	$(GO) test ./internal/bench -run Golden -update
+	$(GO) test ./internal/trace -run ChromeGolden -update
+
+# profile-smoke drives the observability stack end to end: the exporter
+# tests (golden Chrome trace, memory profile, audit log, metrics) plus a
+# real capuchin-trace invocation that must emit a loadable timeline and a
+# non-empty decision history.
+profile-smoke:
+	$(GO) test ./internal/trace -run 'ChromeGolden|ProfileSmoke'
+	$(GO) run ./cmd/capuchin-trace -model alexnet -batch 256 -mem 1.5 \
+		-system capuchin -chrome /tmp/capuchin-smoke.json -memprof -explain auto >/dev/null
+	rm -f /tmp/capuchin-smoke.json

@@ -5,7 +5,12 @@
 //
 //	capuchin-bench [-exp all|fig1|fig2|fig3|fig8a|fig8b|table2|table3|fig9|fig10|overhead|ablations|resilience]
 //	               [-device p100|v100|t4] [-mem GiB] [-iters N] [-jobs N] [-quick] [-markdown]
-//	               [-faults spec]
+//	               [-faults spec] [-profile]
+//
+// -profile attaches the observability stack to every simulated cell and
+// prints the sweep-wide metrics aggregate (kernel/transfer/stall latency
+// histograms, swap and fault counters) to stderr after the tables.
+// Tracing is outcome-neutral, so the tables themselves are unchanged.
 //
 // -faults selects the deterministic fault-injection plan used by the
 // resilience experiment. The spec is "default", "off", or comma-separated
@@ -44,6 +49,7 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit Markdown tables instead of aligned text")
 	tsv := flag.Bool("tsv", false, "emit tab-separated values (plot-ready; single experiments only)")
 	faults := flag.String("faults", "", "fault-injection plan for -exp resilience: \"default\", \"off\", or key=value pairs (see package doc)")
+	profile := flag.Bool("profile", false, "profile every cell and print the aggregate metrics to stderr")
 	flag.Parse()
 
 	plan, err := fault.ParsePlan(*faults)
@@ -67,7 +73,16 @@ func main() {
 	if *mem > 0 {
 		dev = dev.WithMemory(*mem * hw.GiB)
 	}
-	o := bench.Options{Device: dev, Iterations: *iters, Quick: *quick, Jobs: *jobs}
+	o := bench.Options{Device: dev, Iterations: *iters, Quick: *quick, Jobs: *jobs, Profile: *profile}
+	if *profile {
+		o.Runner = bench.NewRunner(*jobs)
+		defer func() {
+			fmt.Fprintln(os.Stderr)
+			if err := o.Runner.Metrics().WriteText(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	write := func(t *bench.Table) {
 		var err error

@@ -1,11 +1,26 @@
-// Command capuchin-trace dumps tensor access traces and stream timelines
-// as TSV, the raw material for the paper's timeline figures (Fig. 1 swap
-// overlap, Fig. 3 access regularity).
+// Command capuchin-trace inspects single runs: tensor access traces and
+// stream timelines as TSV (the raw material for the paper's Fig. 1 and
+// Fig. 3), plus the deep-observability exports — Perfetto-compatible
+// Chrome traces, memory profiles with peak attribution, and the policy
+// decision audit log.
 //
 // Usage:
 //
 //	capuchin-trace -model resnet50 -batch 32 -iters 3 [-tensors id1,id2]
-//	               [-spans compute|h2d|d2h] [-system tf-ori]
+//	               [-spans compute|h2d|d2h] [-system capuchin] [-mem GiB]
+//	               [-faults spec]
+//	               [-chrome out.json] [-memprof] [-explain tensor|auto]
+//
+// The observability modes (-chrome, -memprof, -explain) run the workload
+// through the bench harness with the tracer attached, so -system accepts
+// every system the paper compares (tf-ori, vdnn, superneurons, openai-m,
+// openai-s, capuchin and its ablations). -chrome writes Chrome trace-event
+// JSON loadable in Perfetto or chrome://tracing: one lane per stream,
+// memory counter tracks, and instant markers for faults, retries and OOM
+// recoveries. -memprof prints per-tensor peak attribution and the
+// fragmentation timeline. -explain prints every policy decision that
+// touched a tensor ("auto" picks the first tensor the policy acted on).
+// -faults takes the same spec as capuchin-bench (see fault.ParsePlan).
 package main
 
 import (
@@ -14,12 +29,20 @@ import (
 	"os"
 	"strings"
 
+	"capuchin/internal/bench"
 	"capuchin/internal/exec"
+	"capuchin/internal/fault"
 	"capuchin/internal/graph"
 	"capuchin/internal/hw"
 	"capuchin/internal/models"
+	"capuchin/internal/obs"
 	"capuchin/internal/trace"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
 
 func main() {
 	model := flag.String("model", "resnet50", "workload: "+strings.Join(models.Names(), ", "))
@@ -27,9 +50,36 @@ func main() {
 	iters := flag.Int("iters", 3, "iterations to trace")
 	tensors := flag.String("tensors", "", "comma-separated tensor IDs to trace (empty = all)")
 	spans := flag.String("spans", "", "dump stream spans instead: compute, h2d or d2h")
-	memGiB := flag.Int64("mem", 64, "device memory in GiB (large default = no pressure)")
+	memGiB := flag.Float64("mem", 64, "device memory in GiB, fractions allowed (large default = no pressure)")
+	system := flag.String("system", "tf-ori", "memory-management system (observability and -spans modes)")
+	faults := flag.String("faults", "", "fault-injection plan: \"default\", \"off\", or key=value pairs")
+	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON timeline to this file (\"-\" = stdout)")
+	memprof := flag.Bool("memprof", false, "print the memory profile (peak attribution, fragmentation)")
+	explain := flag.String("explain", "", "print the policy decision history for a tensor (\"auto\" = first acted-on tensor)")
 	flag.Parse()
 
+	plan, err := fault.ParsePlan(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "invalid -faults spec: %v\n", err)
+		os.Exit(2)
+	}
+	dev := hw.P100().WithMemory(int64(*memGiB * float64(hw.GiB)))
+
+	if *chrome != "" || *memprof || *explain != "" || *spans != "" {
+		observe(bench.RunConfig{
+			Model:       *model,
+			Batch:       *batch,
+			System:      bench.System(*system),
+			Device:      dev,
+			Iterations:  *iters,
+			Faults:      plan,
+			RecordSpans: *spans != "",
+			Profile:     true,
+		}, *chrome, *memprof, *explain, *spans)
+		return
+	}
+
+	// Access-TSV mode: a Recorder wraps the original framework's policy.
 	spec, err := models.Get(*model)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -37,10 +87,8 @@ func main() {
 	}
 	g, err := spec.Build(*batch, graph.GraphModeOptions())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
-
 	var filter func(exec.Access) bool
 	if *tensors != "" {
 		want := make(map[string]bool)
@@ -50,22 +98,38 @@ func main() {
 		filter = func(acc exec.Access) bool { return want[acc.Tensor.ID] }
 	}
 	rec := trace.NewRecorder(nil, filter)
-
-	dev := hw.P100().WithMemory(*memGiB * hw.GiB)
-	s, err := exec.NewSession(g, exec.Config{Device: dev, Policy: rec, RecordSpans: *spans != ""})
+	s, err := exec.NewSession(g, exec.Config{Device: dev, Policy: rec, Faults: plan})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if _, err := s.Run(*iters); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
+	if err := rec.WriteTSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
 
-	if *spans != "" {
-		compute, h2d, d2h := s.Streams()
+// observe runs one profiled cell through the bench harness and emits the
+// requested observability outputs.
+func observe(cfg bench.RunConfig, chrome string, memprof bool, explain, spans string) {
+	res := bench.Run(cfg)
+	if res.Profile == nil {
+		if res.Err != nil {
+			fatal(res.Err)
+		}
+		fatal(fmt.Errorf("capuchin-trace: run produced no profile"))
+	}
+	if res.Err != nil {
+		// A failed run still has a timeline — often the one you want.
+		fmt.Fprintf(os.Stderr, "run failed (%v); exports cover the partial run\n", res.Err)
+	}
+	p := res.Profile
+
+	if spans != "" {
+		compute, h2d, d2h := res.Session.Streams()
 		var err error
-		switch *spans {
+		switch spans {
 		case "compute":
 			err = trace.WriteSpansTSV(os.Stdout, "compute", compute.Spans())
 		case "h2d":
@@ -73,16 +137,50 @@ func main() {
 		case "d2h":
 			err = trace.WriteSpansTSV(os.Stdout, "d2h", d2h.Spans())
 		default:
-			err = fmt.Errorf("unknown stream %q", *spans)
+			err = fmt.Errorf("unknown stream %q", spans)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
-		return
 	}
-	if err := rec.WriteTSV(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	if chrome != "" {
+		w := os.Stdout
+		if chrome != "-" {
+			f, err := os.Create(chrome)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := obs.WriteChromeTrace(w, p.Events.Events()); err != nil {
+			fatal(err)
+		}
+		if chrome != "-" {
+			fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (load in Perfetto or chrome://tracing)\n",
+				p.Events.Len(), chrome)
+		}
+	}
+
+	if memprof {
+		if err := p.Mem.WriteReport(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if explain != "" {
+		subject := explain
+		decisions := p.Events.Decisions()
+		if subject == "auto" {
+			subjects := obs.ExplainTensors(decisions)
+			if len(subjects) == 0 {
+				fatal(fmt.Errorf("no policy decisions recorded: the %s run never came under memory pressure (try a smaller -mem)", cfg.System))
+			}
+			subject = subjects[0]
+		}
+		if err := obs.WriteExplain(os.Stdout, subject, decisions, p.Events.Events()); err != nil {
+			fatal(err)
+		}
 	}
 }

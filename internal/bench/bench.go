@@ -15,6 +15,7 @@ import (
 	"capuchin/internal/graph"
 	"capuchin/internal/hw"
 	"capuchin/internal/models"
+	"capuchin/internal/obs"
 	"capuchin/internal/policy/checkpoint"
 	"capuchin/internal/policy/superneurons"
 	"capuchin/internal/policy/vdnn"
@@ -60,6 +61,12 @@ type RunConfig struct {
 	// injects nothing. Kept flat and comparable so RunConfig remains a
 	// valid cache key for Runner's single-flight result cache.
 	Faults fault.Plan
+	// Profile attaches the observability stack (tracer, metrics, memory
+	// profile) to the run and fills Result.Profile. Tracing is
+	// outcome-neutral — profiled and unprofiled runs report identical
+	// IterStats — but the flag stays part of the cache key so a profiled
+	// Result is never served to a caller that did not ask for one.
+	Profile bool
 }
 
 // Result is the outcome of one run.
@@ -78,6 +85,9 @@ type Result struct {
 	Plan core.PlanSummary
 	// Session remains accessible for span and allocator inspection.
 	Session *exec.Session
+	// Profile holds the run's observability artifacts when
+	// RunConfig.Profile was set (present even when the run failed).
+	Profile *ProfileReport
 
 	capuchin *core.Capuchin
 }
@@ -120,6 +130,14 @@ func Run(cfg RunConfig) Result {
 		RecordSpans: cfg.RecordSpans,
 		HostMemory:  cfg.HostMemory,
 		Faults:      cfg.Faults,
+	}
+	var col *obs.Collector
+	var met *obs.Metrics
+	if cfg.Profile {
+		col = obs.NewCollector()
+		met = obs.NewMetrics()
+		ec.Tracer = col
+		ec.Metrics = met
 	}
 	var cap *core.Capuchin
 	switch cfg.System {
@@ -171,6 +189,9 @@ func Run(cfg RunConfig) Result {
 	res.Session = s
 	stats, err := s.Run(cfg.Iterations)
 	res.Stats = stats
+	if col != nil {
+		res.Profile = newProfileReport(col, met)
+	}
 	if err != nil {
 		res.Err = err
 		return res

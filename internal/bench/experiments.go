@@ -33,6 +33,10 @@ type Options struct {
 	// Runner overrides the experiment engine, sharing its result cache
 	// across generators; nil builds one from Jobs.
 	Runner *Runner
+	// Profile enables the observability stack on every cell the sweep
+	// simulates; read the aggregate afterwards from Runner.Metrics().
+	// Tracing is outcome-neutral, so tables are unchanged.
+	Profile bool
 }
 
 func (o Options) fill() Options {
@@ -47,6 +51,9 @@ func (o Options) fill() Options {
 	}
 	if o.Runner == nil {
 		o.Runner = NewRunner(o.Jobs)
+	}
+	if o.Profile {
+		o.Runner.EnableProfiling()
 	}
 	return o
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"capuchin/internal/exec"
+	"capuchin/internal/obs"
 )
 
 // Runner is the concurrent experiment engine. It executes independent
@@ -37,6 +38,13 @@ type Runner struct {
 	// runFn executes one cell; it is Run except in tests that inject
 	// failures.
 	runFn func(RunConfig) Result
+
+	// profile forces RunConfig.Profile on every executed cell; set via
+	// EnableProfiling before submitting work.
+	profile bool
+	// agg accumulates the metrics of every profiled cell the runner
+	// actually simulated (cache hits do not double-count).
+	agg *obs.Metrics
 
 	mu    sync.Mutex
 	cache map[RunConfig]*cacheEntry
@@ -70,9 +78,21 @@ func NewRunnerContext(ctx context.Context, jobs int) *Runner {
 		ctx:   ctx,
 		sem:   make(chan struct{}, jobs),
 		runFn: Run,
+		agg:   obs.NewMetrics(),
 		cache: make(map[RunConfig]*cacheEntry),
 	}
 }
+
+// EnableProfiling makes every cell run with RunConfig.Profile set, feeding
+// the sweep-wide metrics aggregate. Call it before submitting work; the
+// flag is applied after cache keying, so callers profiling explicitly and
+// callers relying on the runner-wide switch share entries.
+func (r *Runner) EnableProfiling() { r.profile = true }
+
+// Metrics returns the aggregate metrics registry merged across every
+// profiled cell this runner simulated. Cells served from the cache are
+// counted once — when they actually ran.
+func (r *Runner) Metrics() *obs.Metrics { return r.agg }
 
 // Jobs reports the worker-pool bound.
 func (r *Runner) Jobs() int { return r.jobs }
@@ -166,7 +186,13 @@ func (r *Runner) execute(cfg RunConfig) (res Result) {
 			r.panics.Add(1)
 			res = Result{Config: cfg, Err: fmt.Errorf("bench: run panicked: %v", p)}
 		}
+		if res.Profile != nil {
+			r.agg.Merge(res.Profile.Metrics)
+		}
 	}()
+	if r.profile {
+		cfg.Profile = true
+	}
 	return r.runFn(cfg)
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"capuchin/internal/exec"
+	"capuchin/internal/obs"
 	"capuchin/internal/sim"
 	"capuchin/internal/tensor"
 )
@@ -118,7 +119,7 @@ func (c *Capuchin) OnAccess(acc exec.Access, env *exec.Env) {
 	// the swap time (§4.4).
 	if sp, ok := c.plan.swaps[t.ID]; ok && acc.Count == sp.backCount {
 		if acc.InFlight && acc.Stall > 0 && !c.opts.DisableFeedback {
-			c.advanceTrigger(sp)
+			c.advanceTrigger(sp, env)
 		}
 	}
 
@@ -180,6 +181,12 @@ func (c *Capuchin) prefetch(id string, env *exec.Env) {
 	}
 	c.pendingSet[id] = true
 	c.pendingPrefetch = append(c.pendingPrefetch, id)
+	if env.Tracing() {
+		env.Decide(obs.Decision{
+			Tensor: id, Action: "prefetch-deferred", Bytes: c.plan.sizes[id],
+			Reason: "in-trigger fired inside the peak-memory region; queued until headroom returns",
+		})
+	}
 }
 
 // drainPrefetches retries queued prefetches in FIFO order, stopping at the
@@ -205,7 +212,7 @@ func (c *Capuchin) drainPrefetches(env *exec.Env) {
 
 // advanceTrigger moves a swap plan's in-trigger earlier on the measured
 // timeline by FeedbackAdvance of its swap duration.
-func (c *Capuchin) advanceTrigger(sp *swapPlan) {
+func (c *Capuchin) advanceTrigger(sp *swapPlan, env *exec.Env) {
 	seq := c.plan.seq
 	var current sim.Time
 	if sp.triggerIdx >= 0 {
@@ -225,6 +232,12 @@ func (c *Capuchin) advanceTrigger(sp *swapPlan) {
 	sp.triggerIdx = idx
 	c.plan.registerTrigger(sp)
 	c.stalledAdjusts++
+	if env.Tracing() {
+		env.Decide(obs.Decision{
+			Tensor: sp.id, Action: "advance-trigger", Bytes: sp.size,
+			Reason: "back-access stalled on the in-flight prefetch; in-trigger moved earlier (§4.4)",
+		})
+	}
 }
 
 // OnOOM implements exec.Policy: passive mode's on-demand eviction scan
@@ -258,6 +271,9 @@ func (c *Capuchin) EndIteration(iter int, env *exec.Env) {
 		params:   paramResident(env),
 		swapOut:  env.SwapOutDuration,
 		swapIn:   env.SwapInDuration,
+	}
+	if env.Tracing() {
+		pl.decide = env.Decide
 	}
 	c.plan = pl.build()
 }

@@ -1,6 +1,9 @@
 package core
 
-import "capuchin/internal/sim"
+import (
+	"capuchin/internal/obs"
+	"capuchin/internal/sim"
+)
 
 // initRecompute derives each candidate's recomputation sources and replay
 // time from the measured lineage (§4.4): walking the producing operation's
@@ -98,6 +101,14 @@ func (pl *planner) selectRecompute(p *plan, c *cand, rest []*cand, recomps []*ca
 	p.sizes[c.r.id] = c.r.size
 	p.numRecompute++
 	p.coveredRecomp += c.r.size
+	if pl.decide != nil {
+		pl.decide(obs.Decision{
+			Tensor: c.r.id, Action: "plan-recompute", Bytes: c.r.size,
+			MSPS:       c.msps(),
+			BackAccess: c.backAt - c.evictAt,
+			Reason:     "highest Memory-Saving-Per-Second among recomputable candidates (Algorithm 2)",
+		})
+	}
 
 	// Lines 5-12 of Algorithm 2: chosen targets that sourced from c now
 	// source from c's sources; each such target replays c again.

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
+	"capuchin/internal/obs"
 	"capuchin/internal/sim"
 )
 
@@ -153,6 +155,11 @@ type planner struct {
 	// the mixed plans the paper observes at large batch sizes (§6.3.2).
 	swapBudget   int64
 	swapConsumed int64
+
+	// decide, when non-nil, records each planning decision with its inputs
+	// (Free-Time, MSPS, back-access distance, candidate-set size) in the
+	// observability audit log.
+	decide func(obs.Decision)
 }
 
 // swapLaneBudget estimates per-direction PCIe capacity over one iteration.
@@ -200,6 +207,13 @@ func (pl *planner) build() *plan {
 	required := peak - threshold
 	p.required = required
 	if required <= 0 {
+		if pl.decide != nil {
+			pl.decide(obs.Decision{
+				Action: "plan", Bytes: required,
+				Reason: fmt.Sprintf("measured peak %s fits under the %s threshold; no evictions planned",
+					obs.FmtBytes(peak), obs.FmtBytes(threshold)),
+			})
+		}
 		return p // everything fits; passive mode remains as a safety net
 	}
 	wFrom, wTo, ok := peakWindow(curve, threshold)
@@ -225,7 +239,7 @@ func (pl *planner) build() *plan {
 	for _, c := range candidates {
 		if remaining > 0 && c.ft >= 0 && !pl.opts.RecomputeOnly &&
 			pl.swapConsumed+c.r.size <= pl.swapBudget {
-			pl.selectSwap(p, c)
+			pl.selectSwap(p, c, "non-negative Free-Time: transfer hides fully under compute (phase A)")
 			remaining -= c.r.size
 			continue
 		}
@@ -243,7 +257,7 @@ func (pl *planner) build() *plan {
 				break
 			}
 			if isSwap {
-				pl.selectSwap(p, c)
+				pl.selectSwap(p, c, "lowest swap overhead beat best-MSPS recomputation (Algorithm 1)")
 			} else {
 				pl.selectRecompute(p, c, rest, recomps)
 				recomps = append(recomps, c)
@@ -253,6 +267,14 @@ func (pl *planner) build() *plan {
 		}
 	}
 	pl.scheduleTriggers(p)
+	if pl.decide != nil {
+		pl.decide(obs.Decision{
+			Action: "plan", Bytes: required, Candidates: len(candidates),
+			Reason: fmt.Sprintf("need %s beyond threshold: swap %d tensors (%s), recompute %d (%s)",
+				obs.FmtBytes(required), p.numSwap, obs.FmtBytes(p.coveredSwap),
+				p.numRecompute, obs.FmtBytes(p.coveredRecomp)),
+		})
+	}
 	return p
 }
 
@@ -342,8 +364,9 @@ func (pl *planner) identifyCandidates(wFrom, wTo sim.Time) []*cand {
 }
 
 // selectSwap commits a candidate to the eviction set as a swap and picks
-// its in-trigger.
-func (pl *planner) selectSwap(p *plan, c *cand) {
+// its in-trigger. reason explains which selection phase chose it, for the
+// audit log.
+func (pl *planner) selectSwap(p *plan, c *cand, reason string) {
 	sp := &swapPlan{
 		id:         c.r.id,
 		size:       c.r.size,
@@ -360,6 +383,13 @@ func (pl *planner) selectSwap(p *plan, c *cand) {
 	p.numSwap++
 	p.coveredSwap += c.r.size
 	pl.swapConsumed += c.r.size
+	if pl.decide != nil {
+		pl.decide(obs.Decision{
+			Tensor: c.r.id, Action: "plan-swap", Bytes: c.r.size, Reason: reason,
+			FreeTime:   c.ft,
+			BackAccess: c.backAt - c.evictAt,
+		})
+	}
 }
 
 // chooseInTrigger finds the access at which to start the prefetch: the

@@ -4,6 +4,7 @@ import (
 	"capuchin/internal/fault"
 	"capuchin/internal/graph"
 	"capuchin/internal/memory"
+	"capuchin/internal/obs"
 	"capuchin/internal/sim"
 	"capuchin/internal/tensor"
 )
@@ -57,6 +58,15 @@ func (e *Env) SwapInDuration(bytes int64) sim.Time {
 	return e.s.dev.H2D.TransferTime(bytes)
 }
 
+// Tracing reports whether an observability tracer is attached. Policies
+// gate decision construction on it so untraced runs pay nothing.
+func (e *Env) Tracing() bool { return e.s.tr != nil }
+
+// Decide records a policy decision in the audit log; a no-op without a
+// tracer. The executor stamps the policy name, virtual time and iteration
+// when the caller leaves them zero.
+func (e *Env) Decide(d obs.Decision) { e.s.decide(d) }
+
 // FaultsEnabled reports whether the session runs under an active
 // fault-injection plan. Policies use it to gate degradation heuristics so
 // fault-free runs stay bit-identical to the unfaulted executor.
@@ -80,9 +90,25 @@ func (e *Env) SwapOutAsync(t *tensor.Tensor) bool {
 	}
 	if s.inj.HostFails(t.ID) {
 		s.stats.HostFaults++
+		if s.tr != nil {
+			s.laneInstant("fault", "host-fault", "d2h", t.ID, s.actionAnchor)
+			s.decide(obs.Decision{
+				Tensor: t.ID, Action: "swap-out-failed", Bytes: t.Bytes(),
+				Reason: "injected pinned-host reservation fault",
+			})
+		}
+		if s.met != nil {
+			s.met.Add("faults/host", 1)
+		}
 		return false
 	}
 	if err := s.host.Reserve(t.ID, t.Bytes()); err != nil {
+		if s.tr != nil {
+			s.decide(obs.Decision{
+				Tensor: t.ID, Action: "swap-out-failed", Bytes: t.Bytes(),
+				Reason: "pinned host arena exhausted",
+			})
+		}
 		return false
 	}
 	dur := s.dev.D2H.DegradedTransferTime(t.Bytes(), s.inj.LinkSlowdown(sim.MaxTime(s.d2h.AvailableAt(), s.actionAnchor)))
@@ -90,13 +116,28 @@ func (e *Env) SwapOutAsync(t *tensor.Tensor) bool {
 		// Aborted DMA: the link is occupied to the abort point, the host
 		// reservation is rolled back and the tensor stays resident.
 		s.stats.TransferFaults++
-		s.d2h.Run("swapout "+t.ID+" !fault", s.actionAnchor, dur/2)
+		failStart, failEnd := s.d2h.Run("swapout "+t.ID+" !fault", s.actionAnchor, dur/2)
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{
+				Kind: obs.KindSpan, Cat: "transfer", Name: "swapout " + t.ID + " !fault",
+				Lane: "d2h", Start: failStart, End: failEnd, Queued: s.actionAnchor,
+				Iter: s.iter, Tensor: t.ID, Bytes: t.Bytes(), Detail: "aborted",
+			})
+			s.laneInstant("fault", "dma-abort", "d2h", t.ID, failEnd)
+			s.decide(obs.Decision{
+				Tensor: t.ID, Action: "swap-out-failed", Bytes: t.Bytes(),
+				Reason: "injected DMA abort; proactive swaps fail fast",
+			})
+		}
+		if s.met != nil {
+			s.met.Add("faults/transfer", 1)
+		}
 		if err := s.host.Release(t.ID); err != nil {
 			s.defErr = invariant("swapout-async", t.ID, err)
 		}
 		return false
 	}
-	_, end := s.d2h.Run("swapout "+t.ID, s.actionAnchor, dur)
+	start, end := s.d2h.Run("swapout "+t.ID, s.actionAnchor, dur)
 	if err := t.TransitionTo(tensor.SwappingOut); err != nil {
 		s.defErr = invariant("swapout-async", t.ID, err)
 		return false
@@ -106,6 +147,22 @@ func (e *Env) SwapOutAsync(t *tensor.Tensor) bool {
 	s.stats.SwapOutBytes += t.Bytes()
 	if h := s.host.Peak(); h > s.stats.HostPeak {
 		s.stats.HostPeak = h
+	}
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{
+			Kind: obs.KindSpan, Cat: "transfer", Name: "swapout " + t.ID,
+			Lane: "d2h", Start: start, End: end, Queued: s.actionAnchor,
+			Iter: s.iter, Tensor: t.ID, Bytes: t.Bytes(),
+		})
+		s.decide(obs.Decision{
+			Tensor: t.ID, Action: "swap-out", Bytes: t.Bytes(), At: s.actionAnchor,
+			Reason: "proactive eviction overlapped with compute (§5.3)",
+		})
+	}
+	if s.met != nil {
+		s.met.Add("swap/out", 1)
+		s.met.Observe("transfer/d2h", end-start)
+		s.met.Observe("transfer-queue/d2h", start-s.actionAnchor)
 	}
 	return true
 }
@@ -127,10 +184,26 @@ func (e *Env) SwapInAsync(t *tensor.Tensor) bool {
 		// Spurious allocation failure: skip the prefetch; the back-access
 		// fetches on demand.
 		s.stats.AllocFaults++
+		if s.tr != nil {
+			s.laneInstant("fault", "alloc-fault", "h2d", t.ID, s.actionAnchor)
+			s.decide(obs.Decision{
+				Tensor: t.ID, Action: "prefetch-failed", Bytes: t.Bytes(),
+				Reason: "injected allocation fault; back-access will fetch on demand",
+			})
+		}
+		if s.met != nil {
+			s.met.Add("faults/alloc", 1)
+		}
 		return false
 	}
 	a, err := s.pool.Alloc(t.Bytes())
 	if err != nil {
+		if s.tr != nil {
+			s.decide(obs.Decision{
+				Tensor: t.ID, Action: "prefetch-failed", Bytes: t.Bytes(),
+				Reason: "no device memory for the prefetch buffer; back-access will fetch on demand",
+			})
+		}
 		return false
 	}
 	dur := s.dev.H2D.DegradedTransferTime(t.Bytes(), s.inj.LinkSlowdown(sim.MaxTime(s.h2d.AvailableAt(), s.actionAnchor)))
@@ -138,7 +211,22 @@ func (e *Env) SwapInAsync(t *tensor.Tensor) bool {
 		// Aborted prefetch DMA: occupy the link to the abort point and put
 		// the buffer back; the back-access fetches on demand or recomputes.
 		s.stats.TransferFaults++
-		s.h2d.Run("swapin "+t.ID+" !fault", s.actionAnchor, dur/2)
+		failStart, failEnd := s.h2d.Run("swapin "+t.ID+" !fault", s.actionAnchor, dur/2)
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{
+				Kind: obs.KindSpan, Cat: "transfer", Name: "swapin " + t.ID + " !fault",
+				Lane: "h2d", Start: failStart, End: failEnd, Queued: s.actionAnchor,
+				Iter: s.iter, Tensor: t.ID, Bytes: t.Bytes(), Detail: "aborted",
+			})
+			s.laneInstant("fault", "dma-abort", "h2d", t.ID, failEnd)
+			s.decide(obs.Decision{
+				Tensor: t.ID, Action: "prefetch-failed", Bytes: t.Bytes(),
+				Reason: "injected DMA abort; back-access will fetch on demand or recompute",
+			})
+		}
+		if s.met != nil {
+			s.met.Add("faults/transfer", 1)
+		}
 		memory.MustFree(s.pool, a) // freeing the just-made allocation cannot fail
 		return false
 	}
@@ -147,10 +235,27 @@ func (e *Env) SwapInAsync(t *tensor.Tensor) bool {
 		s.defErr = invariant("swapin-async", t.ID, err)
 		return false
 	}
-	_, end := s.h2d.Run("swapin "+t.ID, s.actionAnchor, dur)
+	start, end := s.h2d.Run("swapin "+t.ID, s.actionAnchor, dur)
 	s.swapInDone[t.ID] = end
 	s.stats.PrefetchCount++
 	s.stats.PrefetchBytes += t.Bytes()
+	if s.tr != nil {
+		s.memEvent("alloc", "prefetch", t.ID, t.Bytes(), s.actionAnchor)
+		s.tr.Emit(obs.Event{
+			Kind: obs.KindSpan, Cat: "transfer", Name: "swapin " + t.ID,
+			Lane: "h2d", Start: start, End: end, Queued: s.actionAnchor,
+			Iter: s.iter, Tensor: t.ID, Bytes: t.Bytes(),
+		})
+		s.decide(obs.Decision{
+			Tensor: t.ID, Action: "prefetch", Bytes: t.Bytes(), At: s.actionAnchor,
+			Reason: "in-trigger prefetch ahead of the back-access (§5.4)",
+		})
+	}
+	if s.met != nil {
+		s.met.Add("swap/prefetch", 1)
+		s.met.Observe("transfer/h2d", end-start)
+		s.met.Observe("transfer-queue/h2d", start-s.actionAnchor)
+	}
 	return true
 }
 
@@ -186,6 +291,13 @@ func (e *Env) ReleaseForRecompute(t *tensor.Tensor) bool {
 		s.defErr = invariant("release-for-recompute", t.ID, err)
 		return false
 	}
+	if s.tr != nil {
+		s.memEvent("free", "recompute-drop", t.ID, t.Bytes(), s.now())
+		s.decide(obs.Decision{
+			Tensor: t.ID, Action: "release-recompute", Bytes: t.Bytes(),
+			Reason: "planned recomputation: dropped now, lineage replay at the back-access",
+		})
+	}
 	return true
 }
 
@@ -200,6 +312,15 @@ func (e *Env) FallbackToRecompute(t *tensor.Tensor) bool {
 		return false
 	}
 	e.s.stats.SwapFallbacks++
+	if e.s.tr != nil {
+		e.s.decide(obs.Decision{
+			Tensor: t.ID, Action: "fallback-recompute", Bytes: t.Bytes(),
+			Reason: "policy abandoned the swap path (failed swap-out or degraded link)",
+		})
+	}
+	if e.s.met != nil {
+		e.s.met.Add("fallback/recompute", 1)
+	}
 	return true
 }
 

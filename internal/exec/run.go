@@ -8,6 +8,7 @@ import (
 	"capuchin/internal/fault"
 	"capuchin/internal/graph"
 	"capuchin/internal/memory"
+	"capuchin/internal/obs"
 	"capuchin/internal/ops"
 	"capuchin/internal/sim"
 	"capuchin/internal/tensor"
@@ -133,19 +134,45 @@ func (s *Session) runTransfer(dir fault.Direction, st *sim.Stream, label, key st
 	if s.inj.Enabled() {
 		attempts = s.inj.Plan().TransferRetries() + 1
 	}
+	queued := earliest
 	for attempt := 0; ; attempt++ {
 		start := sim.MaxTime(st.AvailableAt(), earliest)
 		dur := link.DegradedTransferTime(bytes, s.inj.LinkSlowdown(start))
 		if !s.inj.TransferFails(dir, key) {
-			_, end := st.Run(label, earliest, dur)
+			tStart, end := st.Run(label, earliest, dur)
+			if s.tr != nil {
+				s.tr.Emit(obs.Event{
+					Kind: obs.KindSpan, Cat: "transfer", Name: label, Lane: st.Name(),
+					Start: tStart, End: end, Queued: queued, Iter: s.iter,
+					Tensor: key, Bytes: bytes,
+				})
+			}
+			if s.met != nil {
+				s.met.Observe("transfer/"+st.Name(), end-tStart)
+				s.met.Observe("transfer-queue/"+st.Name(), tStart-queued)
+			}
 			return end, nil
 		}
 		s.stats.TransferFaults++
-		_, failEnd := st.Run(label+" !fault", earliest, dur/2)
+		failStart, failEnd := st.Run(label+" !fault", earliest, dur/2)
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{
+				Kind: obs.KindSpan, Cat: "transfer", Name: label + " !fault", Lane: st.Name(),
+				Start: failStart, End: failEnd, Queued: queued, Iter: s.iter,
+				Tensor: key, Bytes: bytes, Detail: "aborted",
+			})
+			s.laneInstant("fault", "dma-abort", st.Name(), key, failEnd)
+		}
+		if s.met != nil {
+			s.met.Add("faults/transfer", 1)
+		}
 		if attempt+1 >= attempts {
 			return 0, &TransferError{Dir: dir, TensorID: key, Bytes: bytes, Attempts: attempt + 1, GaveUpAt: failEnd}
 		}
 		s.stats.TransferRetries++
+		if s.tr != nil {
+			s.laneInstant("fault", "retry", st.Name(), key, failEnd)
+		}
 		earliest = failEnd + sim.Backoff(s.inj.Plan().Backoff(), attempt)
 	}
 }
@@ -160,6 +187,12 @@ func (s *Session) spikeKernel(nodeID string, dur sim.Time) sim.Time {
 	extra := sim.Time(float64(dur) * (f - 1))
 	s.stats.KernelSpikes++
 	s.stats.SpikeTime += extra
+	if s.tr != nil {
+		s.laneInstant("fault", "kernel-spike", "compute", nodeID, s.now())
+	}
+	if s.met != nil {
+		s.met.Add("faults/kernel-spike", 1)
+	}
 	return dur + extra
 }
 
@@ -187,7 +220,13 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 	deps := issueAt
 	// Eager mode: the CPU dispatch stream serializes ahead of the kernel.
 	if s.cpu != nil {
-		_, cpuEnd := s.cpu.Run("dispatch "+n.ID, 0, s.dev.EagerDispatch)
+		cpuStart, cpuEnd := s.cpu.Run("dispatch "+n.ID, 0, s.dev.EagerDispatch)
+		if s.tr != nil {
+			s.tr.Emit(obs.Event{
+				Kind: obs.KindSpan, Cat: "dispatch", Name: "dispatch " + n.ID,
+				Lane: "cpu", Start: cpuStart, End: cpuEnd, Iter: s.iter, Node: n.ID,
+			})
+		}
 		deps = sim.MaxTime(deps, cpuEnd)
 	}
 	dispatchReady := deps
@@ -222,6 +261,9 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 			return invariant("produce", out.ID, err)
 		}
 		s.touchLRU(out)
+		if s.tr != nil {
+			s.memEvent("alloc", "produce", out.ID, out.Bytes(), s.now())
+		}
 	}
 
 	// Algorithm choice: fastest whose workspace fits right now, mirroring
@@ -246,13 +288,22 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 	// remaining wait on transfer dependencies is exposed here.
 	preRun := sim.MaxTime(s.now(), dispatchReady)
 	start, end := s.compute.Run(n.ID, deps, dur)
-	if exposed := start - preRun; exposed > 0 {
-		s.stats.StallTime += exposed
-		s.penalty += exposed
+	s.exposedStall(preRun, start)
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{
+			Kind: obs.KindSpan, Cat: "kernel", Name: n.ID, Lane: "compute",
+			Start: start, End: end, Iter: s.iter, Node: n.ID,
+		})
+	}
+	if s.met != nil {
+		s.met.Observe("kernel", dur)
 	}
 	if wsAlloc != nil {
 		if err := s.pool.Free(wsAlloc); err != nil {
 			return invariant("free-workspace", "", err)
+		}
+		if s.tr != nil {
+			s.memEvent("free", "workspace", "", wsAlloc.Size, s.now())
 		}
 	}
 
@@ -331,6 +382,9 @@ func (s *Session) chooseAlgorithm(op ops.Op, inShapes []tensor.Shape) (ops.Algor
 		}
 		ws, err := s.pool.Alloc(a.Workspace)
 		if err == nil {
+			if s.tr != nil {
+				s.memEvent("alloc", "workspace", "", a.Workspace, s.now())
+			}
 			return a, ws, nil
 		}
 	}
@@ -366,6 +420,9 @@ func (s *Session) release(t *tensor.Tensor, at sim.Time, env *Env) error {
 		s.dropLRU(t)
 		if err := t.TransitionTo(tensor.Freed); err != nil {
 			return invariant("release", t.ID, err)
+		}
+		if s.tr != nil {
+			s.memEvent("free", "dead", t.ID, t.Bytes(), at)
 		}
 	case tensor.Out:
 		if s.host.Holds(t.ID) {
@@ -444,6 +501,16 @@ func (s *Session) ensureOnDevice(t *tensor.Tensor, env *Env, countStats bool) (r
 		if err := t.TransitionTo(tensor.SwappingIn); err != nil {
 			return 0, false, true, invariant("ondemand-in", t.ID, err)
 		}
+		if s.tr != nil {
+			s.memEvent("alloc", "ondemand", t.ID, t.Bytes(), s.now())
+			s.decide(obs.Decision{
+				Tensor: t.ID, Action: "ondemand-swapin", Bytes: t.Bytes(),
+				Reason: "accessed while swapped out (no prefetch landed)",
+			})
+		}
+		if s.met != nil {
+			s.met.Add("swap/ondemand", 1)
+		}
 		end, terr := s.runTransfer(fault.H2D, s.h2d, "ondemand "+t.ID, t.ID, t.Bytes(), s.now())
 		if terr != nil {
 			return s.abandonSwapIn(t, terr)
@@ -487,6 +554,16 @@ func (s *Session) abandonSwapIn(t *tensor.Tensor, terr error) (sim.Time, bool, b
 		return 0, false, true, invariant("abandon-swapin", t.ID, err)
 	}
 	s.stats.SwapFallbacks++
+	if s.tr != nil {
+		s.memEvent("free", "fallback", t.ID, t.Bytes(), s.now())
+		s.decide(obs.Decision{
+			Tensor: t.ID, Action: "fallback-recompute", Bytes: t.Bytes(),
+			Reason: "on-demand swap-in exhausted its DMA retry budget; degrading to lineage replay",
+		})
+	}
+	if s.met != nil {
+		s.met.Add("fallback/recompute", 1)
+	}
 	return 0, false, false, nil
 }
 
@@ -546,6 +623,9 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 		return 0, invariant("replay", t.ID, err)
 	}
 	s.touchLRU(t)
+	if s.tr != nil {
+		s.memEvent("alloc", "recompute", t.ID, t.Bytes(), s.now())
+	}
 
 	inShapes := make([]tensor.Shape, len(node.Inputs))
 	inFPs := make([]uint64, len(node.Inputs))
@@ -561,10 +641,23 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 		return 0, err
 	}
 	dur := s.spikeKernel(node.ID, algo.Duration)
-	_, end := s.compute.Run("recompute "+node.ID, deps, dur)
+	rStart, end := s.compute.Run("recompute "+node.ID, deps, dur)
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{
+			Kind: obs.KindSpan, Cat: "recompute", Name: "recompute " + node.ID,
+			Lane: "compute", Start: rStart, End: end, Iter: s.iter,
+			Node: node.ID, Tensor: t.ID,
+		})
+	}
+	if s.met != nil {
+		s.met.Observe("recompute", dur)
+	}
 	if wsAlloc != nil {
 		if err := s.pool.Free(wsAlloc); err != nil {
 			return 0, invariant("free-workspace", "", err)
+		}
+		if s.tr != nil {
+			s.memEvent("free", "workspace", "", wsAlloc.Size, s.now())
 		}
 	}
 	t.Fingerprint = tensor.ComputeFingerprint(node.ID, 0, inFPs)
@@ -602,6 +695,9 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 			return 0, invariant("replay-release", in.ID, err)
 		}
 		delete(regenerated, in)
+		if s.tr != nil {
+			s.memEvent("free", "replay-release", in.ID, in.Bytes(), s.now())
+		}
 	}
 	return end, nil
 }
@@ -626,10 +722,14 @@ func (s *Session) allocate(size int64, env *Env) (*memory.Allocation, error) {
 			// retry the same request.
 			s.stats.AllocFaults++
 			spurious++
+			if s.tr != nil {
+				s.laneInstant("fault", "alloc-fault", "compute", "spurious device allocation failure", s.now())
+			}
+			if s.met != nil {
+				s.met.Add("faults/alloc", 1)
+			}
 			if delay := sim.Backoff(s.inj.Plan().Backoff(), spurious-1); delay > 0 {
-				s.stats.StallTime += delay
-				s.penalty += delay
-				s.compute.AdvanceTo(s.now() + delay)
+				s.stallTo(s.now()+delay, "alloc-backoff")
 			}
 			continue
 		}
@@ -638,17 +738,28 @@ func (s *Session) allocate(size int64, env *Env) (*memory.Allocation, error) {
 			if oomSeen || spurious > 0 {
 				s.stats.OOMRecoveries++
 				s.stats.RecoveryEvicts += evicts
+				if s.tr != nil {
+					s.laneInstant("oom", "oom-recovered", "compute",
+						fmt.Sprintf("%s allocated after %d evictions", obs.FmtBytes(size), evicts), s.now())
+				}
+				if s.met != nil {
+					s.met.Add("oom/recoveries", 1)
+				}
 			}
 			return a, nil
 		}
+		if !oomSeen && s.tr != nil {
+			s.tr.Emit(obs.Event{
+				Kind: obs.KindInstant, Cat: "oom", Name: "oom", Lane: "compute",
+				Start: s.now(), End: s.now(), Iter: s.iter, Bytes: size,
+				Used: s.pool.Used(), Free: s.pool.FreeBytes(),
+				LargestFree: s.pool.LargestFree(), HostUsed: s.host.Used(),
+				Detail: "allocation failed: " + obs.FmtBytes(size),
+			})
+		}
 		oomSeen = true
 		if p, ok := s.pendingFrees.PeekEarliest(); ok {
-			if p.At > s.now() {
-				stall := p.At - s.now()
-				s.stats.StallTime += stall
-				s.penalty += stall
-				s.compute.AdvanceTo(p.At)
-			}
+			s.stallTo(p.At, "oom-wait-swapout")
 			if err := s.applyDueFrees(s.now()); err != nil {
 				return nil, err
 			}
@@ -657,6 +768,12 @@ func (s *Session) allocate(size int64, env *Env) (*memory.Allocation, error) {
 		victims, ok := s.policy.OnOOM(size, env)
 		if !ok {
 			return nil, fmt.Errorf("allocating %d bytes: %w: %w", size, err, ErrIterationOOM)
+		}
+		if s.tr != nil {
+			s.decide(obs.Decision{
+				Action: "oom-scan", Bytes: size, Candidates: len(victims),
+				Reason: "synchronous passive-eviction victim scan (§5.2)",
+			})
 		}
 		if s.defErr != nil {
 			err := s.defErr
@@ -732,6 +849,16 @@ func (s *Session) recomputeFallback(v *tensor.Tensor) (bool, error) {
 		return false, invariant("recompute-fallback", v.ID, err)
 	}
 	s.stats.SwapFallbacks++
+	if s.tr != nil {
+		s.memEvent("free", "fallback", v.ID, v.Bytes(), s.now())
+		s.decide(obs.Decision{
+			Tensor: v.ID, Action: "fallback-recompute", Bytes: v.Bytes(),
+			Reason: "host arena or D2H link unusable; releasing victim for lineage replay",
+		})
+	}
+	if s.met != nil {
+		s.met.Add("fallback/recompute", 1)
+	}
 	return true, nil
 }
 
@@ -754,12 +881,7 @@ func (s *Session) completeEarliestSwapIn() (bool, error) {
 	if t == nil || t.Status != tensor.SwappingIn {
 		return true, nil // state moved on; let the caller retry
 	}
-	if bestAt > s.now() {
-		stall := bestAt - s.now()
-		s.stats.StallTime += stall
-		s.penalty += stall
-		s.compute.AdvanceTo(bestAt)
-	}
+	s.stallTo(bestAt, "oom-wait-swapin")
 	if err := t.TransitionTo(tensor.In); err != nil {
 		return true, invariant("complete-swapin", bestID, err)
 	}
@@ -779,6 +901,12 @@ func (s *Session) completeEarliestSwapIn() (bool, error) {
 func (s *Session) passiveEvict(v *tensor.Tensor) error {
 	if s.inj.HostFails(v.ID) {
 		s.stats.HostFaults++
+		if s.tr != nil {
+			s.laneInstant("fault", "host-fault", "compute", v.ID, s.now())
+		}
+		if s.met != nil {
+			s.met.Add("faults/host", 1)
+		}
 		return fmt.Errorf("host reservation for %s: %w", v.ID, fault.ErrInjected)
 	}
 	if err := s.host.Reserve(v.ID, v.Bytes()); err != nil {
@@ -791,12 +919,7 @@ func (s *Session) passiveEvict(v *tensor.Tensor) error {
 		}
 		return terr
 	}
-	if end > s.now() {
-		stall := end - s.now()
-		s.stats.StallTime += stall
-		s.penalty += stall
-		s.compute.AdvanceTo(end)
-	}
+	s.stallTo(end, "passive-evict")
 	if err := s.pool.Free(v.Alloc); err != nil {
 		return invariant("passive-evict", v.ID, err)
 	}
@@ -810,6 +933,16 @@ func (s *Session) passiveEvict(v *tensor.Tensor) error {
 	}
 	s.stats.PassiveEvicts++
 	s.stats.PassiveBytes += v.Bytes()
+	if s.tr != nil {
+		s.memEvent("free", "evict", v.ID, v.Bytes(), s.now())
+		s.decide(obs.Decision{
+			Tensor: v.ID, Action: "passive-evict", Bytes: v.Bytes(),
+			Reason: "LRU victim copied to host synchronously under OOM",
+		})
+	}
+	if s.met != nil {
+		s.met.Add("evict/passive", 1)
+	}
 	if h := s.host.Peak(); h > s.stats.HostPeak {
 		s.stats.HostPeak = h
 	}
@@ -833,12 +966,7 @@ func (s *Session) drainSwapOuts() error {
 		if !ok {
 			return nil
 		}
-		if p.At > s.now() {
-			stall := p.At - s.now()
-			s.stats.StallTime += stall
-			s.penalty += stall
-			s.compute.AdvanceTo(p.At)
-		}
+		s.stallTo(p.At, "coupled-drain")
 		if err := s.finishSwapOut(p.Key); err != nil {
 			return err
 		}
@@ -858,6 +986,9 @@ func (s *Session) finishSwapOut(id string) error {
 	s.dropLRU(t)
 	if err := t.TransitionTo(tensor.Out); err != nil {
 		return invariant("finish-swapout", id, err)
+	}
+	if s.tr != nil {
+		s.memEvent("free", "swapout-complete", id, t.Bytes(), s.now())
 	}
 	return nil
 }
@@ -899,6 +1030,9 @@ func (s *Session) endIteration(env *Env) error {
 					firstErr = invariant("end-iteration", t.ID, err)
 				}
 				t.Alloc = nil
+				if s.tr != nil {
+					s.memEvent("free", "end-iter", t.ID, t.Bytes(), s.now())
+				}
 			}
 			if s.host.Holds(t.ID) {
 				if err := s.host.Release(t.ID); err != nil && firstErr == nil {

@@ -8,6 +8,7 @@ import (
 	"capuchin/internal/graph"
 	"capuchin/internal/hw"
 	"capuchin/internal/memory"
+	"capuchin/internal/obs"
 	"capuchin/internal/sim"
 	"capuchin/internal/tensor"
 )
@@ -62,6 +63,14 @@ type Config struct {
 	// Faults is the deterministic fault-injection plan; the zero value
 	// injects nothing and leaves every virtual-time outcome untouched.
 	Faults fault.Plan
+	// Tracer receives structured observability events and policy decision
+	// audit records. nil disables tracing entirely: no event is
+	// constructed and the virtual-time outcome is identical.
+	Tracer obs.Tracer
+	// Metrics aggregates counters and virtual-time histograms across the
+	// run; nil disables collection. Multiple sessions may share one
+	// registry (it is concurrency-safe).
+	Metrics *obs.Metrics
 }
 
 // Session executes iterations of one training graph.
@@ -122,6 +131,11 @@ type Session struct {
 	// iteration with the structured cause.
 	defErr error
 
+	// tr and met mirror Config.Tracer/Config.Metrics; both may be nil
+	// (tracing and metrics off).
+	tr  obs.Tracer
+	met *obs.Metrics
+
 	iter      int
 	stats     IterStats
 	trackCost sim.Time
@@ -169,6 +183,8 @@ func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
 		lruPos:     make(map[string]*list.Element),
 		pinned:     make(map[string]bool),
 		inj:        fault.NewInjector(cfg.Faults),
+		tr:         cfg.Tracer,
+		met:        cfg.Metrics,
 	}
 	if cfg.Mode == EagerMode {
 		s.cpu = sim.NewStream("cpu")
@@ -196,6 +212,9 @@ func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
 			t.Fingerprint = tensor.HashSeed(t.ID)
 			if err := t.TransitionTo(tensor.In); err != nil {
 				return nil, err
+			}
+			if s.tr != nil {
+				s.memEvent("alloc", "persistent", t.ID, t.Bytes(), 0)
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"capuchin/internal/obs"
 	"capuchin/internal/sim"
 )
 
@@ -93,12 +94,17 @@ func (st IterStats) FaultSummary() string {
 		st.HostFaults, st.SwapFallbacks, st.OOMRecoveries, st.RecoveryEvicts)
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Byte totals cover every swap direction
+// (swap-out, prefetch, on-demand, passive) and use the shared adaptive
+// formatter, so a 512 KiB prefetch no longer rounds down to "0MB".
 func (st IterStats) String() string {
-	s := fmt.Sprintf("iter %d: %v (stall %v), swapout %d/%dMB, prefetch %d, ondemand %d, passive %d, recompute %d/%v, peak %dMB",
-		st.Iter, st.Duration, st.StallTime, st.SwapOutCount, st.SwapOutBytes>>20,
-		st.PrefetchCount, st.OnDemandInCount, st.PassiveEvicts,
-		st.RecomputeCount, st.RecomputeTime, st.PeakBytes>>20)
+	s := fmt.Sprintf("iter %d: %v (stall %v), swapout %d/%s, prefetch %d/%s, ondemand %d/%s, passive %d/%s, recompute %d/%v, peak %s",
+		st.Iter, st.Duration, st.StallTime,
+		st.SwapOutCount, obs.FmtBytes(st.SwapOutBytes),
+		st.PrefetchCount, obs.FmtBytes(st.PrefetchBytes),
+		st.OnDemandInCount, obs.FmtBytes(st.OnDemandInBytes),
+		st.PassiveEvicts, obs.FmtBytes(st.PassiveBytes),
+		st.RecomputeCount, st.RecomputeTime, obs.FmtBytes(st.PeakBytes))
 	if f := st.FaultSummary(); f != "-" {
 		s += ", faults[" + f + "]"
 	}

@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"capuchin/internal/memory"
+	"capuchin/internal/obs"
+	"capuchin/internal/sim"
+)
+
+// This file is the executor's observability surface. Every helper is a
+// no-op without an attached tracer/metrics registry, and none of them
+// touches simulation state: with Config.Tracer nil the run is
+// byte-identical to an untraced one.
+
+// decide records a decision in the audit log, stamping the deciding
+// policy, the current virtual time and the iteration when unset.
+func (s *Session) decide(d obs.Decision) {
+	if s.tr == nil {
+		return
+	}
+	if d.Policy == "" {
+		d.Policy = s.policy.Name()
+	}
+	if d.At == 0 {
+		d.At = s.now()
+	}
+	d.Iter = s.iter
+	s.tr.Decide(d)
+}
+
+// memEvent emits an alloc/free instant for a tensor with the device
+// allocator and host arena sampled, feeding the memory profiler and the
+// Perfetto counter tracks. Callers must hold s.tr != nil.
+func (s *Session) memEvent(cat, detail, tensorID string, bytes int64, at sim.Time) {
+	snap := memory.Snap(s.pool)
+	s.tr.Emit(obs.Event{
+		Kind: obs.KindInstant, Cat: cat, Name: cat + " " + tensorID,
+		Tensor: tensorID, Detail: detail, Start: at, End: at, Iter: s.iter,
+		Bytes:       bytes,
+		Used:        snap.Used,
+		Free:        snap.Free,
+		LargestFree: snap.LargestFree,
+		HostUsed:    s.host.Used(),
+	})
+}
+
+// laneInstant emits a point event on a stream lane (fault injections, OOM
+// markers). Callers must hold s.tr != nil.
+func (s *Session) laneInstant(cat, name, lane, detail string, at sim.Time) {
+	s.tr.Emit(obs.Event{
+		Kind: obs.KindInstant, Cat: cat, Name: name, Lane: lane,
+		Detail: detail, Start: at, End: at, Iter: s.iter,
+	})
+}
+
+// stallTo advances the compute stream to at, charging the wait to the
+// iteration's stall time and to the timeline-reconstruction penalty
+// (§5.2), and traces it as a stall span. It replaces the hand-rolled
+// stall accounting previously duplicated at every synchronization site.
+func (s *Session) stallTo(at sim.Time, reason string) {
+	now := s.now()
+	if at <= now {
+		return
+	}
+	d := at - now
+	s.stats.StallTime += d
+	s.penalty += d
+	s.compute.AdvanceTo(at)
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{
+			Kind: obs.KindSpan, Cat: "stall", Name: "stall:" + reason,
+			Lane: "compute", Start: now, End: at, Iter: s.iter, Detail: reason,
+		})
+	}
+	if s.met != nil {
+		s.met.Observe("stall/"+reason, d)
+	}
+}
+
+// exposedStall charges compute time lost waiting on transfer dependencies
+// that Run already absorbed (the stream jumped from preRun to start).
+func (s *Session) exposedStall(preRun, start sim.Time) {
+	exposed := start - preRun
+	if exposed <= 0 {
+		return
+	}
+	s.stats.StallTime += exposed
+	s.penalty += exposed
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{
+			Kind: obs.KindSpan, Cat: "stall", Name: "stall:input-wait",
+			Lane: "compute", Start: preRun, End: start, Iter: s.iter, Detail: "input-wait",
+		})
+	}
+	if s.met != nil {
+		s.met.Observe("stall/input-wait", exposed)
+	}
+}

@@ -110,6 +110,31 @@ type Pool interface {
 	Name() string
 }
 
+// Snapshot is a point-in-time sample of an allocator's occupancy, the
+// unit the observability layer records at every allocation event.
+type Snapshot struct {
+	Used        int64
+	Free        int64
+	LargestFree int64
+}
+
+// Fragmentation reports how broken-up the free space is:
+// 1 - LargestFree/Free, so 0 means one contiguous region and values near
+// 1 mean no free chunk is usefully large. A full pool reports 0.
+func (s Snapshot) Fragmentation() float64 {
+	if s.Free <= 0 {
+		return 0
+	}
+	return 1 - float64(s.LargestFree)/float64(s.Free)
+}
+
+// Snap samples a pool. The three reads are not atomic with respect to
+// concurrent allocator use, but the simulator mutates each pool from a
+// single goroutine, so a snapshot taken between operations is exact.
+func Snap(p Pool) Snapshot {
+	return Snapshot{Used: p.Used(), Free: p.FreeBytes(), LargestFree: p.LargestFree()}
+}
+
 // MustFree releases an allocation and panics on an invariant violation.
 // It is the escape hatch for tests and teardown code where a violated
 // invariant should abort loudly instead of threading an error.

@@ -1,0 +1,56 @@
+package memory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSnapshotFragmentation(t *testing.T) {
+	cases := []struct {
+		s    Snapshot
+		want float64
+	}{
+		{Snapshot{Used: 0, Free: 1024, LargestFree: 1024}, 0},   // untouched pool
+		{Snapshot{Used: 1024, Free: 0, LargestFree: 0}, 0},      // full pool
+		{Snapshot{Used: 512, Free: 1000, LargestFree: 250}, .75}, // shredded
+	}
+	for _, c := range cases {
+		if got := c.s.Fragmentation(); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%+v: fragmentation %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+// TestSnapMatchesPool pins Snap against the allocator's own accessors
+// through an alloc/free sequence that splits the address space.
+func TestSnapMatchesPool(t *testing.T) {
+	p := NewBFC(1 << 20)
+	a, err := p.Alloc(256 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(256 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	snap := Snap(p)
+	if snap.Used != p.Used() || snap.Free != p.FreeBytes() || snap.LargestFree != p.LargestFree() {
+		t.Errorf("snapshot %+v diverges from pool (used %d, free %d, largest %d)",
+			snap, p.Used(), p.FreeBytes(), p.LargestFree())
+	}
+	if snap.Used == 0 || snap.Free == 0 {
+		t.Fatalf("degenerate snapshot %+v", snap)
+	}
+	// Freeing the first chunk left a hole: the largest contiguous region
+	// is smaller than the total free space.
+	if snap.LargestFree >= snap.Free {
+		t.Errorf("expected fragmentation after hole-punch: %+v", snap)
+	}
+	if f := snap.Fragmentation(); f <= 0 || f >= 1 {
+		t.Errorf("fragmentation %v out of (0,1)", f)
+	}
+	MustFree(p, b)
+}

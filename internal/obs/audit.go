@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"capuchin/internal/sim"
+)
+
+// ExplainTensors lists the tensors that appear in the audit log, sorted,
+// so callers can offer an "-explain auto" mode that picks a real subject.
+func ExplainTensors(decisions []Decision) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, d := range decisions {
+		if d.Tensor != "" && !seen[d.Tensor] {
+			seen[d.Tensor] = true
+			out = append(out, d.Tensor)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteExplain prints the full decision history of one tensor: every
+// audited policy decision that names it, interleaved chronologically with
+// its memory lifecycle events (allocations, evictions, transfers), each
+// decision annotated with the inputs that drove it — Free-Time, MSPS,
+// back-access distance and candidate-set size.
+func WriteExplain(w io.Writer, tensor string, decisions []Decision, events []Event) error {
+	type row struct {
+		at   sim.Time
+		iter int
+		text string
+	}
+	var rows []row
+
+	for _, d := range decisions {
+		if d.Tensor != tensor {
+			continue
+		}
+		text := fmt.Sprintf("[%s] %s", d.Policy, d.Action)
+		if d.Reason != "" {
+			text += ": " + d.Reason
+		}
+		var in []string
+		if d.FreeTime != 0 {
+			in = append(in, fmt.Sprintf("free-time=%v", d.FreeTime))
+		}
+		if d.MSPS != 0 {
+			in = append(in, fmt.Sprintf("msps=%.3g MB/s", d.MSPS))
+		}
+		if d.BackAccess != 0 {
+			in = append(in, fmt.Sprintf("back-access=%v", d.BackAccess))
+		}
+		if d.Candidates != 0 {
+			in = append(in, fmt.Sprintf("candidates=%d", d.Candidates))
+		}
+		if d.Bytes != 0 {
+			in = append(in, FmtBytes(d.Bytes))
+		}
+		if len(in) > 0 {
+			text += "  ("
+			for i, s := range in {
+				if i > 0 {
+					text += ", "
+				}
+				text += s
+			}
+			text += ")"
+		}
+		rows = append(rows, row{d.At, d.Iter, text})
+	}
+	nDecisions := len(rows)
+
+	for _, ev := range events {
+		if ev.Tensor != tensor {
+			continue
+		}
+		var text string
+		switch ev.Cat {
+		case "alloc":
+			text = fmt.Sprintf("resident (%s, %s)", ev.Detail, FmtBytes(ev.Bytes))
+		case "free":
+			text = fmt.Sprintf("released (%s)", ev.Detail)
+		case "transfer":
+			text = fmt.Sprintf("%s %s in %v (queued %v)", ev.Name, FmtBytes(ev.Bytes), ev.Duration(), ev.Start-ev.Queued)
+		case "fault":
+			text = fmt.Sprintf("fault: %s (%s)", ev.Name, ev.Detail)
+		default:
+			continue
+		}
+		rows = append(rows, row{ev.Start, ev.Iter, "  " + text})
+	}
+
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].at < rows[j].at })
+
+	fmt.Fprintf(w, "== decision history: %s ==\n", tensor)
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "no recorded decisions or events for %q\n", tensor)
+		known := ExplainTensors(decisions)
+		if len(known) > 0 {
+			fmt.Fprintf(w, "tensors with decisions: %v\n", known)
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "%d decisions, %d lifecycle events\n\n", nDecisions, len(rows)-nDecisions)
+	lastIter := -1
+	for _, r := range rows {
+		if r.iter != lastIter {
+			fmt.Fprintf(w, "iteration %d:\n", r.iter)
+			lastIter = r.iter
+		}
+		fmt.Fprintf(w, "  %-14v %s\n", r.at, r.text)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"capuchin/internal/sim"
+)
+
+// chromeRecord is one entry of the Chrome trace-event JSON array. Field
+// order matches the trace-event specification's conventional layout; maps
+// in Args marshal with sorted keys, so the output is deterministic.
+type chromeRecord struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromePID is the single simulated process.
+const chromePID = 1
+
+// laneOrder fixes thread IDs for the well-known stream lanes so the
+// Perfetto track order is stable: compute on top, then the PCIe lanes,
+// then the eager dispatch thread. Unknown lanes are appended in
+// first-seen order.
+var laneOrder = []string{"compute", "h2d", "d2h", "cpu"}
+
+// usec converts virtual time to the microsecond float the trace-event
+// format expects.
+func usec(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
+
+// WriteChromeTrace exports events as Chrome trace-event JSON, directly
+// loadable in Perfetto or chrome://tracing: one lane per stream with
+// matched B/E span pairs, instant events for faults and OOM recoveries,
+// and counter tracks for device memory (used/free/largest contiguous)
+// and pinned host memory sampled at every allocation event.
+//
+// The output is deterministic: identical event slices produce
+// byte-identical JSON.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	tids := make(map[string]int)
+	for i, lane := range laneOrder {
+		tids[lane] = i
+	}
+	laneSeen := make(map[string]bool)
+	var lanes []string
+	noteLane := func(lane string) int {
+		if lane == "" {
+			return 0
+		}
+		if !laneSeen[lane] {
+			laneSeen[lane] = true
+			lanes = append(lanes, lane)
+		}
+		if tid, ok := tids[lane]; ok {
+			return tid
+		}
+		tid := len(tids)
+		tids[lane] = tid
+		return tid
+	}
+
+	var records []chromeRecord
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindSpan:
+			tid := noteLane(ev.Lane)
+			args := spanArgs(ev)
+			records = append(records,
+				chromeRecord{Name: ev.Name, Cat: ev.Cat, Ph: "B", TS: usec(ev.Start), PID: chromePID, TID: tid, Args: args},
+				chromeRecord{Name: ev.Name, Cat: ev.Cat, Ph: "E", TS: usec(ev.End), PID: chromePID, TID: tid})
+		case KindInstant:
+			if ev.Lane != "" {
+				records = append(records, chromeRecord{
+					Name: ev.Name, Cat: ev.Cat, Ph: "i", TS: usec(ev.Start),
+					PID: chromePID, TID: noteLane(ev.Lane), Scope: "t", Args: spanArgs(ev),
+				})
+			}
+			records = append(records, counterRecords(ev)...)
+		case KindCounter:
+			records = append(records, counterRecords(ev)...)
+		}
+	}
+	// Stable sort by timestamp: records built in emission order, so at
+	// equal timestamps a span's E precedes the next span's B and pairs
+	// stay matched.
+	sort.SliceStable(records, func(i, j int) bool { return records[i].TS < records[j].TS })
+
+	meta := []chromeRecord{{
+		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": "capuchin-sim"},
+	}}
+	sort.Slice(lanes, func(i, j int) bool { return tids[lanes[i]] < tids[lanes[j]] })
+	for _, lane := range lanes {
+		meta = append(meta,
+			chromeRecord{Name: "thread_name", Ph: "M", PID: chromePID, TID: tids[lane], Args: map[string]any{"name": lane}},
+			chromeRecord{Name: "thread_sort_index", Ph: "M", PID: chromePID, TID: tids[lane], Args: map[string]any{"sort_index": tids[lane]}})
+	}
+	records = append(meta, records...)
+
+	if _, err := fmt.Fprintf(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, r := range records {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// spanArgs assembles the args payload of a span or lane instant.
+func spanArgs(ev Event) map[string]any {
+	args := make(map[string]any, 6)
+	args["iter"] = ev.Iter
+	if ev.Tensor != "" {
+		args["tensor"] = ev.Tensor
+	}
+	if ev.Node != "" {
+		args["node"] = ev.Node
+	}
+	if ev.Bytes > 0 {
+		args["bytes"] = ev.Bytes
+	}
+	if ev.Queued != 0 || ev.Cat == "transfer" {
+		args["queued_us"] = usec(ev.Queued)
+		args["queue_wait_us"] = usec(ev.Start - ev.Queued)
+	}
+	if ev.Detail != "" {
+		args["detail"] = ev.Detail
+	}
+	return args
+}
+
+// counterRecords renders the memory counter tracks for an event carrying
+// allocator samples.
+func counterRecords(ev Event) []chromeRecord {
+	if ev.Used == 0 && ev.Free == 0 && ev.HostUsed == 0 {
+		return nil
+	}
+	ts := usec(ev.Start)
+	return []chromeRecord{
+		{Name: "device memory", Ph: "C", TS: ts, PID: chromePID, TID: 0,
+			Args: map[string]any{"free": ev.Free, "used": ev.Used}},
+		{Name: "largest free chunk", Ph: "C", TS: ts, PID: chromePID, TID: 0,
+			Args: map[string]any{"bytes": ev.LargestFree}},
+		{Name: "host memory", Ph: "C", TS: ts, PID: chromePID, TID: 0,
+			Args: map[string]any{"used": ev.HostUsed}},
+	}
+}

@@ -1,0 +1,21 @@
+package obs
+
+import "fmt"
+
+// FmtBytes formats a byte count with an adaptive binary unit, shared by
+// IterStats, the memory profiler report and the explain writer so every
+// surface prints sizes the same way.
+func FmtBytes(n int64) string {
+	switch {
+	case n < 0:
+		return "-" + FmtBytes(-n)
+	case n < 1<<10:
+		return fmt.Sprintf("%dB", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	case n < 1<<30:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	}
+}

@@ -1,0 +1,192 @@
+// Package obs is the simulator's observability layer: structured event
+// tracing, policy decision auditing, memory profiling and a metrics
+// registry.
+//
+// The executor and the policies report what they do through two narrow
+// channels — Tracer.Emit for typed timeline events (kernel spans, PCIe
+// transfer spans with queue-vs-wire time, allocation and eviction
+// instants, fault injections, OOM-recovery loops) and Tracer.Decide for
+// policy decisions with the inputs that drove them (Free-Time values,
+// MSPS scores, candidate-set sizes). A nil Tracer disables everything:
+// every emission site is guarded by a nil check, no event is constructed,
+// and the virtual-time outcome of a run is identical with tracing on or
+// off — tracing observes the simulation, it never participates in it.
+//
+// Downstream consumers are pure functions over the recorded data:
+// WriteChromeTrace exports a Perfetto/chrome://tracing-compatible JSON
+// timeline, BuildMemProfile reconstructs per-tensor residency and
+// peak-memory attribution, and WriteExplain prints the full decision
+// history of one tensor.
+package obs
+
+import (
+	"sync"
+
+	"capuchin/internal/sim"
+)
+
+// EventKind classifies a recorded event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// KindSpan is an interval on one timeline lane (kernel execution,
+	// a PCIe transfer, an exposed stall).
+	KindSpan EventKind = iota
+	// KindInstant is a point event (a fault injection, an OOM, an
+	// allocation or free with its memory counters sampled).
+	KindInstant
+	// KindCounter is a pure counter sample with no other payload.
+	KindCounter
+)
+
+// Event is one typed observation from the executor. It is a flat struct
+// so emission sites stay allocation-free apart from the collector append.
+type Event struct {
+	Kind EventKind
+	// Cat is the event category: "kernel", "recompute", "dispatch",
+	// "transfer", "stall", "alloc", "free", "host", "fault", "oom",
+	// "access".
+	Cat string
+	// Name is the display name (node ID, transfer label, fault kind).
+	Name string
+	// Lane is the timeline lane — a stream name ("compute", "h2d",
+	// "d2h", "cpu") — or empty for process-wide events.
+	Lane string
+	// Start and End bound a span; instants set End == Start.
+	Start, End sim.Time
+	// Queued is, for transfer spans, the virtual time the transfer was
+	// requested; Start-Queued is the time spent waiting for the lane
+	// (queue time) and End-Start the wire time.
+	Queued sim.Time
+	// Iter is the iteration during which the event occurred.
+	Iter int
+	// Tensor and Node identify the subject when known.
+	Tensor string
+	Node   string
+	// Bytes is the payload size (transfer or allocation size).
+	Bytes int64
+	// Used, Free and LargestFree sample the device allocator at the
+	// event, and HostUsed the pinned host arena; they are filled on
+	// memory events ("alloc", "free", "host") and power the Perfetto
+	// counter tracks and the fragmentation timeline.
+	Used, Free, LargestFree, HostUsed int64
+	// Detail carries a short qualifier: how a tensor became resident
+	// ("produce", "prefetch", "ondemand", "recompute", "persistent"),
+	// why it left ("dead", "evict", "swapout-complete", "fallback"),
+	// or a stall/fault reason.
+	Detail string
+}
+
+// Duration reports the span length (zero for instants).
+func (ev Event) Duration() sim.Time { return ev.End - ev.Start }
+
+// Decision is one audited policy decision: what was decided about which
+// tensor, and the inputs that drove it. Every entry in the audit log is
+// explainable after the fact — `capuchin-trace -explain <tensor>` prints
+// a tensor's full history.
+type Decision struct {
+	// Iter and At locate the decision in the run.
+	Iter int
+	At   sim.Time
+	// Policy is the deciding policy's name ("capuchin", "vdnn", ...).
+	Policy string
+	// Tensor is the subject tensor, when the decision concerns one.
+	Tensor string
+	// Action is the decision kind: "plan", "plan-swap",
+	// "plan-recompute", "swap-out", "swap-out-failed", "prefetch",
+	// "prefetch-deferred", "prefetch-failed", "release-recompute",
+	// "fallback-recompute", "ondemand-swapin", "advance-trigger",
+	// "oom-scan", "passive-evict".
+	Action string
+	// Reason is the human-readable justification.
+	Reason string
+	// FreeTime is the paper's Eq. 1 value (swap-in start minus swap-out
+	// end) when the decision ranked candidates by it.
+	FreeTime sim.Time
+	// MSPS is Memory Saving Per Second (Eq. 2) when recomputation was
+	// scored.
+	MSPS float64
+	// BackAccess is the distance to the tensor's back-access on the
+	// measured timeline, when known.
+	BackAccess sim.Time
+	// Candidates is the size of the candidate set the decision chose
+	// from, when applicable.
+	Candidates int
+	// Bytes is the tensor or allocation size at stake.
+	Bytes int64
+}
+
+// Tracer receives events and decisions. Implementations must be safe for
+// use from a single session goroutine; the Collector is additionally
+// safe for concurrent readers.
+//
+// A nil Tracer means tracing is off: every call site in the executor
+// checks for nil before constructing an event, so the disabled path costs
+// one pointer comparison.
+type Tracer interface {
+	// Emit records one timeline event.
+	Emit(Event)
+	// Decide records one policy decision in the audit log.
+	Decide(Decision)
+}
+
+// Collector is the in-memory Tracer: an append-only event log and
+// decision audit log.
+type Collector struct {
+	mu        sync.Mutex
+	events    []Event
+	decisions []Decision
+}
+
+var _ Tracer = (*Collector)(nil)
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit implements Tracer.
+func (c *Collector) Emit(ev Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Decide implements Tracer.
+func (c *Collector) Decide(d Decision) {
+	c.mu.Lock()
+	c.decisions = append(c.decisions, d)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Decisions returns a copy of the audit log in emission order.
+func (c *Collector) Decisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Decision, len(c.decisions))
+	copy(out, c.decisions)
+	return out
+}
+
+// Len reports the number of recorded events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Reset clears both logs.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.events = nil
+	c.decisions = nil
+	c.mu.Unlock()
+}

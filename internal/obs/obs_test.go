@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"capuchin/internal/sim"
+)
+
+func TestCollectorCopies(t *testing.T) {
+	c := NewCollector()
+	c.Emit(Event{Name: "a"})
+	c.Decide(Decision{Tensor: "t1"})
+
+	evs := c.Events()
+	evs[0].Name = "mutated"
+	if got := c.Events()[0].Name; got != "a" {
+		t.Fatalf("Events() does not return a copy: got %q", got)
+	}
+	ds := c.Decisions()
+	ds[0].Tensor = "mutated"
+	if got := c.Decisions()[0].Tensor; got != "t1" {
+		t.Fatalf("Decisions() does not return a copy: got %q", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", c.Len())
+	}
+	c.Reset()
+	if c.Len() != 0 || len(c.Decisions()) != 0 {
+		t.Fatal("Reset did not clear the logs")
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Emit(Event{Name: "e"})
+				c.Decide(Decision{Action: "d"})
+				_ = c.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 800 {
+		t.Fatalf("Len() = %d, want 800", c.Len())
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{1 << 10, "1.0KiB"},
+		{1536, "1.5KiB"},
+		{1 << 20, "1.0MiB"},
+		{3 << 20, "3.0MiB"},
+		{1 << 30, "1.00GiB"},
+		{-1536, "-1.5KiB"},
+	}
+	for _, c := range cases {
+		if got := FmtBytes(c.n); got != c.want {
+			t.Errorf("FmtBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * sim.Nanosecond) // bucket 0 (<1µs)
+	h.Observe(1 * sim.Microsecond)  // bucket 1 ([1,2)µs)
+	h.Observe(3 * sim.Microsecond)  // bucket 2 ([2,4)µs)
+	h.Observe(100 * sim.Millisecond)
+
+	if h.Count != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count)
+	}
+	if h.Buckets[0] != 1 || h.Buckets[1] != 1 || h.Buckets[2] != 1 {
+		t.Fatalf("bucket layout wrong: %v", h.Buckets[:4])
+	}
+	if h.Min != 500*sim.Nanosecond || h.Max != 100*sim.Millisecond {
+		t.Fatalf("min/max wrong: %v/%v", h.Min, h.Max)
+	}
+	if q := h.Quantile(0.5); q < 1*sim.Microsecond || q > 4*sim.Microsecond {
+		t.Fatalf("p50 = %v, want within [1µs, 4µs]", q)
+	}
+	if q := h.Quantile(1); q != h.Max {
+		t.Fatalf("p100 = %v, want max %v", q, h.Max)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1 * sim.Microsecond)
+	b.Observe(9 * sim.Millisecond)
+	b.Observe(200 * sim.Nanosecond)
+	a.Merge(&b)
+	if a.Count != 3 || a.Min != 200*sim.Nanosecond || a.Max != 9*sim.Millisecond {
+		t.Fatalf("merge wrong: count=%d min=%v max=%v", a.Count, a.Min, a.Max)
+	}
+}
+
+func TestMetricsMergeAndText(t *testing.T) {
+	m := NewMetrics()
+	m.Add("faults/transfer", 2)
+	m.Observe("kernel", 5*sim.Microsecond)
+
+	o := NewMetrics()
+	o.Add("faults/transfer", 3)
+	o.Observe("kernel", 7*sim.Microsecond)
+	o.Observe("stall/oom-wait-swapout", sim.Millisecond)
+
+	m.Merge(o)
+	m.Merge(nil)
+	if got := m.Counter("faults/transfer"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	h, ok := m.Hist("kernel")
+	if !ok || h.Count != 2 {
+		t.Fatalf("kernel hist: ok=%v count=%d", ok, h.Count)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"faults/transfer", "kernel", "stall/oom-wait-swapout"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	m.WriteText(&buf2)
+	if buf.String() != buf2.String() {
+		t.Fatal("WriteText is not deterministic")
+	}
+}
+
+// memEvents builds a tiny alloc/free stream with allocator samples.
+func memEvents() []Event {
+	mk := func(cat, tensor, detail string, at sim.Time, bytes, used, free, largest, host int64) Event {
+		return Event{Kind: KindInstant, Cat: cat, Name: cat, Tensor: tensor, Detail: detail,
+			Start: at, End: at, Bytes: bytes, Used: used, Free: free, LargestFree: largest, HostUsed: host}
+	}
+	return []Event{
+		mk("alloc", "A", "produce", 10, 100, 100, 900, 900, 0),
+		mk("alloc", "B", "produce", 20, 200, 300, 700, 600, 0),
+		mk("free", "A", "evict", 30, 100, 200, 800, 600, 100),
+		mk("alloc", "C", "produce", 40, 500, 700, 300, 300, 100),
+		mk("free", "B", "dead", 50, 200, 500, 500, 300, 100),
+		mk("alloc", "A", "ondemand", 60, 100, 600, 400, 300, 0),
+	}
+}
+
+func TestBuildMemProfile(t *testing.T) {
+	p := BuildMemProfile(memEvents())
+	if p.PeakBytes != 700 || p.PeakAt != 40 {
+		t.Fatalf("peak = %d at %v, want 700 at 40ns", p.PeakBytes, p.PeakAt)
+	}
+	if p.HostPeak != 100 {
+		t.Fatalf("host peak = %d, want 100", p.HostPeak)
+	}
+	// At the peak (t=40) residents are B and C; A was evicted at t=30.
+	if len(p.PeakResidents) != 2 {
+		t.Fatalf("peak residents = %+v, want 2 entries", p.PeakResidents)
+	}
+	if p.PeakResidents[0].Tensor != "C" || p.PeakResidents[0].Bytes != 500 {
+		t.Fatalf("largest resident = %+v, want C/500", p.PeakResidents[0])
+	}
+	if p.PeakResidents[1].Tensor != "B" {
+		t.Fatalf("second resident = %+v, want B", p.PeakResidents[1])
+	}
+	// A has two residency intervals: produce→evict, then ondemand (open).
+	spans := p.Residency["A"]
+	if len(spans) != 2 {
+		t.Fatalf("residency[A] = %+v, want 2 spans", spans)
+	}
+	if spans[0].How != "produce" || spans[0].Until != "evict" || spans[0].From != 10 || spans[0].To != 30 {
+		t.Fatalf("first span of A = %+v", spans[0])
+	}
+	if spans[1].How != "ondemand" || spans[1].Until != "" {
+		t.Fatalf("second span of A = %+v", spans[1])
+	}
+	if len(p.Frag) != 6 {
+		t.Fatalf("frag samples = %d, want 6", len(p.Frag))
+	}
+	// Worst fragmentation: t=50, free 500 largest 300 → 0.4.
+	worst, ok := p.MaxFragmentation()
+	if !ok || worst.At != 50 || worst.Fragmentation != 0.4 {
+		t.Fatalf("worst frag = %+v ok=%v, want 0.4 at t=50", worst, ok)
+	}
+
+	var buf bytes.Buffer
+	if err := p.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"memory profile", "device peak: 700B", "C", "fragmentation", "most-churned"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestWriteExplain(t *testing.T) {
+	decisions := []Decision{
+		{Iter: 1, At: 100, Policy: "capuchin", Tensor: "conv1:out", Action: "plan-swap",
+			Reason: "free-time hides transfer", FreeTime: 4 * sim.Microsecond, BackAccess: 9 * sim.Microsecond, Candidates: 5, Bytes: 1 << 20},
+		{Iter: 1, At: 400, Policy: "capuchin", Tensor: "fc:out", Action: "plan-recompute", MSPS: 12.5},
+	}
+	events := []Event{
+		{Kind: KindInstant, Cat: "alloc", Tensor: "conv1:out", Detail: "produce", Start: 50, End: 50, Bytes: 1 << 20, Iter: 1},
+		{Kind: KindSpan, Cat: "transfer", Name: "d2h:conv1:out", Tensor: "conv1:out", Start: 120, End: 220, Queued: 110, Bytes: 1 << 20, Iter: 1},
+		{Kind: KindInstant, Cat: "free", Tensor: "conv1:out", Detail: "swapout-complete", Start: 230, End: 230, Iter: 1},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteExplain(&buf, "conv1:out", decisions, events); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"conv1:out", "plan-swap", "free-time=4.00us", "candidates=5", "resident (produce", "released (swapout-complete)", "d2h:conv1:out"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "fc:out") {
+		t.Errorf("explain leaked another tensor's decision:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := WriteExplain(&buf, "nosuch", decisions, events); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no recorded decisions") || !strings.Contains(buf.String(), "conv1:out") {
+		t.Errorf("missing-tensor output should list known tensors:\n%s", buf.String())
+	}
+
+	tensors := ExplainTensors(decisions)
+	if len(tensors) != 2 || tensors[0] != "conv1:out" || tensors[1] != "fc:out" {
+		t.Fatalf("ExplainTensors = %v", tensors)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	events := []Event{
+		{Kind: KindSpan, Cat: "kernel", Name: "conv1", Lane: "compute", Start: 0, End: 10 * sim.Microsecond, Iter: 0, Node: "conv1"},
+		{Kind: KindSpan, Cat: "transfer", Name: "d2h:conv1:out", Lane: "d2h", Start: 2 * sim.Microsecond, End: 12 * sim.Microsecond, Queued: sim.Microsecond, Tensor: "conv1:out", Bytes: 1 << 20},
+		{Kind: KindInstant, Cat: "fault", Name: "dma-abort", Lane: "d2h", Start: 12 * sim.Microsecond, End: 12 * sim.Microsecond, Detail: "injected"},
+		{Kind: KindInstant, Cat: "alloc", Name: "alloc", Tensor: "conv1:out", Start: 0, End: 0, Bytes: 1 << 20, Used: 1 << 20, Free: 3 << 20, LargestFree: 3 << 20},
+		{Kind: KindSpan, Cat: "kernel", Name: "conv2", Lane: "compute", Start: 10 * sim.Microsecond, End: 25 * sim.Microsecond, Iter: 0, Node: "conv2"},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	// B/E events must balance per tid, and timestamps must be ordered.
+	depth := make(map[int]int)
+	lastTS := -1.0
+	var sawInstant, sawCounter bool
+	for _, r := range doc.TraceEvents {
+		switch r.Ph {
+		case "B":
+			depth[r.TID]++
+		case "E":
+			depth[r.TID]--
+			if depth[r.TID] < 0 {
+				t.Fatalf("unmatched E on tid %d", r.TID)
+			}
+		case "i":
+			sawInstant = true
+		case "C":
+			sawCounter = true
+		case "M":
+			continue
+		}
+		if r.TS < lastTS {
+			t.Fatalf("timestamps not monotonic: %v after %v", r.TS, lastTS)
+		}
+		lastTS = r.TS
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Fatalf("unbalanced spans on tid %d: depth %d", tid, d)
+		}
+	}
+	if !sawInstant || !sawCounter {
+		t.Fatalf("missing instant (%v) or counter (%v) records", sawInstant, sawCounter)
+	}
+
+	// Determinism: a second export is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("WriteChromeTrace is not deterministic")
+	}
+
+	// Transfer span carries queue-vs-wire breakdown.
+	if !strings.Contains(buf.String(), "queue_wait_us") {
+		t.Fatalf("transfer span missing queue_wait_us:\n%s", buf.String())
+	}
+}

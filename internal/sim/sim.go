@@ -165,9 +165,17 @@ func (s *Stream) AdvanceTo(t Time) {
 	}
 }
 
-// Spans returns the recorded spans. The returned slice is owned by the
-// stream; callers must not modify it.
-func (s *Stream) Spans() []Span { return s.spans }
+// Spans returns a copy of the recorded spans: exporters read spans while
+// the session may keep running, so the internal slice must not escape
+// (an append could reallocate or overwrite under the caller).
+func (s *Stream) Spans() []Span {
+	if s.spans == nil {
+		return nil
+	}
+	out := make([]Span, len(s.spans))
+	copy(out, s.spans)
+	return out
+}
 
 // Reset returns the stream to its initial idle state, clearing spans and
 // counters. Used between benchmark configurations.

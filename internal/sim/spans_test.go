@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+func TestSpansReturnsCopy(t *testing.T) {
+	s := NewStream("compute")
+	s.SetRecording(true)
+	s.Run("a", 0, 10)
+	s.Run("b", 0, 5)
+
+	got := s.Spans()
+	if len(got) != 2 {
+		t.Fatalf("Spans() = %d spans, want 2", len(got))
+	}
+	// Mutating the returned slice must not corrupt the stream's record.
+	got[0].Label = "mutated"
+	got[0].Start = 999
+	if again := s.Spans(); again[0].Label != "a" || again[0].Start != 0 {
+		t.Fatalf("Spans() exposed internal state: %+v", again[0])
+	}
+	// The copy must also be insulated from later appends (a shared backing
+	// array would let Run overwrite the caller's slice after a realloc).
+	before := s.Spans()
+	for i := 0; i < 32; i++ {
+		s.Run("later", 0, 1)
+	}
+	if before[1].Label != "b" {
+		t.Fatalf("earlier snapshot corrupted by later Run: %+v", before[1])
+	}
+
+	var empty Stream
+	if empty.Spans() != nil {
+		t.Error("Spans() on a non-recording stream should be nil")
+	}
+}

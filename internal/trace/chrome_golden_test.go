@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"capuchin/internal/core"
+	"capuchin/internal/exec"
+	"capuchin/internal/graph"
+	"capuchin/internal/hw"
+	"capuchin/internal/obs"
+	"capuchin/internal/ops"
+	"capuchin/internal/tensor"
+	"capuchin/internal/testutil"
+)
+
+// update regenerates the golden Chrome trace instead of comparing:
+//
+//	go test ./internal/trace -run ChromeGolden -update
+var update = flag.Bool("update", false, "rewrite the golden Chrome trace")
+
+// residualCNN builds a small ResNet-ish graph: a stem convolution and two
+// residual blocks (conv-relu-conv plus identity shortcut) ahead of the
+// classifier. The skip connections give tensors long liveness gaps, so a
+// memory-capped run produces genuine swap and recompute traffic.
+func residualCNN(tb testing.TB) *graph.Graph {
+	tb.Helper()
+	b := graph.NewBuilder("residualcnn")
+	x := b.Input("data", tensor.Shape{8, 3, 64, 64}, tensor.Float32)
+	labels := b.Input("labels", tensor.Shape{8, 10}, tensor.Float32)
+	const width = 32
+	stemW := b.Variable("stem_w", tensor.Shape{width, 3, 3, 3})
+	h := b.Apply1("stem", ops.Conv2D{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, x, stemW)
+	for i := 0; i < 2; i++ {
+		short := h
+		w1 := b.Variable(fmt.Sprintf("res%d_w1", i), tensor.Shape{width, width, 3, 3})
+		h = b.Apply1(fmt.Sprintf("res%d_conv1", i), ops.Conv2D{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, h, w1)
+		h = b.Apply1(fmt.Sprintf("res%d_relu1", i), ops.ReLU{}, h)
+		w2 := b.Variable(fmt.Sprintf("res%d_w2", i), tensor.Shape{width, width, 3, 3})
+		h = b.Apply1(fmt.Sprintf("res%d_conv2", i), ops.Conv2D{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, h, w2)
+		h = b.Apply1(fmt.Sprintf("res%d_add", i), ops.Add{}, h, short)
+		h = b.Apply1(fmt.Sprintf("res%d_relu2", i), ops.ReLU{}, h)
+	}
+	h = b.Apply1("gap", ops.Pool{Kind: ops.AvgPoolKind}, h)
+	flat := b.Apply1("flatten", ops.Reshape{To: tensor.Shape{8, h.Shape.Elems() / 8}}, h)
+	fcW := b.Variable("fc_w", tensor.Shape{flat.Shape[1], 10})
+	logits := b.Apply1("fc", ops.MatMul{}, flat, fcW)
+	loss := b.Apply1("loss", ops.SoftmaxCrossEntropy{}, logits, labels)
+	g, err := b.Build(loss, graph.GraphModeOptions())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// runObserved executes the residual CNN under memory pressure with the full
+// observability stack attached: Capuchin as the policy (decision audit),
+// a Recorder forwarding one tensor's accesses, a Collector, and metrics.
+func runObserved(tb testing.TB) ([]exec.IterStats, *obs.Collector, *obs.Metrics, *Recorder) {
+	tb.Helper()
+	col := obs.NewCollector()
+	met := obs.NewMetrics()
+	rec := NewRecorder(core.New(core.Options{}), func(acc exec.Access) bool {
+		return acc.Tensor.ID == "res0_relu1:0"
+	})
+	rec.Tracer = col
+	s, err := exec.NewSession(residualCNN(tb), exec.Config{
+		Device:  testutil.Device(24 * hw.MiB),
+		Policy:  rec,
+		Tracer:  col,
+		Metrics: met,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sts, err := s.Run(2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sts, col, met, rec
+}
+
+// chromeFile mirrors the export's top-level JSON shape.
+type chromeFile struct {
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+	Scope string         `json:"s"`
+}
+
+// TestChromeGolden pins the Chrome trace export of a small ResNet-ish run
+// byte-for-byte, and validates the structural invariants Perfetto relies
+// on: parseable JSON, monotonically non-decreasing timestamps, and matched
+// B/E span pairs on every lane.
+func TestChromeGolden(t *testing.T) {
+	_, col, _, _ := runObserved(t)
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, col.Events()); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "chrome_trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden (regenerate with go test ./internal/trace -run ChromeGolden -update): %v", err)
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Errorf("chrome trace drifted from golden (regenerate with -update if the change is intended); got %d bytes, want %d", buf.Len(), len(want))
+		}
+	}
+
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+
+	lanes := make(map[string]bool)
+	depth := make(map[int]int)
+	counts := make(map[string]int)
+	lastTS := -1.0
+	for _, raw := range f.TraceEvents {
+		var ev chromeEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			t.Fatal(err)
+		}
+		counts[ev.Ph]++
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				lanes[ev.Args["name"].(string)] = true
+			}
+			continue
+		case "B":
+			depth[ev.TID]++
+		case "E":
+			depth[ev.TID]--
+			if depth[ev.TID] < 0 {
+				t.Fatalf("unmatched E on tid %d at ts %.2f", ev.TID, ev.TS)
+			}
+		case "i":
+			if ev.Scope != "t" {
+				t.Errorf("instant %q missing thread scope", ev.Name)
+			}
+		}
+		if ev.TS < lastTS {
+			t.Fatalf("timestamps regress: %.3f after %.3f (%s %q)", ev.TS, lastTS, ev.Ph, ev.Name)
+		}
+		lastTS = ev.TS
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Errorf("tid %d ends with %d unclosed spans", tid, d)
+		}
+	}
+	if counts["B"] == 0 || counts["B"] != counts["E"] {
+		t.Errorf("span pairs unbalanced: %d B vs %d E", counts["B"], counts["E"])
+	}
+	if counts["C"] == 0 {
+		t.Error("no memory counter records")
+	}
+	if counts["i"] == 0 {
+		t.Error("no instant records")
+	}
+	for _, lane := range []string{"compute", "h2d", "d2h", "cpu"} {
+		if !lanes[lane] {
+			t.Errorf("lane %q missing from thread metadata", lane)
+		}
+	}
+}
+
+// TestProfileSmoke drives every exporter off one observed run: the Chrome
+// trace, the memory profile report, the decision audit, and the metrics
+// text dump. It is the test target behind make profile-smoke.
+func TestProfileSmoke(t *testing.T) {
+	sts, col, met, rec := runObserved(t)
+
+	var chrome bytes.Buffer
+	if err := obs.WriteChromeTrace(&chrome, col.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(chrome.Bytes()) {
+		t.Error("chrome trace is not valid JSON")
+	}
+
+	prof := obs.BuildMemProfile(col.Events())
+	if prof.PeakBytes <= 0 {
+		t.Fatal("profile found no peak")
+	}
+	peak := sts[0].PeakBytes
+	for _, st := range sts {
+		if st.PeakBytes > peak {
+			peak = st.PeakBytes
+		}
+	}
+	if prof.PeakBytes != peak {
+		t.Errorf("profile peak %d != allocator peak %d", prof.PeakBytes, peak)
+	}
+	var report bytes.Buffer
+	if err := prof.WriteReport(&report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "device peak") {
+		t.Errorf("memory report incomplete:\n%s", report.String())
+	}
+
+	subjects := obs.ExplainTensors(col.Decisions())
+	if len(subjects) == 0 {
+		t.Fatal("no decision subjects recorded under memory pressure")
+	}
+	var explain bytes.Buffer
+	if err := obs.WriteExplain(&explain, subjects[0], col.Decisions(), col.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if explain.Len() == 0 {
+		t.Errorf("explain output empty for %s", subjects[0])
+	}
+
+	var metrics bytes.Buffer
+	if err := met.WriteText(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics.String(), "kernel") {
+		t.Errorf("metrics dump missing kernel histogram:\n%s", metrics.String())
+	}
+
+	// The Recorder forwarded exactly its filtered accesses as instants.
+	var accessInstants int
+	for _, ev := range col.Events() {
+		if ev.Cat == "access" {
+			accessInstants++
+			if ev.Tensor != "res0_relu1:0" {
+				t.Errorf("access instant leaked past the filter: %+v", ev)
+			}
+		}
+	}
+	if accessInstants == 0 || accessInstants != len(rec.Events()) {
+		t.Errorf("forwarded %d access instants, recorder holds %d events", accessInstants, len(rec.Events()))
+	}
+}

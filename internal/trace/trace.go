@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"capuchin/internal/exec"
+	"capuchin/internal/obs"
 	"capuchin/internal/sim"
 	"capuchin/internal/tensor"
 )
@@ -30,6 +31,12 @@ type Recorder struct {
 	Inner exec.Policy
 	// Filter selects which accesses to record; nil records everything.
 	Filter func(acc exec.Access) bool
+	// Tracer, when set, additionally receives each recorded access as an
+	// obs instant (Cat "access") so access markers land on the same
+	// timeline as the executor's kernel and transfer spans. The Filter
+	// gates forwarding too — record-everything tracers would drown the
+	// Chrome export in per-access instants.
+	Tracer obs.Tracer
 
 	events []Event
 }
@@ -61,6 +68,20 @@ func (r *Recorder) OnAccess(acc exec.Access, env *exec.Env) {
 			Kind:     acc.Kind,
 			NodeID:   acc.NodeID,
 		})
+		if r.Tracer != nil {
+			r.Tracer.Emit(obs.Event{
+				Kind:   obs.KindInstant,
+				Cat:    "access",
+				Name:   acc.Kind.String() + " " + acc.Tensor.ID,
+				Lane:   "cpu",
+				Start:  acc.Raw,
+				Iter:   acc.Iter,
+				Tensor: acc.Tensor.ID,
+				Node:   acc.NodeID,
+				Bytes:  acc.Tensor.Bytes(),
+				Detail: fmt.Sprintf("access #%d", acc.Count),
+			})
+		}
 	}
 	r.Inner.OnAccess(acc, env)
 }
