@@ -3,7 +3,7 @@
 # parallel experiment engine touches + the chaos soak suite.
 GO ?= go
 
-.PHONY: check vet build test race soak bench goldens profile-smoke
+.PHONY: check vet build test race soak bench goldens profile-smoke fuzz-smoke
 
 check: vet build test race soak profile-smoke
 
@@ -19,13 +19,21 @@ test:
 race:
 	$(GO) test -race ./internal/bench ./internal/exec ./internal/sim
 
-# soak runs the deterministic fault-injection suites twice under the race
-# detector: seeded chaos plans across every memory-managing system must
-# complete or fail with typed errors — never panic — and reproduce
+# soak runs the deterministic fault-injection and dynamic-shape suites
+# twice under the race detector: seeded chaos plans across every
+# memory-managing system — including the dynamic experiment at 8 jobs —
+# must complete or fail with typed errors — never panic — and reproduce
 # identical statistics on the second run.
 soak:
-	$(GO) test -race -count=2 ./internal/bench -run 'Chaos|Resilience|ZeroPlan'
-	$(GO) test -race -count=2 ./internal/exec -run 'Fault|FallsBack|Abandonment|Spikes|ErrorChain'
+	$(GO) test -race -count=2 ./internal/bench -run 'Chaos|Resilience|ZeroPlan|Dynamic'
+	$(GO) test -race -count=2 ./internal/exec -run 'Fault|FallsBack|Abandonment|Spikes|ErrorChain|Dynamic'
+
+# fuzz-smoke runs each fuzz target briefly (30s in CI): the shadow-model
+# allocator fuzzer and the shape-inference fuzzers must stay quiet.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzBFCAllocator' -fuzztime $(FUZZTIME) ./internal/memory
+	$(GO) test -run '^$$' -fuzz 'FuzzConvShapeInference' -fuzztime $(FUZZTIME) ./internal/ops
 
 # bench reproduces the numbers in BENCH_parallel_runner.json.
 bench:

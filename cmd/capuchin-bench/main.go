@@ -3,9 +3,15 @@
 //
 // Usage:
 //
-//	capuchin-bench [-exp all|fig1|fig2|fig3|fig8a|fig8b|table2|table3|fig9|fig10|overhead|ablations|resilience]
+//	capuchin-bench [-exp all|fig1|fig2|fig3|fig8a|fig8b|table2|table3|fig9|fig10|overhead|ablations|resilience|dynamic]
 //	               [-device p100|v100|t4] [-mem GiB] [-iters N] [-jobs N] [-quick] [-markdown]
-//	               [-faults spec] [-profile]
+//	               [-faults spec] [-profile] [-schedule kind] [-schedule-seed N]
+//
+// -exp dynamic evaluates dynamic-shape training (§3): workloads whose
+// tensor geometry drifts between iterations, with Capuchin re-planning
+// online per shape signature. -schedule picks the drift kind (constant,
+// batch, seq, mixed) and -schedule-seed the deterministic sampler seed;
+// both only affect the dynamic experiment.
 //
 // -profile attaches the observability stack to every simulated cell and
 // prints the sweep-wide metrics aggregate (kernel/transfer/stall latency
@@ -40,7 +46,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig8a, fig8b, table2, table3, fig9, fig10, overhead, capacity, extensions, sensitivity, ablations, resilience")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig8a, fig8b, table2, table3, fig9, fig10, overhead, capacity, extensions, sensitivity, ablations, resilience, dynamic")
 	device := flag.String("device", "p100", "device model: p100, v100, t4")
 	mem := flag.Int64("mem", 0, "override device memory in GiB (0 = device default)")
 	iters := flag.Int("iters", 0, "iterations per timed run (0 = default 8)")
@@ -50,6 +56,8 @@ func main() {
 	tsv := flag.Bool("tsv", false, "emit tab-separated values (plot-ready; single experiments only)")
 	faults := flag.String("faults", "", "fault-injection plan for -exp resilience: \"default\", \"off\", or key=value pairs (see package doc)")
 	profile := flag.Bool("profile", false, "profile every cell and print the aggregate metrics to stderr")
+	schedule := flag.String("schedule", "", "shape-drift kind for -exp dynamic: constant, batch, seq, mixed (\"\" = batch)")
+	scheduleSeed := flag.Uint64("schedule-seed", 0, "seed for the dynamic experiment's shape sampler (0 = 1)")
 	flag.Parse()
 
 	plan, err := fault.ParsePlan(*faults)
@@ -73,7 +81,8 @@ func main() {
 	if *mem > 0 {
 		dev = dev.WithMemory(*mem * hw.GiB)
 	}
-	o := bench.Options{Device: dev, Iterations: *iters, Quick: *quick, Jobs: *jobs, Profile: *profile}
+	o := bench.Options{Device: dev, Iterations: *iters, Quick: *quick, Jobs: *jobs, Profile: *profile,
+		Schedule: *schedule, ScheduleSeed: *scheduleSeed}
 	if *profile {
 		o.Runner = bench.NewRunner(*jobs)
 		defer func() {
@@ -150,6 +159,8 @@ func main() {
 		writeAll(bench.Ablations(o))
 	case "resilience":
 		write(bench.Resilience(o, plan))
+	case "dynamic":
+		write(bench.Dynamic(o))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

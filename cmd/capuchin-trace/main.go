@@ -8,8 +8,14 @@
 //
 //	capuchin-trace -model resnet50 -batch 32 -iters 3 [-tensors id1,id2]
 //	               [-spans compute|h2d|d2h] [-system capuchin] [-mem GiB]
-//	               [-faults spec]
+//	               [-faults spec] [-schedule kind] [-schedule-seed N]
 //	               [-chrome out.json] [-memprof] [-explain tensor|auto]
+//
+// -schedule routes the run through the dynamic workload engine: tensor
+// shapes drift between iterations (constant, batch, seq or mixed drift)
+// and Capuchin re-plans online per shape signature. Works in every mode —
+// the access TSV shows the drifting geometry, the Chrome trace shows the
+// shape-switch and re-plan markers. -schedule-seed picks the sampler seed.
 //
 // The observability modes (-chrome, -memprof, -explain) run the workload
 // through the bench harness with the tracer attached, so -system accepts
@@ -56,6 +62,8 @@ func main() {
 	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON timeline to this file (\"-\" = stdout)")
 	memprof := flag.Bool("memprof", false, "print the memory profile (peak attribution, fragmentation)")
 	explain := flag.String("explain", "", "print the policy decision history for a tensor (\"auto\" = first acted-on tensor)")
+	schedule := flag.String("schedule", "", "dynamic shape schedule: constant, batch, seq or mixed (\"\" = static run)")
+	scheduleSeed := flag.Uint64("schedule-seed", 1, "seed for the shape schedule's deterministic sampler")
 	flag.Parse()
 
 	plan, err := fault.ParsePlan(*faults)
@@ -67,14 +75,16 @@ func main() {
 
 	if *chrome != "" || *memprof || *explain != "" || *spans != "" {
 		observe(bench.RunConfig{
-			Model:       *model,
-			Batch:       *batch,
-			System:      bench.System(*system),
-			Device:      dev,
-			Iterations:  *iters,
-			Faults:      plan,
-			RecordSpans: *spans != "",
-			Profile:     true,
+			Model:        *model,
+			Batch:        *batch,
+			System:       bench.System(*system),
+			Device:       dev,
+			Iterations:   *iters,
+			Faults:       plan,
+			RecordSpans:  *spans != "",
+			Profile:      true,
+			Schedule:     *schedule,
+			ScheduleSeed: *scheduleSeed,
 		}, *chrome, *memprof, *explain, *spans)
 		return
 	}
@@ -85,10 +95,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	g, err := spec.Build(*batch, graph.GraphModeOptions())
-	if err != nil {
-		fatal(err)
-	}
 	var filter func(exec.Access) bool
 	if *tensors != "" {
 		want := make(map[string]bool)
@@ -98,12 +104,38 @@ func main() {
 		filter = func(acc exec.Access) bool { return want[acc.Tensor.ID] }
 	}
 	rec := trace.NewRecorder(nil, filter)
-	s, err := exec.NewSession(g, exec.Config{Device: dev, Policy: rec, Faults: plan})
-	if err != nil {
-		fatal(err)
-	}
-	if _, err := s.Run(*iters); err != nil {
-		fatal(err)
+	if *schedule != "" {
+		// Dynamic TSV: the recorder follows the run across per-signature
+		// sessions, so the trace shows the drifting access geometry.
+		sched, err := models.NewSchedule(*schedule, spec, *batch, *scheduleSeed, 0)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := exec.NewDynamicSession(exec.DynamicConfig{
+			Base: exec.Config{Device: dev, Policy: rec, Faults: plan},
+			Build: func(b, seq int64) (*graph.Graph, error) {
+				return spec.BuildShaped(b, seq, graph.GraphModeOptions())
+			},
+			Schedule: sched,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := d.Run(*iters); err != nil {
+			fatal(err)
+		}
+	} else {
+		g, err := spec.Build(*batch, graph.GraphModeOptions())
+		if err != nil {
+			fatal(err)
+		}
+		s, err := exec.NewSession(g, exec.Config{Device: dev, Policy: rec, Faults: plan})
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := s.Run(*iters); err != nil {
+			fatal(err)
+		}
 	}
 	if err := rec.WriteTSV(os.Stdout); err != nil {
 		fatal(err)

@@ -67,6 +67,17 @@ type RunConfig struct {
 	// IterStats — but the flag stays part of the cache key so a profiled
 	// Result is never served to a caller that did not ask for one.
 	Profile bool
+	// Schedule selects a dynamic shape schedule kind (a models.Schedule*
+	// constant); "" runs the static path. Any non-empty kind — including
+	// "constant" — routes through the dynamic engine, which makes the
+	// constant schedule the differential check that the dynamic path adds
+	// nothing: its stats must be byte-identical to the static run's.
+	Schedule string
+	// ScheduleSeed drives the schedule's deterministic shape sampler.
+	ScheduleSeed uint64
+	// SchedulePeriod is the number of iterations between shape re-samples
+	// (0 = 2).
+	SchedulePeriod int
 }
 
 // Result is the outcome of one run.
@@ -88,6 +99,9 @@ type Result struct {
 	// Profile holds the run's observability artifacts when
 	// RunConfig.Profile was set (present even when the run failed).
 	Profile *ProfileReport
+	// Dynamic holds the dynamic engine's structural counters and
+	// per-signature aggregates when RunConfig.Schedule was set.
+	Dynamic *DynamicReport
 
 	capuchin *core.Capuchin
 }
@@ -106,23 +120,13 @@ func buildOptions(mode exec.Mode) graph.BuildOptions {
 	return graph.GraphModeOptions()
 }
 
-// Run executes one configuration.
-func Run(cfg RunConfig) Result {
-	res := Result{Config: cfg}
-	if cfg.Iterations == 0 {
-		cfg.Iterations = 3
-	}
-	spec, err := models.Get(cfg.Model)
-	if err != nil {
-		res.Err = err
-		return res
-	}
-	g, err := spec.Build(cfg.Batch, buildOptions(cfg.Mode))
-	if err != nil {
-		res.Err = err
-		return res
-	}
-
+// execConfig assembles the executor configuration — policy included —
+// for one run. g is nil on the dynamic path, where the graph changes per
+// shape signature: the graph-keyed baseline policies (vDNN, SuperNeurons,
+// the checkpointing baselines) cannot follow a moving graph and are
+// rejected there, while TF-ori and the Capuchin variants are
+// graph-agnostic (Capuchin re-keys its plan per signature).
+func execConfig(cfg RunConfig, g *graph.Graph) (exec.Config, *core.Capuchin, *obs.Collector, *obs.Metrics, error) {
 	ec := exec.Config{
 		Device:      cfg.Device,
 		Mode:        cfg.Mode,
@@ -138,6 +142,12 @@ func Run(cfg RunConfig) Result {
 		met = obs.NewMetrics()
 		ec.Tracer = col
 		ec.Metrics = met
+	}
+	if g == nil {
+		switch cfg.System {
+		case SystemVDNN, SystemSuperNeurons, SystemOpenAIMemory, SystemOpenAISpeed:
+			return ec, nil, nil, nil, fmt.Errorf("bench: system %q keys its policy to one graph and cannot follow a dynamic shape schedule", cfg.System)
+		}
 	}
 	var cap *core.Capuchin
 	switch cfg.System {
@@ -174,12 +184,37 @@ func Run(cfg RunConfig) Result {
 		ec.Policy = cap
 		ec.CollectiveRecompute = false
 	default:
-		res.Err = fmt.Errorf("bench: unknown system %q", cfg.System)
-		return res
+		return ec, nil, nil, nil, fmt.Errorf("bench: unknown system %q", cfg.System)
 	}
-
 	if cfg.ForceCoupledSwap {
 		ec.CoupledSwap = true
+	}
+	return ec, cap, col, met, nil
+}
+
+// Run executes one configuration.
+func Run(cfg RunConfig) Result {
+	res := Result{Config: cfg}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 3
+	}
+	spec, err := models.Get(cfg.Model)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if cfg.Schedule != "" {
+		return runDynamic(cfg, spec, res)
+	}
+	g, err := spec.Build(cfg.Batch, buildOptions(cfg.Mode))
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	ec, cap, col, met, err := execConfig(cfg, g)
+	if err != nil {
+		res.Err = err
+		return res
 	}
 	s, err := exec.NewSession(g, ec)
 	if err != nil {

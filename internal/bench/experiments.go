@@ -37,6 +37,13 @@ type Options struct {
 	// simulates; read the aggregate afterwards from Runner.Metrics().
 	// Tracing is outcome-neutral, so tables are unchanged.
 	Profile bool
+	// Schedule is the drift kind the Dynamic experiment applies to models
+	// without a sequence axis (default models.ScheduleBatch; sequence
+	// models always drift both axes).
+	Schedule string
+	// ScheduleSeed seeds the Dynamic experiment's shape sampler
+	// (default 1).
+	ScheduleSeed uint64
 }
 
 func (o Options) fill() Options {
@@ -54,6 +61,12 @@ func (o Options) fill() Options {
 	}
 	if o.Profile {
 		o.Runner.EnableProfiling()
+	}
+	if o.Schedule == "" {
+		o.Schedule = models.ScheduleBatch
+	}
+	if o.ScheduleSeed == 0 {
+		o.ScheduleSeed = 1
 	}
 	return o
 }
@@ -681,6 +694,7 @@ func AllTables(o Options) []*Table {
 		func() []*Table { return []*Table{TableExtensions(o)} },
 		func() []*Table { return []*Table{DeviceSensitivity(o)} },
 		func() []*Table { return Ablations(o) },
+		func() []*Table { return []*Table{Dynamic(o)} },
 	}
 	groups := make([][]*Table, len(gens))
 	var wg sync.WaitGroup

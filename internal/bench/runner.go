@@ -129,6 +129,12 @@ func cacheKey(cfg RunConfig) RunConfig {
 	if cfg.Allocator == "" {
 		cfg.Allocator = "bfc"
 	}
+	if cfg.Schedule == "" {
+		// Static runs ignore the sampler knobs entirely.
+		cfg.ScheduleSeed, cfg.SchedulePeriod = 0, 0
+	} else if cfg.SchedulePeriod == 0 {
+		cfg.SchedulePeriod = 2
+	}
 	return cfg
 }
 

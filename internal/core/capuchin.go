@@ -30,6 +30,9 @@ type Options struct {
 	// MeasuredIterations is how many leading iterations run in passive
 	// measured mode before the plan is made (default 1).
 	MeasuredIterations int
+	// PlanCacheSize bounds the per-signature plan cache used by dynamic
+	// workloads (default 8).
+	PlanCacheSize int
 }
 
 // Capuchin is the paper's memory manager as an exec.Policy: iteration 0
@@ -42,6 +45,25 @@ type Capuchin struct {
 
 	tk   *tracker
 	plan *plan
+
+	// measureLeft counts the measured (passive) iterations remaining
+	// before the next plan build; measuring latches it for the duration
+	// of one iteration. Re-measurement after an invalidation re-arms the
+	// countdown, so "measured mode" is a state the policy can re-enter
+	// mid-training rather than a property of the iteration number.
+	measureLeft int
+	measuring   bool
+
+	// sig is the active shape signature ("" until BeginSignature; static
+	// runs never set one) and cache holds the plans of recently seen
+	// signatures so recurring buckets skip re-measurement.
+	sig   string
+	cache *planCache
+
+	// Dynamic-regime counters for reporting and audits.
+	plansBuilt    int
+	cacheHits     int
+	invalidations int
 
 	// bound lazily maps tensor IDs to live tensors observed in the
 	// access stream, so guided execution (including plans loaded with
@@ -61,6 +83,7 @@ type Capuchin struct {
 }
 
 var _ exec.Policy = (*Capuchin)(nil)
+var _ exec.Replanner = (*Capuchin)(nil)
 
 // New creates a Capuchin policy.
 func New(opts Options) *Capuchin {
@@ -73,7 +96,14 @@ func New(opts Options) *Capuchin {
 	if opts.SwapOnly && opts.RecomputeOnly {
 		panic("core: SwapOnly and RecomputeOnly are mutually exclusive")
 	}
-	return &Capuchin{opts: opts, tk: newTracker(), pendingSet: make(map[string]bool), bound: make(map[string]*tensor.Tensor)}
+	return &Capuchin{
+		opts:        opts,
+		tk:          newTracker(),
+		measureLeft: opts.MeasuredIterations,
+		cache:       newPlanCache(opts.PlanCacheSize),
+		pendingSet:  make(map[string]bool),
+		bound:       make(map[string]*tensor.Tensor),
+	}
 }
 
 // Name implements exec.Policy.
@@ -93,14 +123,13 @@ func (c *Capuchin) Name() string {
 func (c *Capuchin) TracksAccesses() bool { return true }
 
 // BeginIteration implements exec.Policy.
-func (c *Capuchin) BeginIteration(iter int, env *exec.Env) {}
-
-// measured reports whether the iteration runs in measured (passive) mode.
-func (c *Capuchin) measured(iter int) bool { return iter < c.opts.MeasuredIterations }
+func (c *Capuchin) BeginIteration(iter int, env *exec.Env) {
+	c.measuring = c.plan == nil && c.measureLeft > 0
+}
 
 // OnAccess implements exec.Policy.
 func (c *Capuchin) OnAccess(acc exec.Access, env *exec.Env) {
-	if c.measured(acc.Iter) {
+	if c.measuring {
 		c.tk.observe(acc)
 		return
 	}
@@ -251,16 +280,18 @@ func (c *Capuchin) OnOOM(need int64, env *exec.Env) ([]*tensor.Tensor, bool) {
 func (c *Capuchin) EndIteration(iter int, env *exec.Env) {
 	c.pendingPrefetch = nil
 	c.pendingSet = make(map[string]bool)
-	if c.measured(iter) && iter != c.opts.MeasuredIterations-1 {
+	if !c.measuring {
+		return
+	}
+	c.measuring = false
+	c.measureLeft--
+	if c.measureLeft > 0 {
 		// Earlier measured iterations only warm the passive-mode state
 		// (host buffers, allocator layout); the plan derives from the
 		// final measured iteration's trace, so drop the partial one —
 		// access counts restart every iteration and mixing two traces
 		// would corrupt the {tensor, count} keys.
 		c.tk = newTracker()
-		return
-	}
-	if iter != c.opts.MeasuredIterations-1 || c.plan != nil {
 		return
 	}
 	c.tk.finish()
@@ -276,6 +307,10 @@ func (c *Capuchin) EndIteration(iter int, env *exec.Env) {
 		pl.decide = env.Decide
 	}
 	c.plan = pl.build()
+	c.plansBuilt++
+	if c.sig != "" {
+		c.cache.put(c.sig, c.plan)
+	}
 }
 
 // paramResident estimates persistent memory as what is resident at the
@@ -294,23 +329,35 @@ type PlanSummary struct {
 	RecomputeCount int
 	RecomputeBytes int64
 	Adjustments    int
+	// Dynamic-regime counters: total plan builds, cached-plan reuses on
+	// signature switches, staleness invalidations, and signatures with a
+	// cached plan. All zero on static runs.
+	PlanBuilds    int
+	CacheHits     int
+	Invalidations int
+	Signatures    int
 }
 
 // Summary reports the current plan.
 func (c *Capuchin) Summary() PlanSummary {
+	s := PlanSummary{
+		Adjustments:   c.stalledAdjusts,
+		PlanBuilds:    c.plansBuilt,
+		CacheHits:     c.cacheHits,
+		Invalidations: c.invalidations,
+		Signatures:    c.cache.len(),
+	}
 	if c.plan == nil {
-		return PlanSummary{}
+		return s
 	}
-	return PlanSummary{
-		Planned:        true,
-		RequiredBytes:  c.plan.required,
-		PeakUsage:      c.plan.peakUsage,
-		SwapTensors:    c.plan.numSwap,
-		SwapBytes:      c.plan.coveredSwap,
-		RecomputeCount: c.plan.numRecompute,
-		RecomputeBytes: c.plan.coveredRecomp,
-		Adjustments:    c.stalledAdjusts,
-	}
+	s.Planned = true
+	s.RequiredBytes = c.plan.required
+	s.PeakUsage = c.plan.peakUsage
+	s.SwapTensors = c.plan.numSwap
+	s.SwapBytes = c.plan.coveredSwap
+	s.RecomputeCount = c.plan.numRecompute
+	s.RecomputeBytes = c.plan.coveredRecomp
+	return s
 }
 
 // String implements fmt.Stringer.

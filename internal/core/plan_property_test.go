@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -121,6 +123,107 @@ func TestPlannerInvariantsProperty(t *testing.T) {
 				t.Errorf("seed %d: swap %s missing size", seed, id)
 			}
 		}
+	}
+}
+
+// exportOf serializes a plan with the deterministic exporter, the
+// equality oracle for plan comparison.
+func exportOf(t *testing.T, p *plan) string {
+	t.Helper()
+	c := New(Options{})
+	c.plan = p
+	var buf bytes.Buffer
+	if err := c.ExportPlan(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// buildSynthPlan derives a plan from the seed's synthetic trace.
+func buildSynthPlan(seed int64) *plan {
+	tk := synthTrace(rand.New(rand.NewSource(seed)))
+	pl := &planner{
+		tk:       tk,
+		capacity: 64 << 20,
+		params:   1 << 20,
+		swapOut:  func(b int64) sim.Time { return sim.FromSeconds(float64(b) / 12e9) },
+		swapIn:   func(b int64) sim.Time { return sim.FromSeconds(float64(b) / 11e9) },
+	}
+	return pl.build()
+}
+
+// Property: for any generated access pattern, a plan-cache hit after
+// invalidation+rebuild under an identical shape signature returns a
+// plan equal to a fresh build — the planner is deterministic and the
+// cache neither corrupts nor resurrects entries.
+func TestPlanCacheRoundTripProperty(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		fresh := buildSynthPlan(seed)
+		rebuilt := buildSynthPlan(seed) // identical trace, fresh build
+		want := exportOf(t, fresh)
+		if got := exportOf(t, rebuilt); got != want {
+			t.Fatalf("seed %d: planner not deterministic over identical traces", seed)
+		}
+		cache := newPlanCache(4)
+		sig := fmt.Sprintf("b%d/s%d", seed, 128)
+		cache.put(sig, fresh)
+		got, ok := cache.get(sig)
+		if !ok || got != fresh {
+			t.Fatalf("seed %d: cache miss immediately after put", seed)
+		}
+		cache.remove(sig) // the invalidation path
+		if _, ok := cache.get(sig); ok {
+			t.Fatalf("seed %d: invalidated plan resurfaced", seed)
+		}
+		cache.put(sig, rebuilt) // the re-measured rebuild
+		got, ok = cache.get(sig)
+		if !ok {
+			t.Fatalf("seed %d: rebuilt plan not cached", seed)
+		}
+		if exportOf(t, got) != want {
+			t.Fatalf("seed %d: cache hit after invalidation+rebuild differs from fresh build", seed)
+		}
+	}
+}
+
+// Property: the plan cache is a bounded LRU — size never exceeds the
+// limit, eviction removes the least recently used signature, and a get
+// refreshes recency.
+func TestPlanCacheLRUProperty(t *testing.T) {
+	cache := newPlanCache(4)
+	plans := make(map[string]*plan)
+	for i := 0; i < 10; i++ {
+		sig := fmt.Sprintf("b%d", i)
+		plans[sig] = buildSynthPlan(int64(i + 1))
+		cache.put(sig, plans[sig])
+		if cache.len() > 4 {
+			t.Fatalf("cache grew to %d entries (limit 4)", cache.len())
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if _, ok := cache.get(fmt.Sprintf("b%d", i)); ok {
+			t.Errorf("b%d survived past the LRU bound", i)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if _, ok := cache.get(fmt.Sprintf("b%d", i)); !ok {
+			t.Errorf("recent b%d evicted", i)
+		}
+	}
+	// Touch b6, insert a new signature: b7 (now oldest) is the victim.
+	cache.get("b6")
+	cache.put("b10", plans["b9"])
+	if _, ok := cache.get("b6"); !ok {
+		t.Error("touched entry b6 evicted")
+	}
+	if _, ok := cache.get("b7"); ok {
+		t.Error("LRU victim b7 survived")
+	}
+	// Re-putting an existing signature must not evict anyone.
+	before := cache.len()
+	cache.put("b10", plans["b9"])
+	if cache.len() != before {
+		t.Error("idempotent put changed cache size")
 	}
 }
 

@@ -1,0 +1,454 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"capuchin/internal/graph"
+	"capuchin/internal/obs"
+	"capuchin/internal/sim"
+)
+
+// This file is the dynamic workload engine: training where the tensor
+// geometry changes between iterations (variable batch sizes, bucketed
+// sequence lengths, eager-style shape drift — Capuchin §3). A
+// DynamicSession keeps one executor session per shape signature in a
+// small LRU, carries virtual time forward across switches so the
+// timeline stays monotonic, and — when the policy supports re-planning
+// — detects plans gone stale against their measured baseline and
+// triggers a bounded re-measurement pass mid-training. Everything is a
+// pure function of the configuration: a dynamic run is as deterministic
+// as a static one.
+
+// ShapeSchedule yields each iteration's tensor geometry. models.Schedule
+// satisfies it; the interface lives here so neither package imports the
+// other.
+type ShapeSchedule interface {
+	// At returns the batch size and sequence length of iteration iter;
+	// seq is 0 for workloads without a sequence axis.
+	At(iter int) (batch, seq int64)
+}
+
+// SigKey formats the canonical shape-signature key of a (batch, seq)
+// pair, e.g. "b32" or "b32/s128".
+func SigKey(batch, seq int64) string {
+	if seq == 0 {
+		return fmt.Sprintf("b%d", batch)
+	}
+	return fmt.Sprintf("b%d/s%d", batch, seq)
+}
+
+// Replanner is the optional policy surface for online re-planning
+// (core.Capuchin implements it): plans are keyed by shape signature,
+// cached across signature switches, and rebuilt from a fresh measured
+// pass when invalidated.
+type Replanner interface {
+	Policy
+	// BeginSignature installs the plan state for a signature before its
+	// first iteration runs, returning whether a guided plan is active
+	// (false schedules a measured pass). Tensor bindings reset.
+	BeginSignature(sig string, env *Env) bool
+	// InvalidatePlan drops the active signature's plan and schedules a
+	// bounded re-measurement pass starting next iteration.
+	InvalidatePlan(reason string, env *Env)
+	// Planned reports whether a guided plan is currently active.
+	Planned() bool
+}
+
+// StalenessConfig tunes plan-staleness detection. The zero value means
+// defaults; set Disable to turn the detector off.
+type StalenessConfig struct {
+	Disable bool
+	// AccessDrift invalidates when the per-iteration access count
+	// deviates from the baseline by more than this fraction (default
+	// 0.05). Access counts are graph-structural, so this only fires on a
+	// genuine shape/plan mismatch, never on eviction jitter.
+	AccessDrift float64
+	// OnDemandFactor invalidates when on-demand swap-ins exceed the
+	// baseline by this factor (default 2) — the plan's prefetch triggers
+	// are firing too late for the running pattern.
+	OnDemandFactor float64
+	// MinOnDemand is the minimum on-demand swap-in count before the
+	// factor test applies (default 4).
+	MinOnDemand int
+	// StallFactor invalidates when stall time exceeds the baseline by
+	// this factor (default 4) and MinStall (default 1ms); 0 keeps the
+	// default, negative disables the stall signal.
+	StallFactor float64
+	MinStall    sim.Time
+	// Patience is how many consecutive stale iterations trigger an
+	// invalidation (default 2).
+	Patience int
+	// MaxReplans bounds staleness-triggered re-measurement passes per
+	// run (default 8).
+	MaxReplans int
+}
+
+func (sc StalenessConfig) fill() StalenessConfig {
+	if sc.AccessDrift == 0 {
+		sc.AccessDrift = 0.05
+	}
+	if sc.OnDemandFactor == 0 {
+		sc.OnDemandFactor = 2
+	}
+	if sc.MinOnDemand == 0 {
+		sc.MinOnDemand = 4
+	}
+	if sc.StallFactor == 0 {
+		sc.StallFactor = 4
+	}
+	if sc.MinStall == 0 {
+		sc.MinStall = sim.Millisecond
+	}
+	if sc.Patience == 0 {
+		sc.Patience = 2
+	}
+	if sc.MaxReplans == 0 {
+		sc.MaxReplans = 8
+	}
+	return sc
+}
+
+// DynamicConfig configures a DynamicSession.
+type DynamicConfig struct {
+	// Base is the per-session executor configuration; its Policy is
+	// shared across all signatures (a Replanner re-keys its plan per
+	// signature; stateless policies just run).
+	Base Config
+	// Build constructs the graph for one shape signature.
+	Build func(batch, seq int64) (*graph.Graph, error)
+	// Schedule yields each iteration's shape.
+	Schedule ShapeSchedule
+	// MaxSessions bounds the per-signature session cache (default 4).
+	MaxSessions int
+	// Staleness tunes the plan-staleness detector.
+	Staleness StalenessConfig
+}
+
+// DynamicStats counts the dynamic engine's structural events.
+type DynamicStats struct {
+	Iterations    int
+	Signatures    int // distinct signatures seen
+	SessionBuilds int // sessions constructed (including LRU rebuild)
+	SessionEvicts int
+	Switches      int // signature changes after the first
+	PlanCacheHits int // switches resolved by a cached plan
+	Replans       int // plan builds after the first (re-measured passes)
+	Invalidations int // staleness-triggered invalidations
+}
+
+// BucketStats aggregates per-signature execution statistics.
+type BucketStats struct {
+	Sig        string
+	Batch, Seq int64
+	Iterations int
+	// Measured counts this bucket's iterations run in measured or
+	// re-measured (passive) mode.
+	Measured   int
+	Duration   sim.Time
+	Stall      sim.Time
+	PeakBytes  int64
+	OnDemandIn int
+	Recomputes int
+}
+
+// driftBaseline is the reference point staleness is measured against:
+// the first guided iteration after a signature's plan was built.
+type driftBaseline struct {
+	accesses int
+	onDemand int
+	stall    sim.Time
+}
+
+// DynamicSession executes a shape schedule over per-signature executor
+// sessions. It is not safe for concurrent use, mirroring Session.
+type DynamicSession struct {
+	cfg         DynamicConfig
+	stale       StalenessConfig
+	maxSessions int
+
+	sessions map[string]*dynSession
+	order    []string // LRU, least recently used first
+	active   *dynSession
+
+	rp            Replanner // nil when the policy cannot re-plan
+	plannedEver   bool
+	baselines     map[string]driftBaseline
+	staleStreak   int
+	replansIssued int
+
+	iter        int
+	stats       DynamicStats
+	buckets     map[string]*BucketStats
+	bucketOrder []string
+}
+
+type dynSession struct {
+	key        string
+	batch, seq int64
+	s          *Session
+}
+
+// NewDynamicSession validates the configuration and prepares the engine;
+// the first session is built lazily on the first iteration, so shape
+// errors surface as run errors just like static OOM does.
+func NewDynamicSession(cfg DynamicConfig) (*DynamicSession, error) {
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("exec: dynamic: no Build function")
+	}
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("exec: dynamic: no shape schedule")
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 4
+	}
+	d := &DynamicSession{
+		cfg:         cfg,
+		stale:       cfg.Staleness.fill(),
+		maxSessions: cfg.MaxSessions,
+		sessions:    make(map[string]*dynSession),
+		baselines:   make(map[string]driftBaseline),
+		buckets:     make(map[string]*BucketStats),
+	}
+	d.rp, _ = cfg.Base.Policy.(Replanner)
+	return d, nil
+}
+
+// RunIteration executes the next scheduled iteration, switching (and if
+// needed building) the signature's session first.
+func (d *DynamicSession) RunIteration() (IterStats, error) {
+	batch, seq := d.cfg.Schedule.At(d.iter)
+	key := SigKey(batch, seq)
+	if d.active == nil || d.active.key != key {
+		if err := d.switchTo(key, batch, seq); err != nil {
+			return IterStats{}, err
+		}
+	}
+	planBefore := d.rp != nil && d.rp.Planned()
+	st, err := d.active.s.RunIteration()
+	st.Iter = d.iter
+	d.iter++
+	d.stats.Iterations++
+	d.recordBucket(key, batch, seq, planBefore, st)
+	if err != nil {
+		return st, err
+	}
+	if d.rp != nil && !planBefore && d.rp.Planned() {
+		// A measured pass just completed. The first plan of the run is
+		// the static regime's plan build and stays silent; later ones
+		// are genuine online re-plans.
+		if d.plannedEver {
+			d.stats.Replans++
+			d.active.s.decide(obs.Decision{
+				Action: "re-plan",
+				Reason: "re-measured pass complete; plan rebuilt for signature " + key,
+			})
+		}
+		d.plannedEver = true
+	}
+	if planBefore {
+		d.checkStaleness(key, st)
+	}
+	return st, nil
+}
+
+// Run executes n iterations, stopping at the first failure (the failed
+// iteration's stats are included, mirroring Session.Run).
+func (d *DynamicSession) Run(n int) ([]IterStats, error) {
+	stats := make([]IterStats, 0, n)
+	for i := 0; i < n; i++ {
+		st, err := d.RunIteration()
+		stats = append(stats, st)
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// switchTo makes key's session active, constructing it (and evicting the
+// least recently used one beyond the cache bound) when absent.
+func (d *DynamicSession) switchTo(key string, batch, seq int64) error {
+	prev := d.active
+	prevNow := d.now()
+	e, ok := d.sessions[key]
+	if !ok {
+		g, err := d.cfg.Build(batch, seq)
+		if err != nil {
+			return fmt.Errorf("exec: dynamic: building graph for %s: %w", key, err)
+		}
+		s, err := NewSession(g, d.cfg.Base)
+		if err != nil {
+			return fmt.Errorf("exec: dynamic: session for %s: %w", key, err)
+		}
+		e = &dynSession{key: key, batch: batch, seq: seq, s: s}
+		d.sessions[key] = e
+		d.stats.SessionBuilds++
+		if len(d.sessions) > d.maxSessions {
+			victim := d.order[0]
+			d.order = d.order[1:]
+			delete(d.sessions, victim)
+			d.stats.SessionEvicts++
+		}
+	}
+	d.touch(key)
+	d.active = e
+	// Carry virtual time forward: sessions idle while other shapes run,
+	// so their streams advance to the global now and the unified
+	// timeline stays monotonic.
+	advanceSession(e.s, prevNow)
+	if d.rp != nil {
+		hit := d.rp.BeginSignature(key, &Env{s: e.s})
+		if prev != nil && hit {
+			d.stats.PlanCacheHits++
+		}
+	}
+	if prev != nil {
+		d.stats.Switches++
+		d.staleStreak = 0
+		e.s.decide(obs.Decision{
+			Action: "shape-switch",
+			Reason: prev.key + " -> " + key,
+		})
+	}
+	return nil
+}
+
+// checkStaleness compares a guided iteration against its signature's
+// baseline and invalidates the plan after Patience consecutive stale
+// iterations. The first guided iteration after a (re)build becomes the
+// baseline: in a steady deterministic regime every later iteration
+// matches it exactly, so the detector is silent unless the workload —
+// or an injected fault window — genuinely shifts the pattern.
+func (d *DynamicSession) checkStaleness(key string, st IterStats) {
+	if d.stale.Disable || d.rp == nil || !d.rp.Planned() {
+		return
+	}
+	base, ok := d.baselines[key]
+	if !ok {
+		d.baselines[key] = driftBaseline{accesses: st.Accesses, onDemand: st.OnDemandInCount, stall: st.StallTime}
+		return
+	}
+	reason := staleReason(d.stale, base, st)
+	if reason == "" {
+		d.staleStreak = 0
+		return
+	}
+	d.staleStreak++
+	if d.staleStreak < d.stale.Patience || d.replansIssued >= d.stale.MaxReplans {
+		return
+	}
+	d.rp.InvalidatePlan(reason, &Env{s: d.active.s})
+	delete(d.baselines, key)
+	d.stats.Invalidations++
+	d.replansIssued++
+	d.staleStreak = 0
+}
+
+// staleReason reports why an iteration diverges from its baseline, or
+// "" when it tracks the plan's expectations.
+func staleReason(cfg StalenessConfig, base driftBaseline, st IterStats) string {
+	if base.accesses > 0 {
+		drift := math.Abs(float64(st.Accesses-base.accesses)) / float64(base.accesses)
+		if drift > cfg.AccessDrift {
+			return fmt.Sprintf("access pattern drifted %.1f%% from measured baseline (%d vs %d accesses)",
+				drift*100, st.Accesses, base.accesses)
+		}
+	}
+	baseOD := base.onDemand
+	if baseOD < 1 {
+		baseOD = 1
+	}
+	if st.OnDemandInCount >= cfg.MinOnDemand && float64(st.OnDemandInCount) > cfg.OnDemandFactor*float64(baseOD) {
+		return fmt.Sprintf("on-demand swap-ins %dx baseline (%d vs %d); prefetch triggers misfiring",
+			st.OnDemandInCount/baseOD, st.OnDemandInCount, base.onDemand)
+	}
+	if cfg.StallFactor > 0 && st.StallTime > cfg.MinStall &&
+		float64(st.StallTime) > cfg.StallFactor*float64(base.stall)+float64(cfg.MinStall) {
+		return fmt.Sprintf("stall time %v vs baseline %v; plan no longer hides transfers",
+			st.StallTime, base.stall)
+	}
+	return ""
+}
+
+// recordBucket folds one iteration into its signature's aggregate.
+func (d *DynamicSession) recordBucket(key string, batch, seq int64, planBefore bool, st IterStats) {
+	b, ok := d.buckets[key]
+	if !ok {
+		b = &BucketStats{Sig: key, Batch: batch, Seq: seq}
+		d.buckets[key] = b
+		d.bucketOrder = append(d.bucketOrder, key)
+		d.stats.Signatures++
+	}
+	b.Iterations++
+	if d.rp != nil && !planBefore {
+		b.Measured++
+	}
+	b.Duration += st.Duration
+	b.Stall += st.StallTime
+	if st.PeakBytes > b.PeakBytes {
+		b.PeakBytes = st.PeakBytes
+	}
+	b.OnDemandIn += st.OnDemandInCount
+	b.Recomputes += st.RecomputeCount
+}
+
+// touch moves key to the most-recently-used end of the session LRU.
+func (d *DynamicSession) touch(key string) {
+	for i, k := range d.order {
+		if k == key {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	d.order = append(d.order, key)
+}
+
+// now is the global virtual time: the furthest stream of the active
+// session (sessions are quiescent at iteration boundaries).
+func (d *DynamicSession) now() sim.Time {
+	if d.active == nil {
+		return 0
+	}
+	s := d.active.s
+	t := s.compute.AvailableAt()
+	for _, st := range []*sim.Stream{s.h2d, s.d2h, s.cpu} {
+		if st != nil && st.AvailableAt() > t {
+			t = st.AvailableAt()
+		}
+	}
+	return t
+}
+
+// advanceSession fast-forwards a session's streams to the global time.
+func advanceSession(s *Session, t sim.Time) {
+	if t == 0 {
+		return
+	}
+	for _, st := range []*sim.Stream{s.compute, s.h2d, s.d2h, s.cpu} {
+		if st != nil {
+			st.AdvanceTo(t)
+		}
+	}
+}
+
+// Stats reports the engine's structural counters.
+func (d *DynamicSession) Stats() DynamicStats { return d.stats }
+
+// Buckets reports per-signature aggregates in first-seen order.
+func (d *DynamicSession) Buckets() []BucketStats {
+	out := make([]BucketStats, 0, len(d.bucketOrder))
+	for _, key := range d.bucketOrder {
+		out = append(out, *d.buckets[key])
+	}
+	return out
+}
+
+// Active exposes the current signature's session (span and snapshot
+// access for reports); nil before the first iteration.
+func (d *DynamicSession) Active() *Session {
+	if d.active == nil {
+		return nil
+	}
+	return d.active.s
+}

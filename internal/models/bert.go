@@ -30,33 +30,46 @@ const (
 // self-attention with 1/sqrt(d) softmax, GELU feed-forward, residual
 // layer norms) and an LM head over bertMaskLen positions.
 func BERTBase(batch int64, opt graph.BuildOptions) (*graph.Graph, error) {
+	return BERTBaseSeq(batch, bertSeqLen, opt)
+}
+
+// BERTBaseSeq builds BERT-Base at an explicit sequence length, the
+// bucketed-padding regime of NLP training pipelines. The masked-LM head
+// width scales with the sequence (~15% of positions, matching
+// bertMaskLen at the default length).
+func BERTBaseSeq(batch, seqLen int64, opt graph.BuildOptions) (*graph.Graph, error) {
 	if batch <= 0 {
 		return nil, fmt.Errorf("models: bert: batch %d must be positive", batch)
 	}
+	if seqLen <= 0 {
+		return nil, fmt.Errorf("models: bert: sequence length %d must be positive", seqLen)
+	}
+	maskLen := seqLen * bertMaskLen / bertSeqLen
+	if maskLen < 1 {
+		maskLen = 1
+	}
 	b := graph.NewBuilder("bert")
-	n := &net{b: b}
-	_ = n
 
-	ids := b.Input("ids", tensor.Shape{batch, bertSeqLen}, tensor.Int32)
+	ids := b.Input("ids", tensor.Shape{batch, seqLen}, tensor.Int32)
 	table := b.Variable("embeddings", tensor.Shape{bertVocab, bertHidden})
 	emb := b.Apply1("embed", ops.Embedding{}, ids, table)
 
 	// Flatten to [batch*seq, hidden]; the token stream stays 2-D except
 	// inside attention.
-	x := b.Apply1("embed_flat", ops.Reshape{To: tensor.Shape{batch * bertSeqLen, bertHidden}}, emb)
+	x := b.Apply1("embed_flat", ops.Reshape{To: tensor.Shape{batch * seqLen, bertHidden}}, emb)
 	x = layerNorm(b, "embed_ln", x)
 	x = b.Apply1("embed_drop", ops.Dropout{Rate: 0.1}, x)
 
 	for i := 0; i < bertLayers; i++ {
-		x = encoderLayer(b, fmt.Sprintf("layer%d", i), x, batch)
+		x = encoderLayer(b, fmt.Sprintf("layer%d", i), x, batch, seqLen)
 	}
 
-	// Masked-LM head over the first bertMaskLen positions.
-	seq := b.Apply1("head_unflat", ops.Reshape{To: tensor.Shape{batch, bertSeqLen, bertHidden}}, x)
-	masked := b.Apply1("head_slice", ops.Slice{Dim: 1, Start: 0, Length: bertMaskLen}, seq)
-	flat := b.Apply1("head_flat", ops.Reshape{To: tensor.Shape{batch * bertMaskLen, bertHidden}}, masked)
+	// Masked-LM head over the first maskLen positions.
+	seq := b.Apply1("head_unflat", ops.Reshape{To: tensor.Shape{batch, seqLen, bertHidden}}, x)
+	masked := b.Apply1("head_slice", ops.Slice{Dim: 1, Start: 0, Length: maskLen}, seq)
+	flat := b.Apply1("head_flat", ops.Reshape{To: tensor.Shape{batch * maskLen, bertHidden}}, masked)
 	lm := denseSeq(b, "lm", flat, bertVocab)
-	labels := b.Input("labels", tensor.Shape{batch * bertMaskLen, bertVocab}, tensor.Float32)
+	labels := b.Input("labels", tensor.Shape{batch * maskLen, bertVocab}, tensor.Float32)
 	loss := b.Apply1("loss", ops.SoftmaxCrossEntropy{}, lm, labels)
 	return b.Build(loss, opt)
 }
@@ -78,14 +91,14 @@ func layerNorm(b *graph.Builder, name string, x *tensor.Tensor) *tensor.Tensor {
 }
 
 // encoderLayer is one transformer block over a [batch*seq, hidden] stream.
-func encoderLayer(b *graph.Builder, name string, x *tensor.Tensor, batch int64) *tensor.Tensor {
+func encoderLayer(b *graph.Builder, name string, x *tensor.Tensor, batch, seqLen int64) *tensor.Tensor {
 	// Self-attention projections.
 	q := denseSeq(b, name+"_q", x, bertHidden)
 	k := denseSeq(b, name+"_k", x, bertHidden)
 	v := denseSeq(b, name+"_v", x, bertHidden)
 
 	toHeads := func(t *tensor.Tensor, tag string) *tensor.Tensor {
-		r := b.Apply1(name+"_"+tag+"_split", ops.Reshape{To: tensor.Shape{batch, bertSeqLen, bertHeads, bertHeadDim}}, t)
+		r := b.Apply1(name+"_"+tag+"_split", ops.Reshape{To: tensor.Shape{batch, seqLen, bertHeads, bertHeadDim}}, t)
 		return b.Apply1(name+"_"+tag+"_heads", ops.Transpose{Perm: []int{0, 2, 1, 3}}, r)
 	}
 	qh := toHeads(q, "q") // [B, heads, S, dh]
@@ -99,7 +112,7 @@ func encoderLayer(b *graph.Builder, name string, x *tensor.Tensor, batch int64) 
 	ctx := b.Apply1(name+"_context", ops.MatMul{}, probs, vh) // [B, heads, S, dh]
 
 	merged := b.Apply1(name+"_merge", ops.Transpose{Perm: []int{0, 2, 1, 3}}, ctx)
-	flat := b.Apply1(name+"_ctx_flat", ops.Reshape{To: tensor.Shape{batch * bertSeqLen, bertHidden}}, merged)
+	flat := b.Apply1(name+"_ctx_flat", ops.Reshape{To: tensor.Shape{batch * seqLen, bertHidden}}, merged)
 
 	attn := denseSeq(b, name+"_attn_out", flat, bertHidden)
 	attn = b.Apply1(name+"_attn_out_drop", ops.Dropout{Rate: 0.1}, attn)

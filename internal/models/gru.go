@@ -24,12 +24,20 @@ const (
 // re-read the gate activations, giving memory managers the same long-gap
 // reuse pattern as LSTM with a different op mix.
 func GRU(batch int64, opt graph.BuildOptions) (*graph.Graph, error) {
+	return GRUSeq(batch, gruSteps, opt)
+}
+
+// GRUSeq builds the GRU unrolled over an explicit number of timesteps.
+func GRUSeq(batch, steps int64, opt graph.BuildOptions) (*graph.Graph, error) {
 	if batch <= 0 {
 		return nil, fmt.Errorf("models: gru: batch %d must be positive", batch)
 	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("models: gru: steps %d must be positive", steps)
+	}
 	b := graph.NewBuilder("gru")
 
-	ids := b.Input("ids", tensor.Shape{batch, gruSteps}, tensor.Int32)
+	ids := b.Input("ids", tensor.Shape{batch, steps}, tensor.Int32)
 	table := b.Variable("embeddings", tensor.Shape{gruVocab, gruEmbed})
 	emb := b.Apply1("embed", ops.Embedding{}, ids, table)
 
@@ -60,8 +68,8 @@ func GRU(batch int64, opt graph.BuildOptions) (*graph.Graph, error) {
 	}
 
 	var lastTop *tensor.Tensor
-	for t := 0; t < gruSteps; t++ {
-		x := b.Apply1(fmt.Sprintf("x_t%d", t), ops.Slice{Dim: 1, Start: int64(t), Length: 1}, emb)
+	for t := int64(0); t < steps; t++ {
+		x := b.Apply1(fmt.Sprintf("x_t%d", t), ops.Slice{Dim: 1, Start: t, Length: 1}, emb)
 		xt := b.Apply1(fmt.Sprintf("x_t%d_flat", t), ops.Reshape{To: tensor.Shape{batch, gruEmbed}}, x)
 		input := xt
 		for l := 0; l < gruLayers; l++ {

@@ -25,12 +25,23 @@ const (
 
 // LSTM builds the unrolled two-layer LSTM language model.
 func LSTM(batch int64, opt graph.BuildOptions) (*graph.Graph, error) {
+	return LSTMSeq(batch, lstmSteps, opt)
+}
+
+// LSTMSeq builds the LSTM unrolled over an explicit number of timesteps
+// — the sequence-length axis of the recurrent family. Shorter unrolls
+// shrink both the graph and its live-tensor footprint, which is exactly
+// the shape drift bucketed NLP batches produce.
+func LSTMSeq(batch, steps int64, opt graph.BuildOptions) (*graph.Graph, error) {
 	if batch <= 0 {
 		return nil, fmt.Errorf("models: lstm: batch %d must be positive", batch)
 	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("models: lstm: steps %d must be positive", steps)
+	}
 	b := graph.NewBuilder("lstm")
 
-	ids := b.Input("ids", tensor.Shape{batch, lstmSteps}, tensor.Int32)
+	ids := b.Input("ids", tensor.Shape{batch, steps}, tensor.Int32)
 	table := b.Variable("embeddings", tensor.Shape{lstmVocab, lstmEmbed})
 	emb := b.Apply1("embed", ops.Embedding{}, ids, table) // [B, T, E]
 
@@ -63,9 +74,9 @@ func LSTM(batch int64, opt graph.BuildOptions) (*graph.Graph, error) {
 
 	// Unroll.
 	var lastTop *tensor.Tensor
-	for t := 0; t < lstmSteps; t++ {
+	for t := int64(0); t < steps; t++ {
 		x := b.Apply1(fmt.Sprintf("x_t%d", t),
-			ops.Slice{Dim: 1, Start: int64(t), Length: 1}, emb) // [B,1,E]
+			ops.Slice{Dim: 1, Start: t, Length: 1}, emb) // [B,1,E]
 		xt := b.Apply1(fmt.Sprintf("x_t%d_flat", t),
 			ops.Reshape{To: tensor.Shape{batch, lstmEmbed}}, x)
 		input := xt

@@ -17,17 +17,41 @@ import (
 // BuildFunc constructs a model's training graph for one batch size.
 type BuildFunc func(batch int64, opt graph.BuildOptions) (*graph.Graph, error)
 
+// BuildSeqFunc constructs a model's training graph for a batch size and
+// an explicit sequence length (token positions for BERT, unrolled
+// timesteps for the recurrent models).
+type BuildSeqFunc func(batch, seq int64, opt graph.BuildOptions) (*graph.Graph, error)
+
 // Spec describes one workload.
 type Spec struct {
 	Name string
 	// Build constructs the training graph.
 	Build BuildFunc
+	// BuildSeq constructs the graph at an explicit sequence length; nil
+	// for models without a sequence axis. Build(batch) is always
+	// equivalent to BuildSeq(batch, DefaultSeq).
+	BuildSeq BuildSeqFunc
+	// DefaultSeq is the sequence length Build uses (0 = no sequence axis).
+	DefaultSeq int64
+	// SeqBuckets are the padded sequence-length buckets a dynamic
+	// schedule samples from; always contains DefaultSeq.
+	SeqBuckets []int64
 	// PaperMaxBatchTF is the maximum batch size the paper reports for
 	// original TensorFlow in graph mode (Table 2/3), recorded for the
 	// experiment reports.
 	PaperMaxBatchTF int64
 	// Eager marks the workloads the paper evaluates in eager mode too.
 	Eager bool
+}
+
+// BuildShaped builds the graph for one shape signature, routing through
+// BuildSeq when a sequence length is requested. seq == 0 means "the
+// model's default shape" for every workload.
+func (s Spec) BuildShaped(batch, seq int64, opt graph.BuildOptions) (*graph.Graph, error) {
+	if seq == 0 || s.BuildSeq == nil {
+		return s.Build(batch, opt)
+	}
+	return s.BuildSeq(batch, seq, opt)
 }
 
 var registry = map[string]Spec{
@@ -37,15 +61,18 @@ var registry = map[string]Spec{
 	"inceptionv3": {Name: "inceptionv3", Build: InceptionV3, PaperMaxBatchTF: 160},
 	"inceptionv4": {Name: "inceptionv4", Build: InceptionV4, PaperMaxBatchTF: 88},
 	"densenet":    {Name: "densenet", Build: DenseNet121, PaperMaxBatchTF: 70, Eager: true},
-	"bert":        {Name: "bert", Build: BERTBase, PaperMaxBatchTF: 64},
+	"bert": {Name: "bert", Build: BERTBase, PaperMaxBatchTF: 64,
+		BuildSeq: BERTBaseSeq, DefaultSeq: bertSeqLen, SeqBuckets: []int64{128, 256, bertSeqLen}},
 	// lstm and mobilenetv2 extend the zoo beyond the paper's table: the
 	// speech/NLP recurrent workloads its §3.2 says behave the same way,
 	// and the depthwise-separable CNN family whose cost structure defeats
 	// layer-type heuristics (§3.1).
-	"lstm":        {Name: "lstm", Build: LSTM, Eager: true},
+	"lstm": {Name: "lstm", Build: LSTM, Eager: true,
+		BuildSeq: LSTMSeq, DefaultSeq: lstmSteps, SeqBuckets: []int64{32, 64, lstmSteps}},
 	"mobilenetv2": {Name: "mobilenetv2", Build: MobileNetV2, Eager: true},
 	"alexnet":     {Name: "alexnet", Build: AlexNet, Eager: true},
-	"gru":         {Name: "gru", Build: GRU, Eager: true},
+	"gru": {Name: "gru", Build: GRU, Eager: true,
+		BuildSeq: GRUSeq, DefaultSeq: gruSteps, SeqBuckets: []int64{32, 64, gruSteps}},
 }
 
 // Get returns the spec for a model name.
