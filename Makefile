@@ -3,9 +3,9 @@
 # parallel experiment engine touches + the chaos soak suite.
 GO ?= go
 
-.PHONY: check vet build test race soak bench goldens profile-smoke fuzz-smoke
+.PHONY: check vet build test race soak bench goldens profile-smoke fuzz-smoke scale-smoke
 
-check: vet build test race soak profile-smoke
+check: vet build test race soak profile-smoke scale-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,17 @@ bench:
 goldens:
 	$(GO) test ./internal/bench -run Golden -update
 	$(GO) test ./internal/trace -run ChromeGolden -update
+
+# scale-smoke replays the 2-device scaling experiment through the CLI
+# with the same configuration twice: the multi-device simulator is
+# deterministic, so the tables must be byte-identical. The cluster race
+# suite rides the same target.
+scale-smoke:
+	$(GO) test -race ./internal/cluster
+	$(GO) run ./cmd/capuchin-bench -exp scale -quick -iters 2 -devices 1,2 > /tmp/capuchin-scale-a.txt
+	$(GO) run ./cmd/capuchin-bench -exp scale -quick -iters 2 -devices 1,2 -jobs 1 > /tmp/capuchin-scale-b.txt
+	cmp /tmp/capuchin-scale-a.txt /tmp/capuchin-scale-b.txt
+	rm -f /tmp/capuchin-scale-a.txt /tmp/capuchin-scale-b.txt
 
 # profile-smoke drives the observability stack end to end: the exporter
 # tests (golden Chrome trace, memory profile, audit log, metrics) plus a

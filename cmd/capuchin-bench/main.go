@@ -3,9 +3,15 @@
 //
 // Usage:
 //
-//	capuchin-bench [-exp all|fig1|fig2|fig3|fig8a|fig8b|table2|table3|fig9|fig10|overhead|ablations|resilience|dynamic]
+//	capuchin-bench [-exp all|fig1|fig2|fig3|fig8a|fig8b|table2|table3|fig9|fig10|overhead|ablations|resilience|dynamic|scale]
 //	               [-device p100|v100|t4] [-mem GiB] [-iters N] [-jobs N] [-quick] [-markdown]
-//	               [-faults spec] [-profile] [-schedule kind] [-schedule-seed N]
+//	               [-faults spec] [-profile] [-schedule kind] [-schedule-seed N] [-devices list]
+//
+// -exp scale evaluates multi-GPU data-parallel training: N replicas over
+// a shared PCIe-ring interconnect with a per-iteration gradient barrier,
+// comparing comm-aware swap scheduling (swaps deferred past predicted
+// all-reduce windows) against comm-oblivious scheduling. -devices narrows
+// the replica-count sweep (comma-separated, e.g. "1,2,4").
 //
 // -exp dynamic evaluates dynamic-shape training (§3): workloads whose
 // tensor geometry drifts between iterations, with Capuchin re-planning
@@ -46,7 +52,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig8a, fig8b, table2, table3, fig9, fig10, overhead, capacity, extensions, sensitivity, ablations, resilience, dynamic")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig8a, fig8b, table2, table3, fig9, fig10, overhead, capacity, extensions, sensitivity, ablations, resilience, dynamic, scale")
 	device := flag.String("device", "p100", "device model: p100, v100, t4")
 	mem := flag.Int64("mem", 0, "override device memory in GiB (0 = device default)")
 	iters := flag.Int("iters", 0, "iterations per timed run (0 = default 8)")
@@ -58,7 +64,14 @@ func main() {
 	profile := flag.Bool("profile", false, "profile every cell and print the aggregate metrics to stderr")
 	schedule := flag.String("schedule", "", "shape-drift kind for -exp dynamic: constant, batch, seq, mixed (\"\" = batch)")
 	scheduleSeed := flag.Uint64("schedule-seed", 0, "seed for the dynamic experiment's shape sampler (0 = 1)")
+	devices := flag.String("devices", "", "replica counts for -exp scale, comma-separated (\"\" = 1,2,4,8; quick 1,2)")
 	flag.Parse()
+
+	deviceCounts, err := parseDevices(*devices)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "invalid -devices list: %v\n", err)
+		os.Exit(2)
+	}
 
 	plan, err := fault.ParsePlan(*faults)
 	if err != nil {
@@ -82,7 +95,7 @@ func main() {
 		dev = dev.WithMemory(*mem * hw.GiB)
 	}
 	o := bench.Options{Device: dev, Iterations: *iters, Quick: *quick, Jobs: *jobs, Profile: *profile,
-		Schedule: *schedule, ScheduleSeed: *scheduleSeed}
+		Schedule: *schedule, ScheduleSeed: *scheduleSeed, Devices: deviceCounts}
 	if *profile {
 		o.Runner = bench.NewRunner(*jobs)
 		defer func() {
@@ -161,8 +174,26 @@ func main() {
 		write(bench.Resilience(o, plan))
 	case "dynamic":
 		write(bench.Dynamic(o))
+	case "scale":
+		write(bench.Scaling(o))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// parseDevices parses the -devices replica-count list.
+func parseDevices(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bad replica count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

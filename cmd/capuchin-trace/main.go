@@ -10,6 +10,13 @@
 //	               [-spans compute|h2d|d2h] [-system capuchin] [-mem GiB]
 //	               [-faults spec] [-schedule kind] [-schedule-seed N]
 //	               [-chrome out.json] [-memprof] [-explain tensor|auto]
+//	               [-devices N]
+//
+// -devices N simulates N data-parallel replicas over a shared PCIe-ring
+// interconnect (observability modes only). The Chrome trace renders one
+// Perfetto process per replica plus an interconnect lane carrying the
+// ring all-reduce bucket spans; the decision audit records the
+// comm-window input of every comm-aware swap decision.
 //
 // -schedule routes the run through the dynamic workload engine: tensor
 // shapes drift between iterations (constant, batch, seq or mixed drift)
@@ -64,6 +71,7 @@ func main() {
 	explain := flag.String("explain", "", "print the policy decision history for a tensor (\"auto\" = first acted-on tensor)")
 	schedule := flag.String("schedule", "", "dynamic shape schedule: constant, batch, seq or mixed (\"\" = static run)")
 	scheduleSeed := flag.Uint64("schedule-seed", 1, "seed for the shape schedule's deterministic sampler")
+	devices := flag.Int("devices", 1, "data-parallel replica count (observability modes only)")
 	flag.Parse()
 
 	plan, err := fault.ParsePlan(*faults)
@@ -85,8 +93,13 @@ func main() {
 			Profile:      true,
 			Schedule:     *schedule,
 			ScheduleSeed: *scheduleSeed,
+			Devices:      *devices,
 		}, *chrome, *memprof, *explain, *spans)
 		return
+	}
+	if *devices > 1 {
+		fmt.Fprintln(os.Stderr, "-devices requires an observability mode (-chrome, -memprof, -explain or -spans)")
+		os.Exit(2)
 	}
 
 	// Access-TSV mode: a Recorder wraps the original framework's policy.

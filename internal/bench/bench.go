@@ -78,6 +78,16 @@ type RunConfig struct {
 	// SchedulePeriod is the number of iterations between shape re-samples
 	// (0 = 2).
 	SchedulePeriod int
+	// Devices is the data-parallel replica count; 0 and 1 run the
+	// single-device path. N > 1 simulates N replicas over a shared
+	// PCIe-ring interconnect with a per-iteration gradient barrier.
+	Devices int
+	// CommOblivious disables comm-aware swap scheduling in multi-device
+	// runs: all-reduce windows still degrade overlapping transfers (the
+	// physics applies either way) but the executor schedules as if the
+	// link were idle. Meaningless — and canonicalized away — for
+	// single-device runs.
+	CommOblivious bool
 }
 
 // Result is the outcome of one run.
@@ -102,6 +112,9 @@ type Result struct {
 	// Dynamic holds the dynamic engine's structural counters and
 	// per-signature aggregates when RunConfig.Schedule was set.
 	Dynamic *DynamicReport
+	// Cluster holds the per-iteration cluster statistics when
+	// RunConfig.Devices > 1.
+	Cluster *ClusterReport
 
 	capuchin *core.Capuchin
 }
@@ -202,6 +215,13 @@ func Run(cfg RunConfig) Result {
 	if err != nil {
 		res.Err = err
 		return res
+	}
+	if cfg.Devices > 1 {
+		if cfg.Schedule != "" {
+			res.Err = fmt.Errorf("bench: %w", ErrDynamicCluster)
+			return res
+		}
+		return runCluster(cfg, spec, res)
 	}
 	if cfg.Schedule != "" {
 		return runDynamic(cfg, spec, res)

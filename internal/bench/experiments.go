@@ -44,6 +44,9 @@ type Options struct {
 	// ScheduleSeed seeds the Dynamic experiment's shape sampler
 	// (default 1).
 	ScheduleSeed uint64
+	// Devices overrides the Scaling experiment's replica-count sweep
+	// (default 1,2,4,8; quick mode 1,2).
+	Devices []int
 }
 
 func (o Options) fill() Options {
@@ -695,6 +698,7 @@ func AllTables(o Options) []*Table {
 		func() []*Table { return []*Table{DeviceSensitivity(o)} },
 		func() []*Table { return Ablations(o) },
 		func() []*Table { return []*Table{Dynamic(o)} },
+		func() []*Table { return []*Table{Scaling(o)} },
 	}
 	groups := make([][]*Table, len(gens))
 	var wg sync.WaitGroup

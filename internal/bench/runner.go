@@ -135,6 +135,11 @@ func cacheKey(cfg RunConfig) RunConfig {
 	} else if cfg.SchedulePeriod == 0 {
 		cfg.SchedulePeriod = 2
 	}
+	if cfg.Devices <= 1 {
+		// Single-device runs ignore the comm knobs entirely.
+		cfg.Devices = 1
+		cfg.CommOblivious = false
+	}
 	return cfg
 }
 

@@ -227,6 +227,113 @@ func TestPlanCacheLRUProperty(t *testing.T) {
 	}
 }
 
+// checkActivePlanCached asserts the satellite invariant: whenever a plan
+// is installed, the cache still holds that exact plan under the active
+// signature — LRU churn from other signatures must never evict (or
+// replace) the plan currently steering execution mid-iteration.
+func checkActivePlanCached(t *testing.T, c *Capuchin, step string) {
+	t.Helper()
+	if c.cache.len() > c.cache.limit {
+		t.Fatalf("%s: cache holds %d plans (limit %d)", step, c.cache.len(), c.cache.limit)
+	}
+	if len(c.cache.order) != len(c.cache.plans) {
+		t.Fatalf("%s: cache order has %d entries for %d plans", step, len(c.cache.order), len(c.cache.plans))
+	}
+	for _, sig := range c.cache.order {
+		if _, ok := c.cache.plans[sig]; !ok {
+			t.Fatalf("%s: order references %s which holds no plan", step, sig)
+		}
+	}
+	if c.plan == nil {
+		return
+	}
+	cached, ok := c.cache.plans[c.sig]
+	if !ok {
+		t.Fatalf("%s: installed plan's signature %s evicted from the cache", step, c.sig)
+	}
+	if cached != c.plan {
+		t.Fatalf("%s: cache holds a different plan under the active signature %s", step, c.sig)
+	}
+}
+
+// finishMeasuredPass emulates the tail of EndIteration after a measured
+// pass: the planner built a plan for the active signature and cached it.
+func finishMeasuredPass(c *Capuchin, seed int64) {
+	c.plan = buildSynthPlan(seed)
+	c.measureLeft = 0
+	c.measuring = false
+	c.cache.put(c.sig, c.plan)
+}
+
+// Property: across random signature switch/invalidate sequences at every
+// cache limit — including the pathological PlanCacheSize=1 — the plan
+// installed for the active signature is never evicted by LRU churn: the
+// active signature is always most-recently-used (touched by the get on a
+// cache hit or the put after a build), so eviction can only claim plans
+// of inactive signatures.
+func TestPlanCacheActivePlanNeverEvictedProperty(t *testing.T) {
+	for _, limit := range []int{1, 2, 4} {
+		for seed := int64(1); seed <= 8; seed++ {
+			rng := rand.New(rand.NewSource(seed*100 + int64(limit)))
+			c := New(Options{PlanCacheSize: limit})
+			sigs := make([]string, limit+3)
+			for i := range sigs {
+				sigs[i] = fmt.Sprintf("b%d", 8<<i)
+			}
+			for step := 0; step < 200; step++ {
+				label := fmt.Sprintf("limit %d seed %d step %d", limit, seed, step)
+				switch op := rng.Intn(10); {
+				case op < 7: // switch signature (the dominant operation)
+					sig := sigs[rng.Intn(len(sigs))]
+					hit := c.BeginSignature(sig, nil)
+					checkActivePlanCached(t, c, label+" switch")
+					if !hit && c.sig == sig && c.plan == nil {
+						// Measured pass completes at the iteration end.
+						finishMeasuredPass(c, rng.Int63n(25)+1)
+						checkActivePlanCached(t, c, label+" plan-build")
+					}
+				case op < 9: // staleness invalidation of the active plan
+					c.InvalidatePlan("synthetic drift", nil)
+					checkActivePlanCached(t, c, label+" invalidate")
+					if c.sig != "" && c.plan == nil {
+						finishMeasuredPass(c, rng.Int63n(25)+1)
+						checkActivePlanCached(t, c, label+" re-plan")
+					}
+				default: // re-visit the active signature (steady state)
+					if c.sig != "" {
+						c.BeginSignature(c.sig, nil)
+						checkActivePlanCached(t, c, label+" steady")
+					}
+				}
+			}
+		}
+	}
+}
+
+// Directed companion: PlanCacheSize=1 with cycling signatures is the
+// tightest squeeze — every switch evicts the other signature's plan, yet
+// the incoming signature's freshly built (or re-built) plan must always
+// survive its own installation.
+func TestPlanCacheSizeOneCyclingKeepsActivePlan(t *testing.T) {
+	c := New(Options{PlanCacheSize: 1})
+	for round := 0; round < 6; round++ {
+		for i, sig := range []string{"b8", "b16", "b8/s128"} {
+			hit := c.BeginSignature(sig, nil)
+			if hit {
+				t.Fatalf("round %d: %s hit a single-entry cache after churn", round, sig)
+			}
+			if c.plan != nil {
+				t.Fatalf("round %d: plan installed without a measured pass", round)
+			}
+			finishMeasuredPass(c, int64(round*3+i+1))
+			checkActivePlanCached(t, c, sig)
+			if got := c.cache.len(); got != 1 {
+				t.Fatalf("round %d: cache len %d, want 1", round, got)
+			}
+		}
+	}
+}
+
 // Property: the measured trace's {tensor, count} keys are unique — the
 // precondition for keying guided-mode actions on them (§5.2).
 func TestTraceKeysUniqueProperty(t *testing.T) {

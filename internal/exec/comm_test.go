@@ -1,0 +1,194 @@
+package exec
+
+import (
+	"testing"
+
+	"capuchin/internal/graph"
+	"capuchin/internal/hw"
+	"capuchin/internal/obs"
+	"capuchin/internal/sim"
+)
+
+// staticWindows is a fixed CommModel for tests.
+type staticWindows []CommWindow
+
+func (m staticWindows) WindowAt(t sim.Time) (CommWindow, bool) {
+	for _, w := range m {
+		if t >= w.Start && t < w.End {
+			return w, true
+		}
+	}
+	return CommWindow{}, false
+}
+
+// periodicWindows models a repeating all-reduce schedule: a window of the
+// given width opens every period.
+type periodicWindows struct {
+	period, width sim.Time
+	slowdown      float64
+}
+
+func (m periodicWindows) WindowAt(t sim.Time) (CommWindow, bool) {
+	if t < 0 {
+		return CommWindow{}, false
+	}
+	base := t - t%m.period
+	if t < base+m.width {
+		return CommWindow{Start: base, End: base + m.width, Slowdown: m.slowdown}, true
+	}
+	return CommWindow{}, false
+}
+
+// TestCommWindowlessIdentity: a comm-aware session whose model never
+// reports a window must be byte-identical to an isolated session, even
+// under memory pressure — the N=1 leg of the cluster differential oracle.
+func TestCommWindowlessIdentity(t *testing.T) {
+	run := func(cfg Config) []IterStats {
+		s, err := NewSession(testCNN(t, graph.GraphModeOptions()), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sts, err := s.Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sts
+	}
+	base := Config{Device: device(128 * hw.MiB), Policy: lruPolicy{}}
+	aware := base
+	aware.Comm, aware.CommAware = staticWindows{}, true
+	got, want := run(aware), run(base)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("iter %d: windowless comm-aware run diverged\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDeferForComm(t *testing.T) {
+	s, err := NewSession(testCNN(t, graph.GraphModeOptions()), Config{Device: device(2 * hw.GiB)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := s.dev.H2D
+	const bytes = 64 * hw.MiB
+	tt := link.TransferTime(bytes)
+
+	// No model / not aware: pass-through, no audit window.
+	if adj, _, ok := s.deferForComm(s.h2d, link, bytes, 5); adj != 5 || ok {
+		t.Errorf("nil comm model adjusted the transfer: %v %v", adj, ok)
+	}
+	s.cfg.Comm = staticWindows{{Start: 0, End: tt, Slowdown: 4}}
+	if adj, _, ok := s.deferForComm(s.h2d, link, bytes, 5); adj != 5 || ok {
+		t.Errorf("comm-oblivious session adjusted the transfer: %v %v", adj, ok)
+	}
+	s.cfg.CommAware = true
+
+	// Window drains after one transfer time: deferring (end + tt) beats
+	// contending (0 + 4*tt), so the start moves to the window end.
+	if adj, w, ok := s.deferForComm(s.h2d, link, bytes, 0); !ok || adj != tt || w.Slowdown != 4 {
+		t.Errorf("defer not taken: adj=%v ok=%v w=%+v (transfer time %v)", adj, ok, w, tt)
+	}
+
+	// Window drains far in the future: contending (4*tt) beats deferring
+	// (10*tt + tt), so the start is untouched but the window is audited.
+	s.cfg.Comm = staticWindows{{Start: 0, End: 10 * tt, Slowdown: 4}}
+	if adj, _, ok := s.deferForComm(s.h2d, link, bytes, 0); !ok || adj != 0 {
+		t.Errorf("uneconomic defer taken: adj=%v ok=%v", adj, ok)
+	}
+
+	// Start outside every window: pass-through.
+	if adj, _, ok := s.deferForComm(s.h2d, link, bytes, 20*tt); adj != 20*tt || ok {
+		t.Errorf("windowless instant adjusted: %v %v", adj, ok)
+	}
+}
+
+func TestLinkSlowdownCombines(t *testing.T) {
+	s, err := NewSession(testCNN(t, graph.GraphModeOptions()), Config{Device: device(2 * hw.GiB)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.linkSlowdown(0); got != 1 {
+		t.Errorf("idle link slowdown = %v", got)
+	}
+	s.cfg.Comm = staticWindows{
+		{Start: 0, End: sim.Millisecond, Slowdown: 3},
+		{Start: sim.Millisecond, End: 2 * sim.Millisecond, Slowdown: 0.5}, // degenerate: ignored
+	}
+	if got := s.linkSlowdown(0); got != 3 {
+		t.Errorf("in-window slowdown = %v, want 3", got)
+	}
+	if got := s.linkSlowdown(sim.Millisecond + 1); got != 1 {
+		t.Errorf("slowdown <= 1 window applied: %v", got)
+	}
+	if got := s.linkSlowdown(5 * sim.Millisecond); got != 1 {
+		t.Errorf("post-window slowdown = %v", got)
+	}
+}
+
+// TestCommContentionIsPhysics: all-reduce windows degrade swap traffic
+// whether or not the policy is comm-aware, so a pressured run with
+// collective traffic is slower than an isolated one.
+func TestCommContentionIsPhysics(t *testing.T) {
+	run := func(comm CommModel, aware bool) IterStats {
+		s, err := NewSession(testCNN(t, graph.GraphModeOptions()),
+			Config{Device: device(128 * hw.MiB), Policy: lruPolicy{}, Comm: comm, CommAware: aware})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sts, err := s.Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sts[len(sts)-1]
+		if st.PassiveEvicts == 0 && st.OnDemandInCount == 0 {
+			t.Fatal("no swap traffic; the contention test is vacuous")
+		}
+		return st
+	}
+	isolated := run(nil, false)
+	windows := periodicWindows{period: 2 * sim.Millisecond, width: sim.Millisecond, slowdown: 8}
+	contended := run(windows, false)
+	if contended.Duration <= isolated.Duration {
+		t.Errorf("collective contention did not slow the run: isolated %v, contended %v",
+			isolated.Duration, contended.Duration)
+	}
+	// The comm-aware run sees the same physics but schedules around it:
+	// never slower than oblivious, under any window schedule.
+	awareSt := run(windows, true)
+	if awareSt.Duration > contended.Duration {
+		t.Errorf("comm-aware (%v) slower than comm-oblivious (%v)", awareSt.Duration, contended.Duration)
+	}
+	if awareSt.ParamFingerprint != isolated.ParamFingerprint ||
+		contended.ParamFingerprint != isolated.ParamFingerprint {
+		t.Error("comm scheduling changed the computed result")
+	}
+}
+
+// TestCommDeferAudited: every comm-deferred transfer must land in the
+// decision audit with the comm-window input that justified it.
+func TestCommDeferAudited(t *testing.T) {
+	col := obs.NewCollector()
+	windows := periodicWindows{period: 2 * sim.Millisecond, width: sim.Millisecond, slowdown: 8}
+	s, err := NewSession(testCNN(t, graph.GraphModeOptions()),
+		Config{Device: device(128 * hw.MiB), Policy: lruPolicy{}, Comm: windows, CommAware: true, Tracer: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	var deferred int
+	for _, d := range col.Decisions() {
+		if d.Action != "comm-defer" {
+			continue
+		}
+		deferred++
+		if d.CommSlowdown <= 1 || d.CommUntil <= 0 {
+			t.Errorf("comm-defer decision missing its window input: %+v", d)
+		}
+	}
+	if deferred == 0 {
+		t.Error("no comm-defer decisions recorded under dense all-reduce windows")
+	}
+}

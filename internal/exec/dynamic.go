@@ -355,7 +355,15 @@ func staleReason(cfg StalenessConfig, base driftBaseline, st IterStats) string {
 				drift*100, st.Accesses, base.accesses)
 		}
 	}
+	// A clean first guided iteration records zero on-demand swap-ins and
+	// zero stall. Ratios against a zero (or near-zero) baseline misfire on
+	// the first hint of noise, so both baselines are floored at the
+	// configured absolute minimums: divergence below MinOnDemand /
+	// StallFactor*MinStall is never stale, whatever the baseline was.
 	baseOD := base.onDemand
+	if baseOD < cfg.MinOnDemand {
+		baseOD = cfg.MinOnDemand
+	}
 	if baseOD < 1 {
 		baseOD = 1
 	}
@@ -363,8 +371,12 @@ func staleReason(cfg StalenessConfig, base driftBaseline, st IterStats) string {
 		return fmt.Sprintf("on-demand swap-ins %dx baseline (%d vs %d); prefetch triggers misfiring",
 			st.OnDemandInCount/baseOD, st.OnDemandInCount, base.onDemand)
 	}
+	baseStall := base.stall
+	if baseStall < cfg.MinStall {
+		baseStall = cfg.MinStall
+	}
 	if cfg.StallFactor > 0 && st.StallTime > cfg.MinStall &&
-		float64(st.StallTime) > cfg.StallFactor*float64(base.stall)+float64(cfg.MinStall) {
+		float64(st.StallTime) > cfg.StallFactor*float64(baseStall) {
 		return fmt.Sprintf("stall time %v vs baseline %v; plan no longer hides transfers",
 			st.StallTime, base.stall)
 	}

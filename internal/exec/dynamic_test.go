@@ -246,8 +246,8 @@ func TestStaleReason(t *testing.T) {
 	if r := staleReason(cfg, base, IterStats{Accesses: 110, OnDemandInCount: 2}); r == "" {
 		t.Error("10% access drift not flagged")
 	}
-	// On-demand surge: >2x baseline and above the minimum count.
-	if r := staleReason(cfg, base, IterStats{Accesses: 100, OnDemandInCount: 5}); r == "" {
+	// On-demand surge: >2x the floored baseline and above the minimum count.
+	if r := staleReason(cfg, base, IterStats{Accesses: 100, OnDemandInCount: 9}); r == "" {
 		t.Error("on-demand surge not flagged")
 	}
 	if r := staleReason(cfg, base, IterStats{Accesses: 100, OnDemandInCount: 3}); r != "" {
@@ -256,6 +256,37 @@ func TestStaleReason(t *testing.T) {
 	// Stall surge: far beyond baseline.
 	if r := staleReason(cfg, base, IterStats{Accesses: 100, OnDemandInCount: 2, StallTime: 20 * sim.Millisecond}); r == "" {
 		t.Error("stall surge not flagged")
+	}
+}
+
+// TestStaleReasonZeroBaseline is the regression test for the
+// zero-baseline misfire: a clean first guided iteration records zero
+// stall and zero on-demand swap-ins, and the pre-fix ratio tests then
+// flagged the faintest later noise (2ms of stall against a 1ms absolute
+// term; 4 on-demand ins against a baseline floored at 1) as a stale
+// plan, burning a bounded re-measurement pass on nothing. Both
+// baselines are now floored at the configured absolute minimums.
+func TestStaleReasonZeroBaseline(t *testing.T) {
+	cfg := StalenessConfig{}.fill()
+
+	// Zero-stall baseline: 2ms of stall is noise, not staleness.
+	zeroStall := driftBaseline{accesses: 100, onDemand: 2, stall: 0}
+	if r := staleReason(cfg, zeroStall, IterStats{Accesses: 100, OnDemandInCount: 2, StallTime: 2 * sim.Millisecond}); r != "" {
+		t.Errorf("2ms stall against zero-stall baseline flagged: %q", r)
+	}
+	// A genuine surge still fires: beyond StallFactor * MinStall.
+	if r := staleReason(cfg, zeroStall, IterStats{Accesses: 100, OnDemandInCount: 2, StallTime: 5 * sim.Millisecond}); r == "" {
+		t.Error("genuine stall surge over zero baseline not flagged")
+	}
+
+	// Zero on-demand baseline: MinOnDemand swap-ins are noise.
+	zeroOD := driftBaseline{accesses: 100, onDemand: 0, stall: sim.Millisecond}
+	if r := staleReason(cfg, zeroOD, IterStats{Accesses: 100, OnDemandInCount: cfg.MinOnDemand, StallTime: sim.Millisecond}); r != "" {
+		t.Errorf("%d on-demand ins against zero baseline flagged: %q", cfg.MinOnDemand, r)
+	}
+	// A genuine surge still fires: beyond OnDemandFactor * MinOnDemand.
+	if r := staleReason(cfg, zeroOD, IterStats{Accesses: 100, OnDemandInCount: 9, StallTime: sim.Millisecond}); r == "" {
+		t.Error("genuine on-demand surge over zero baseline not flagged")
 	}
 }
 

@@ -49,12 +49,27 @@ func (e *Env) SwapInTime(t *tensor.Tensor) sim.Time {
 }
 
 // SwapOutDuration reports the device-to-host transfer time for a size.
+// Under comm-aware scheduling the estimate reflects the effective
+// bandwidth left by a pending all-reduce window at the action anchor, so
+// Free-Time ranking (Eq. 1) sees the real cost of swapping into
+// collective traffic.
 func (e *Env) SwapOutDuration(bytes int64) sim.Time {
+	if e.s.cfg.CommAware {
+		if w, ok := e.s.commSlowdownAt(e.s.actionAnchor); ok {
+			return e.s.dev.D2H.DegradedTransferTime(bytes, w.Slowdown)
+		}
+	}
 	return e.s.dev.D2H.TransferTime(bytes)
 }
 
-// SwapInDuration reports the host-to-device transfer time for a size.
+// SwapInDuration reports the host-to-device transfer time for a size,
+// comm-adjusted like SwapOutDuration.
 func (e *Env) SwapInDuration(bytes int64) sim.Time {
+	if e.s.cfg.CommAware {
+		if w, ok := e.s.commSlowdownAt(e.s.actionAnchor); ok {
+			return e.s.dev.H2D.DegradedTransferTime(bytes, w.Slowdown)
+		}
+	}
 	return e.s.dev.H2D.TransferTime(bytes)
 }
 
@@ -111,12 +126,23 @@ func (e *Env) SwapOutAsync(t *tensor.Tensor) bool {
 		}
 		return false
 	}
-	dur := s.dev.D2H.DegradedTransferTime(t.Bytes(), s.inj.LinkSlowdown(sim.MaxTime(s.d2h.AvailableAt(), s.actionAnchor)))
+	anchor := s.actionAnchor
+	cw, cwOK := CommWindow{}, false
+	if adj, w, ok := s.deferForComm(s.d2h, s.dev.D2H, t.Bytes(), anchor); ok {
+		cw, cwOK = w, true
+		if adj != anchor {
+			anchor = adj
+			if s.met != nil {
+				s.met.Add("comm/defer", 1)
+			}
+		}
+	}
+	dur := s.dev.D2H.DegradedTransferTime(t.Bytes(), s.linkSlowdown(sim.MaxTime(s.d2h.AvailableAt(), anchor)))
 	if s.inj.TransferFails(fault.D2H, t.ID) {
 		// Aborted DMA: the link is occupied to the abort point, the host
 		// reservation is rolled back and the tensor stays resident.
 		s.stats.TransferFaults++
-		failStart, failEnd := s.d2h.Run("swapout "+t.ID+" !fault", s.actionAnchor, dur/2)
+		failStart, failEnd := s.d2h.Run("swapout "+t.ID+" !fault", anchor, dur/2)
 		if s.tr != nil {
 			s.tr.Emit(obs.Event{
 				Kind: obs.KindSpan, Cat: "transfer", Name: "swapout " + t.ID + " !fault",
@@ -137,7 +163,7 @@ func (e *Env) SwapOutAsync(t *tensor.Tensor) bool {
 		}
 		return false
 	}
-	start, end := s.d2h.Run("swapout "+t.ID, s.actionAnchor, dur)
+	start, end := s.d2h.Run("swapout "+t.ID, anchor, dur)
 	if err := t.TransitionTo(tensor.SwappingOut); err != nil {
 		s.defErr = invariant("swapout-async", t.ID, err)
 		return false
@@ -154,10 +180,17 @@ func (e *Env) SwapOutAsync(t *tensor.Tensor) bool {
 			Lane: "d2h", Start: start, End: end, Queued: s.actionAnchor,
 			Iter: s.iter, Tensor: t.ID, Bytes: t.Bytes(),
 		})
-		s.decide(obs.Decision{
+		d := obs.Decision{
 			Tensor: t.ID, Action: "swap-out", Bytes: t.Bytes(), At: s.actionAnchor,
 			Reason: "proactive eviction overlapped with compute (§5.3)",
-		})
+		}
+		if cwOK {
+			d.CommSlowdown, d.CommUntil = cw.Slowdown, cw.End
+			if anchor != s.actionAnchor {
+				d.Reason += "; deferred past a pending all-reduce window"
+			}
+		}
+		s.decide(d)
 	}
 	if s.met != nil {
 		s.met.Add("swap/out", 1)
@@ -206,12 +239,23 @@ func (e *Env) SwapInAsync(t *tensor.Tensor) bool {
 		}
 		return false
 	}
-	dur := s.dev.H2D.DegradedTransferTime(t.Bytes(), s.inj.LinkSlowdown(sim.MaxTime(s.h2d.AvailableAt(), s.actionAnchor)))
+	anchor := s.actionAnchor
+	cw, cwOK := CommWindow{}, false
+	if adj, w, ok := s.deferForComm(s.h2d, s.dev.H2D, t.Bytes(), anchor); ok {
+		cw, cwOK = w, true
+		if adj != anchor {
+			anchor = adj
+			if s.met != nil {
+				s.met.Add("comm/defer", 1)
+			}
+		}
+	}
+	dur := s.dev.H2D.DegradedTransferTime(t.Bytes(), s.linkSlowdown(sim.MaxTime(s.h2d.AvailableAt(), anchor)))
 	if s.inj.TransferFails(fault.H2D, t.ID) {
 		// Aborted prefetch DMA: occupy the link to the abort point and put
 		// the buffer back; the back-access fetches on demand or recomputes.
 		s.stats.TransferFaults++
-		failStart, failEnd := s.h2d.Run("swapin "+t.ID+" !fault", s.actionAnchor, dur/2)
+		failStart, failEnd := s.h2d.Run("swapin "+t.ID+" !fault", anchor, dur/2)
 		if s.tr != nil {
 			s.tr.Emit(obs.Event{
 				Kind: obs.KindSpan, Cat: "transfer", Name: "swapin " + t.ID + " !fault",
@@ -235,7 +279,7 @@ func (e *Env) SwapInAsync(t *tensor.Tensor) bool {
 		s.defErr = invariant("swapin-async", t.ID, err)
 		return false
 	}
-	start, end := s.h2d.Run("swapin "+t.ID, s.actionAnchor, dur)
+	start, end := s.h2d.Run("swapin "+t.ID, anchor, dur)
 	s.swapInDone[t.ID] = end
 	s.stats.PrefetchCount++
 	s.stats.PrefetchBytes += t.Bytes()
@@ -246,10 +290,17 @@ func (e *Env) SwapInAsync(t *tensor.Tensor) bool {
 			Lane: "h2d", Start: start, End: end, Queued: s.actionAnchor,
 			Iter: s.iter, Tensor: t.ID, Bytes: t.Bytes(),
 		})
-		s.decide(obs.Decision{
+		d := obs.Decision{
 			Tensor: t.ID, Action: "prefetch", Bytes: t.Bytes(), At: s.actionAnchor,
 			Reason: "in-trigger prefetch ahead of the back-access (§5.4)",
-		})
+		}
+		if cwOK {
+			d.CommSlowdown, d.CommUntil = cw.Slowdown, cw.End
+			if anchor != s.actionAnchor {
+				d.Reason += "; deferred past a pending all-reduce window"
+			}
+		}
+		s.decide(d)
 	}
 	if s.met != nil {
 		s.met.Add("swap/prefetch", 1)
@@ -281,14 +332,8 @@ func (e *Env) ReleaseForRecompute(t *tensor.Tensor) bool {
 	if t.Status != tensor.In || t.Persistent {
 		return false
 	}
-	if err := s.pool.Free(t.Alloc); err != nil {
-		s.defErr = invariant("release-for-recompute", t.ID, err)
-		return false
-	}
-	t.Alloc = nil
-	s.dropLRU(t)
-	if err := t.TransitionTo(tensor.Recompute); err != nil {
-		s.defErr = invariant("release-for-recompute", t.ID, err)
+	if err := s.freeDevice(t, tensor.Recompute, "release-for-recompute"); err != nil {
+		s.defErr = err
 		return false
 	}
 	if s.tr != nil {

@@ -169,9 +169,24 @@ func TestRandomNetworksOracleProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		got, err := s.Run(2)
-		if err != nil {
-			t.Logf("seed %d: capped run failed (%v) — acceptable if the working set exceeds %d", seed, err, cap)
+		// Iterate manually so the residency invariant — the eviction order
+		// mirrors the allocator exactly — is pinned at every iteration
+		// boundary of the pressured run.
+		var got []IterStats
+		var runErr error
+		for i := 0; i < 2; i++ {
+			st, err := s.RunIteration()
+			got = append(got, st)
+			if ierr := s.CheckResidencyInvariant(); ierr != nil {
+				t.Fatalf("seed %d iter %d: %v", seed, i, ierr)
+			}
+			if err != nil {
+				runErr = err
+				break
+			}
+		}
+		if runErr != nil {
+			t.Logf("seed %d: capped run failed (%v) — acceptable if the working set exceeds %d", seed, runErr, cap)
 			continue
 		}
 		for i := range got {

@@ -19,7 +19,21 @@ func runFaulted(t *testing.T, mem int64, plan fault.Plan, n int) ([]IterStats, e
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s.Run(n)
+	// Every faulted run doubles as a residency-invariant check: whatever
+	// the injected failures did to the swap/recompute paths, the eviction
+	// order must still mirror the allocator at each iteration boundary.
+	var stats []IterStats
+	for i := 0; i < n; i++ {
+		st, err := s.RunIteration()
+		stats = append(stats, st)
+		if ierr := s.CheckResidencyInvariant(); ierr != nil {
+			t.Fatalf("iter %d: %v", i, ierr)
+		}
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
 }
 
 func TestSeedOnlyPlanChangesNothing(t *testing.T) {

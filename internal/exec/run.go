@@ -31,6 +31,7 @@ func (s *Session) RunIteration() (IterStats, error) {
 	s.startTime = s.now()
 	s.penalty = 0
 	s.defErr = nil
+	s.gradEvents = s.gradEvents[:0]
 
 	// Per-iteration reference counts: one per scheduled use. The same
 	// pass records each tensor's final read position and the first
@@ -134,10 +135,25 @@ func (s *Session) runTransfer(dir fault.Direction, st *sim.Stream, label, key st
 	if s.inj.Enabled() {
 		attempts = s.inj.Plan().TransferRetries() + 1
 	}
+	// Comm-aware rule: start after a pending all-reduce window when that
+	// completes the transfer earlier than contending with it.
+	if adj, w, ok := s.deferForComm(st, link, bytes, earliest); ok && adj != earliest {
+		earliest = adj
+		if s.tr != nil {
+			s.decide(obs.Decision{
+				Tensor: key, Action: "comm-defer", Bytes: bytes,
+				Reason:       "deferred " + label + " past a pending all-reduce window (earlier completion than contending)",
+				CommSlowdown: w.Slowdown, CommUntil: w.End,
+			})
+		}
+		if s.met != nil {
+			s.met.Add("comm/defer", 1)
+		}
+	}
 	queued := earliest
 	for attempt := 0; ; attempt++ {
 		start := sim.MaxTime(st.AvailableAt(), earliest)
-		dur := link.DegradedTransferTime(bytes, s.inj.LinkSlowdown(start))
+		dur := link.DegradedTransferTime(bytes, s.linkSlowdown(start))
 		if !s.inj.TransferFails(dir, key) {
 			tStart, end := st.Run(label, earliest, dur)
 			if s.tr != nil {
@@ -257,10 +273,9 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 			return err
 		}
 		out.Alloc = a
-		if err := out.TransitionTo(tensor.In); err != nil {
-			return invariant("produce", out.ID, err)
+		if err := s.becomeResident(out, "produce"); err != nil {
+			return err
 		}
-		s.touchLRU(out)
 		if s.tr != nil {
 			s.memEvent("alloc", "produce", out.ID, out.Bytes(), s.now())
 		}
@@ -326,6 +341,13 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 	}
 	if len(n.Outputs) > 0 && n.Outputs[0] == s.g.Loss {
 		s.stats.LossFingerprint = n.Outputs[0].Fingerprint
+	}
+	// Gradient schedule for the cluster's all-reduce planner: record when
+	// each gradient tensor materializes. Bookkeeping only.
+	for _, out := range n.Outputs {
+		if s.gradIDs[out.ID] {
+			s.gradEvents = append(s.gradEvents, GradEvent{At: end, Bytes: out.Bytes()})
+		}
 	}
 
 	// Report accesses: reads at op start, produces at op end. Policy
@@ -413,13 +435,8 @@ func (s *Session) reportAccess(t *tensor.Tensor, kind AccessKind, at sim.Time, s
 func (s *Session) release(t *tensor.Tensor, at sim.Time, env *Env) error {
 	switch t.Status {
 	case tensor.In:
-		if err := s.pool.Free(t.Alloc); err != nil {
-			return invariant("release", t.ID, err)
-		}
-		t.Alloc = nil
-		s.dropLRU(t)
-		if err := t.TransitionTo(tensor.Freed); err != nil {
-			return invariant("release", t.ID, err)
+		if err := s.freeDevice(t, tensor.Freed, "release"); err != nil {
+			return err
 		}
 		if s.tr != nil {
 			s.memEvent("free", "dead", t.ID, t.Bytes(), at)
@@ -481,15 +498,9 @@ func (s *Session) ensureOnDevice(t *tensor.Tensor, env *Env, countStats bool) (r
 	case tensor.SwappingIn:
 		done := s.swapInDone[t.ID]
 		delete(s.swapInDone, t.ID)
-		if err := t.TransitionTo(tensor.In); err != nil {
-			return 0, false, true, invariant("finish-swapin", t.ID, err)
+		if err := s.landSwapIn(t, "finish-swapin"); err != nil {
+			return 0, false, true, err
 		}
-		if s.host.Holds(t.ID) {
-			if err := s.host.Release(t.ID); err != nil {
-				return 0, false, true, invariant("finish-swapin", t.ID, err)
-			}
-		}
-		s.touchLRU(t)
 		return sim.MaxTime(done, now), done > now, true, nil
 	case tensor.Out:
 		// Access failure: on-demand swap-in (§5.2 passive mode).
@@ -515,17 +526,13 @@ func (s *Session) ensureOnDevice(t *tensor.Tensor, env *Env, countStats bool) (r
 		if terr != nil {
 			return s.abandonSwapIn(t, terr)
 		}
-		if err := t.TransitionTo(tensor.In); err != nil {
-			return 0, false, true, invariant("ondemand-in", t.ID, err)
-		}
-		if err := s.host.Release(t.ID); err != nil {
-			return 0, false, true, invariant("ondemand-in", t.ID, err)
+		if err := s.landSwapIn(t, "ondemand-in"); err != nil {
+			return 0, false, true, err
 		}
 		if countStats {
 			s.stats.OnDemandInCount++
 			s.stats.OnDemandInBytes += t.Bytes()
 		}
-		s.touchLRU(t)
 		return end, true, true, nil
 	default:
 		return 0, false, false, nil
@@ -537,12 +544,8 @@ func (s *Session) ensureOnDevice(t *tensor.Tensor, env *Env, countStats bool) (r
 // tensor re-enters via lineage replay (handled=false). Tensors without a
 // replayable producer surface the transfer failure instead.
 func (s *Session) abandonSwapIn(t *tensor.Tensor, terr error) (sim.Time, bool, bool, error) {
-	if err := s.pool.Free(t.Alloc); err != nil {
-		return 0, false, true, invariant("abandon-swapin", t.ID, err)
-	}
-	t.Alloc = nil
-	if err := t.TransitionTo(tensor.Out); err != nil {
-		return 0, false, true, invariant("abandon-swapin", t.ID, err)
+	if err := s.freeDevice(t, tensor.Out, "abandon-swapin"); err != nil {
+		return 0, false, true, err
 	}
 	if !s.fallbackSafe(t) {
 		return 0, false, true, fmt.Errorf("on-demand swap-in of %s: %w", t.ID, terr)
@@ -619,10 +622,9 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 		return 0, err
 	}
 	t.Alloc = a
-	if err := t.TransitionTo(tensor.In); err != nil {
-		return 0, invariant("replay", t.ID, err)
+	if err := s.becomeResident(t, "replay"); err != nil {
+		return 0, err
 	}
-	s.touchLRU(t)
 	if s.tr != nil {
 		s.memEvent("alloc", "recompute", t.ID, t.Bytes(), s.now())
 	}
@@ -682,17 +684,12 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 		if keep {
 			continue
 		}
-		if err := s.pool.Free(in.Alloc); err != nil {
-			return 0, invariant("replay-release", in.ID, err)
-		}
-		in.Alloc = nil
-		s.dropLRU(in)
 		next := tensor.Freed
 		if s.refs[in.ID] > 0 {
 			next = tensor.Recompute
 		}
-		if err := in.TransitionTo(next); err != nil {
-			return 0, invariant("replay-release", in.ID, err)
+		if err := s.freeDevice(in, next, "replay-release"); err != nil {
+			return 0, err
 		}
 		delete(regenerated, in)
 		if s.tr != nil {
@@ -840,13 +837,8 @@ func (s *Session) recomputeFallback(v *tensor.Tensor) (bool, error) {
 	if v.Status != tensor.In || v.Alloc == nil || !s.fallbackSafe(v) {
 		return false, nil
 	}
-	if err := s.pool.Free(v.Alloc); err != nil {
-		return false, invariant("recompute-fallback", v.ID, err)
-	}
-	v.Alloc = nil
-	s.dropLRU(v)
-	if err := v.TransitionTo(tensor.Recompute); err != nil {
-		return false, invariant("recompute-fallback", v.ID, err)
+	if err := s.freeDevice(v, tensor.Recompute, "recompute-fallback"); err != nil {
+		return false, err
 	}
 	s.stats.SwapFallbacks++
 	if s.tr != nil {
@@ -882,15 +874,9 @@ func (s *Session) completeEarliestSwapIn() (bool, error) {
 		return true, nil // state moved on; let the caller retry
 	}
 	s.stallTo(bestAt, "oom-wait-swapin")
-	if err := t.TransitionTo(tensor.In); err != nil {
-		return true, invariant("complete-swapin", bestID, err)
+	if err := s.landSwapIn(t, "complete-swapin"); err != nil {
+		return true, err
 	}
-	if s.host.Holds(bestID) {
-		if err := s.host.Release(bestID); err != nil {
-			return true, invariant("complete-swapin", bestID, err)
-		}
-	}
-	s.touchLRU(t)
 	return true, nil
 }
 
@@ -920,13 +906,8 @@ func (s *Session) passiveEvict(v *tensor.Tensor) error {
 		return terr
 	}
 	s.stallTo(end, "passive-evict")
-	if err := s.pool.Free(v.Alloc); err != nil {
-		return invariant("passive-evict", v.ID, err)
-	}
-	v.Alloc = nil
-	s.dropLRU(v)
-	if err := v.TransitionTo(tensor.SwappingOut); err != nil {
-		return invariant("passive-evict", v.ID, err)
+	if err := s.freeDevice(v, tensor.SwappingOut, "passive-evict"); err != nil {
+		return err
 	}
 	if err := v.TransitionTo(tensor.Out); err != nil {
 		return invariant("passive-evict", v.ID, err)
@@ -979,13 +960,8 @@ func (s *Session) finishSwapOut(id string) error {
 	if t == nil || t.Status != tensor.SwappingOut {
 		return nil
 	}
-	if err := s.pool.Free(t.Alloc); err != nil {
-		return invariant("finish-swapout", id, err)
-	}
-	t.Alloc = nil
-	s.dropLRU(t)
-	if err := t.TransitionTo(tensor.Out); err != nil {
-		return invariant("finish-swapout", id, err)
+	if err := s.freeDevice(t, tensor.Out, "finish-swapout"); err != nil {
+		return err
 	}
 	if s.tr != nil {
 		s.memEvent("free", "swapout-complete", id, t.Bytes(), s.now())

@@ -9,6 +9,7 @@ import (
 	"capuchin/internal/hw"
 	"capuchin/internal/memory"
 	"capuchin/internal/obs"
+	"capuchin/internal/ops"
 	"capuchin/internal/sim"
 	"capuchin/internal/tensor"
 )
@@ -63,6 +64,15 @@ type Config struct {
 	// Faults is the deterministic fault-injection plan; the zero value
 	// injects nothing and leaves every virtual-time outcome untouched.
 	Faults fault.Plan
+	// Comm describes pending collective traffic on this replica's host
+	// link (set by the cluster scheduler). nil models an isolated device.
+	// Transfers overlapping a comm window are degraded by the window's
+	// slowdown regardless of CommAware — contention is physics.
+	Comm CommModel
+	// CommAware additionally lets the executor defer a swap transfer past
+	// an all-reduce window when that finishes it earlier than contending
+	// (the comm-aware scheduling rule). Off, windows only slow transfers.
+	CommAware bool
 	// Tracer receives structured observability events and policy decision
 	// audit records. nil disables tracing entirely: no event is
 	// constructed and the virtual-time outcome is identical.
@@ -136,6 +146,13 @@ type Session struct {
 	tr  obs.Tracer
 	met *obs.Metrics
 
+	// gradIDs marks tensors consumed as gradients by ApplyGradient nodes;
+	// gradEvents records their production times each iteration for the
+	// cluster's all-reduce schedule. Pure bookkeeping: neither perturbs
+	// any virtual-time outcome.
+	gradIDs    map[string]bool
+	gradEvents []GradEvent
+
 	iter      int
 	stats     IterStats
 	trackCost sim.Time
@@ -185,6 +202,12 @@ func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
 		inj:        fault.NewInjector(cfg.Faults),
 		tr:         cfg.Tracer,
 		met:        cfg.Metrics,
+		gradIDs:    make(map[string]bool),
+	}
+	for _, n := range g.Nodes {
+		if _, isUpdate := n.Op.(ops.ApplyGradient); isUpdate && len(n.Inputs) > 1 {
+			s.gradIDs[n.Inputs[1].ID] = true
+		}
 	}
 	if cfg.Mode == EagerMode {
 		s.cpu = sim.NewStream("cpu")
@@ -253,6 +276,102 @@ func (s *Session) dropLRU(t *tensor.Tensor) {
 		s.lru.Remove(e)
 		delete(s.lruPos, t.ID)
 	}
+}
+
+// The three helpers below are the only places the executor couples a
+// residency transition to the eviction order. Every allocation that makes
+// a tensor resident, every swap-in landing and every device-memory
+// release goes through one of them, so the LRU cannot silently diverge
+// from the allocator (CheckResidencyInvariant pins the coupling in the
+// property tests).
+
+// becomeResident marks a tensor that just received device memory as
+// resident and enters it into the eviction order. ctx labels the
+// invariant error on an illegal transition.
+func (s *Session) becomeResident(t *tensor.Tensor, ctx string) error {
+	if err := t.TransitionTo(tensor.In); err != nil {
+		return invariant(ctx, t.ID, err)
+	}
+	s.touchLRU(t)
+	return nil
+}
+
+// landSwapIn completes an in-flight or on-demand swap-in: the tensor
+// becomes resident, its host copy is released and it re-enters the
+// eviction order.
+func (s *Session) landSwapIn(t *tensor.Tensor, ctx string) error {
+	if err := t.TransitionTo(tensor.In); err != nil {
+		return invariant(ctx, t.ID, err)
+	}
+	if s.host.Holds(t.ID) {
+		if err := s.host.Release(t.ID); err != nil {
+			return invariant(ctx, t.ID, err)
+		}
+	}
+	s.touchLRU(t)
+	return nil
+}
+
+// freeDevice releases a tensor's device memory, removes it from the
+// eviction order and transitions it to next, in that order, so the LRU
+// never holds a tensor without a live allocation.
+func (s *Session) freeDevice(t *tensor.Tensor, next tensor.Status, ctx string) error {
+	if err := s.pool.Free(t.Alloc); err != nil {
+		return invariant(ctx, t.ID, err)
+	}
+	t.Alloc = nil
+	s.dropLRU(t)
+	if err := t.TransitionTo(next); err != nil {
+		return invariant(ctx, t.ID, err)
+	}
+	return nil
+}
+
+// CheckResidencyInvariant verifies that the passive-eviction order is
+// consistent with the allocator: the LRU list and its position index
+// mirror each other exactly, every LRU member is a non-persistent tensor
+// that still owns device memory in an evictable or mid-swap-out state,
+// and every non-persistent resident tensor is present in the order. The
+// property and chaos tests call it at iteration boundaries; it returns
+// nil in a healthy session.
+func (s *Session) CheckResidencyInvariant() error {
+	if s.lru.Len() != len(s.lruPos) {
+		return fmt.Errorf("exec: lru list has %d entries but index has %d", s.lru.Len(), len(s.lruPos))
+	}
+	seen := make(map[string]bool, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		t, ok := el.Value.(*tensor.Tensor)
+		if !ok || t == nil {
+			return fmt.Errorf("exec: lru holds a non-tensor element")
+		}
+		if pos, ok := s.lruPos[t.ID]; !ok || pos != el {
+			return fmt.Errorf("exec: lru index out of sync for %s", t.ID)
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("exec: %s appears twice in the eviction order", t.ID)
+		}
+		seen[t.ID] = true
+		if t.Persistent {
+			return fmt.Errorf("exec: persistent tensor %s in the eviction order", t.ID)
+		}
+		if t.Status != tensor.In && t.Status != tensor.SwappingOut {
+			return fmt.Errorf("exec: %s in eviction order with status %v", t.ID, t.Status)
+		}
+		if t.Alloc == nil {
+			return fmt.Errorf("exec: %s in eviction order without device memory", t.ID)
+		}
+	}
+	for _, n := range s.g.Nodes {
+		for _, t := range n.Outputs {
+			if t.Persistent || t.Status != tensor.In || t.Alloc == nil {
+				continue
+			}
+			if !seen[t.ID] {
+				return fmt.Errorf("exec: resident tensor %s missing from the eviction order", t.ID)
+			}
+		}
+	}
+	return nil
 }
 
 // Residents returns the tensors currently holding device memory with

@@ -158,3 +158,73 @@ func (d DeviceSpec) WithMemory(bytes int64) DeviceSpec {
 	d.MemoryBytes = bytes
 	return d
 }
+
+// Interconnect models the shared fabric of a data-parallel cluster: each
+// replica reaches its peers through the same host link that carries its
+// swap traffic, so ring all-reduce shards and PCIe swaps contend for
+// bandwidth on a per-replica basis (the contention DELTA and the
+// GPGPU-Sim ML study identify as dominant in multi-GPU memory
+// management).
+type Interconnect struct {
+	Name string
+	// LinkBytesPerSec is the per-replica link bandwidth available to
+	// collective traffic, and LinkLatency the per-step synchronization
+	// cost of the ring.
+	LinkBytesPerSec float64
+	LinkLatency     sim.Time
+	// ContentionSlowdown is the bandwidth degradation factor applied to a
+	// swap transfer that overlaps an all-reduce window on the same
+	// replica's link (2 = fair time-sharing between the two flows).
+	ContentionSlowdown float64
+	// BucketBytes is the gradient coalescing granularity: gradients are
+	// folded into fusion buckets (as in NCCL/Horovod) and each bucket is
+	// all-reduced as one collective once full.
+	BucketBytes int64
+}
+
+// PCIeRing returns the default interconnect for the paper's testbed
+// style: replicas behind PCIe 3.0 x16 sharing a host bridge, ring
+// all-reduce over the same links used for swapping. Bandwidth matches the
+// P100 host link; the 25 MiB bucket is the common fusion-buffer default.
+func PCIeRing() Interconnect {
+	return Interconnect{
+		Name:               "pcie-ring",
+		LinkBytesPerSec:    11.7e9,
+		LinkLatency:        15 * sim.Microsecond,
+		ContentionSlowdown: 2,
+		BucketBytes:        25 * MiB,
+	}
+}
+
+// Fill substitutes defaults for unset fields, so a zero-value
+// Interconnect behaves as PCIeRing.
+func (ic Interconnect) Fill() Interconnect {
+	def := PCIeRing()
+	if ic.LinkBytesPerSec <= 0 {
+		ic.LinkBytesPerSec = def.LinkBytesPerSec
+	}
+	if ic.LinkLatency <= 0 {
+		ic.LinkLatency = def.LinkLatency
+	}
+	if ic.ContentionSlowdown <= 1 {
+		ic.ContentionSlowdown = def.ContentionSlowdown
+	}
+	if ic.BucketBytes <= 0 {
+		ic.BucketBytes = def.BucketBytes
+	}
+	return ic
+}
+
+// AllReduceTime reports the duration of a ring all-reduce of bytes across
+// devices replicas: every replica sends and receives 2(N-1)/N of the
+// payload over its link, in 2(N-1) latency-bound steps. A single device
+// needs no communication and reports zero.
+func (ic Interconnect) AllReduceTime(devices int, bytes int64) sim.Time {
+	if devices <= 1 || bytes <= 0 {
+		return 0
+	}
+	ic = ic.Fill()
+	n := float64(devices)
+	wire := sim.FromSeconds(2 * (n - 1) / n * float64(bytes) / ic.LinkBytesPerSec)
+	return sim.Time(2*(devices-1))*ic.LinkLatency + wire
+}

@@ -131,6 +131,47 @@ func TestWithMemory(t *testing.T) {
 	}
 }
 
+func TestAllReduceTime(t *testing.T) {
+	ic := Interconnect{LinkBytesPerSec: 10e9, LinkLatency: 10 * sim.Microsecond,
+		ContentionSlowdown: 2, BucketBytes: 25 * MiB}
+	// A single device or empty payload needs no communication at all.
+	if got := ic.AllReduceTime(1, 1<<30); got != 0 {
+		t.Errorf("AllReduceTime(1 device) = %v, want 0", got)
+	}
+	if got := ic.AllReduceTime(4, 0); got != 0 {
+		t.Errorf("AllReduceTime(0 bytes) = %v, want 0", got)
+	}
+	// Ring all-reduce of B bytes across N replicas moves 2(N-1)/N · B over
+	// each link in 2(N-1) latency-bound steps.
+	for _, n := range []int{2, 4, 8} {
+		bytes := int64(10e9) // one second of wire time at full payload
+		got := ic.AllReduceTime(n, bytes)
+		wire := sim.FromSeconds(2 * float64(n-1) / float64(n) * float64(bytes) / 10e9)
+		want := sim.Time(2*(n-1))*ic.LinkLatency + wire
+		if got != want {
+			t.Errorf("AllReduceTime(%d, %d) = %v, want %v", n, bytes, got, want)
+		}
+	}
+	// Per-replica traffic grows toward 2B as N grows, so the cost is
+	// monotone in N for a fixed payload.
+	prev := sim.Time(0)
+	for n := 2; n <= 16; n++ {
+		d := ic.AllReduceTime(n, 100*MiB)
+		if d <= prev {
+			t.Fatalf("all-reduce cost not monotone at N=%d: %v <= %v", n, d, prev)
+		}
+		prev = d
+	}
+	// The zero value picks up PCIeRing defaults rather than dividing by zero.
+	var zero Interconnect
+	if got := zero.AllReduceTime(2, 25*MiB); got <= 0 {
+		t.Errorf("zero-value interconnect all-reduce = %v, want positive", got)
+	}
+	if def := PCIeRing(); def.BucketBytes != 25*MiB || def.ContentionSlowdown <= 1 {
+		t.Errorf("PCIeRing defaults incomplete: %+v", def)
+	}
+}
+
 func TestDegradedTransferTime(t *testing.T) {
 	l := Link{BytesPerSec: 10e9, Latency: 15 * sim.Microsecond}
 	// A slowdown of 1 or less must reproduce TransferTime exactly — the

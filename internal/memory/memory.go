@@ -118,14 +118,30 @@ type Snapshot struct {
 	LargestFree int64
 }
 
-// Fragmentation reports how broken-up the free space is:
-// 1 - LargestFree/Free, so 0 means one contiguous region and values near
-// 1 mean no free chunk is usefully large. A full pool reports 0.
-func (s Snapshot) Fragmentation() float64 {
-	if s.Free <= 0 {
+// FragRatio is the shared fragmentation formula: 1 - largestFree/free,
+// clamped to [0, 1]. An empty or fully-free pool (free <= 0 would divide
+// by zero) reports 0, and inconsistent inputs (largestFree beyond free,
+// or negative) can never push the ratio outside the unit interval — so a
+// NaN or a negative "fragmentation" can never leak into profile JSON.
+func FragRatio(largestFree, free int64) float64 {
+	if free <= 0 {
 		return 0
 	}
-	return 1 - float64(s.LargestFree)/float64(s.Free)
+	r := 1 - float64(largestFree)/float64(free)
+	switch {
+	case r < 0:
+		return 0
+	case r > 1:
+		return 1
+	}
+	return r
+}
+
+// Fragmentation reports how broken-up the free space is:
+// FragRatio of the snapshot, so 0 means one contiguous region and values
+// near 1 mean no free chunk is usefully large. A full pool reports 0.
+func (s Snapshot) Fragmentation() float64 {
+	return FragRatio(s.LargestFree, s.Free)
 }
 
 // Snap samples a pool. The three reads are not atomic with respect to
@@ -186,8 +202,6 @@ func collectStats(p Pool, allocs, frees int64) Stats {
 		FreeBytes:   p.FreeBytes(),
 		LargestFree: p.LargestFree(),
 	}
-	if s.FreeBytes > 0 {
-		s.Fragmentation = 1 - float64(s.LargestFree)/float64(s.FreeBytes)
-	}
+	s.Fragmentation = FragRatio(s.LargestFree, s.FreeBytes)
 	return s
 }

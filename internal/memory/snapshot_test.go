@@ -10,14 +10,51 @@ func TestSnapshotFragmentation(t *testing.T) {
 		s    Snapshot
 		want float64
 	}{
-		{Snapshot{Used: 0, Free: 1024, LargestFree: 1024}, 0},   // untouched pool
-		{Snapshot{Used: 1024, Free: 0, LargestFree: 0}, 0},      // full pool
+		{Snapshot{Used: 0, Free: 1024, LargestFree: 1024}, 0},    // untouched pool
+		{Snapshot{Used: 1024, Free: 0, LargestFree: 0}, 0},       // full pool
 		{Snapshot{Used: 512, Free: 1000, LargestFree: 250}, .75}, // shredded
 	}
 	for _, c := range cases {
 		if got := c.s.Fragmentation(); math.Abs(got-c.want) > 1e-9 {
 			t.Errorf("%+v: fragmentation %v, want %v", c.s, got, c.want)
 		}
+	}
+}
+
+// TestFragRatioClamped is the regression test for degenerate allocator
+// samples leaking out of the unit interval: before FragRatio, a sample
+// with LargestFree exceeding Free (possible transiently under chunk
+// rounding) produced a negative "fragmentation", and a 0/0 sample relied
+// on every call site remembering its own guard. The shared helper must
+// clamp every input to [0, 1] and never return NaN.
+func TestFragRatioClamped(t *testing.T) {
+	cases := []struct {
+		largest, free int64
+		want          float64
+	}{
+		{0, 0, 0},        // empty pool: the 0/0 case
+		{1024, 1024, 0},  // fully-free pool, one region
+		{250, 1000, .75}, // ordinary fragmentation
+		{2048, 1024, 0},  // largest beyond free: clamp below at 0
+		{-512, 1024, 1},  // negative largest: clamp above at 1
+		{512, -1024, 0},  // negative free: treated as nothing free
+		{0, 1024, 1},     // free space but no usable region
+	}
+	for _, c := range cases {
+		got := FragRatio(c.largest, c.free)
+		if math.IsNaN(got) {
+			t.Fatalf("FragRatio(%d, %d) is NaN", c.largest, c.free)
+		}
+		if got < 0 || got > 1 {
+			t.Fatalf("FragRatio(%d, %d) = %v outside [0, 1]", c.largest, c.free, got)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("FragRatio(%d, %d) = %v, want %v", c.largest, c.free, got, c.want)
+		}
+	}
+	// The snapshot method routes through the same clamp.
+	if got := (Snapshot{Free: 1024, LargestFree: 4096}).Fragmentation(); got != 0 {
+		t.Errorf("inconsistent snapshot fragmentation = %v, want clamped 0", got)
 	}
 }
 

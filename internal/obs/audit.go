@@ -41,6 +41,11 @@ func WriteExplain(w io.Writer, tensor string, decisions []Decision, events []Eve
 			continue
 		}
 		text := fmt.Sprintf("[%s] %s", d.Policy, d.Action)
+		if d.Group != "" {
+			// Multi-replica traces: every replica acts on its own copy of
+			// the tensor, so the rows disambiguate by group.
+			text = fmt.Sprintf("{%s} %s", d.Group, text)
+		}
 		if d.Reason != "" {
 			text += ": " + d.Reason
 		}
@@ -59,6 +64,9 @@ func WriteExplain(w io.Writer, tensor string, decisions []Decision, events []Eve
 		}
 		if d.Bytes != 0 {
 			in = append(in, FmtBytes(d.Bytes))
+		}
+		if d.CommSlowdown > 1 {
+			in = append(in, fmt.Sprintf("comm-slowdown=%gx until %v", d.CommSlowdown, d.CommUntil))
 		}
 		if len(in) > 0 {
 			text += "  ("
@@ -90,6 +98,9 @@ func WriteExplain(w io.Writer, tensor string, decisions []Decision, events []Eve
 			text = fmt.Sprintf("fault: %s (%s)", ev.Name, ev.Detail)
 		default:
 			continue
+		}
+		if ev.Group != "" {
+			text = fmt.Sprintf("{%s} %s", ev.Group, text)
 		}
 		rows = append(rows, row{ev.Start, ev.Iter, "  " + text})
 	}

@@ -42,28 +42,57 @@ func usec(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
 // and counter tracks for device memory (used/free/largest contiguous)
 // and pinned host memory sampled at every allocation event.
 //
+// Events carrying a Group are rendered as separate Perfetto processes —
+// one per replica plus the interconnect in multi-device runs — each with
+// its own lane and counter namespace. Events without a Group land in the
+// default pid-1 process, so single-device traces are byte-identical to
+// the pre-cluster format.
+//
 // The output is deterministic: identical event slices produce
 // byte-identical JSON.
 func WriteChromeTrace(w io.Writer, events []Event) error {
-	tids := make(map[string]int)
-	for i, lane := range laneOrder {
-		tids[lane] = i
+	pids := map[string]int{"": chromePID}
+	var extraGroups []string // non-default groups in first-seen order
+	notePID := func(group string) int {
+		if pid, ok := pids[group]; ok {
+			return pid
+		}
+		pid := chromePID + len(pids)
+		pids[group] = pid
+		extraGroups = append(extraGroups, group)
+		return pid
 	}
-	laneSeen := make(map[string]bool)
-	var lanes []string
-	noteLane := func(lane string) int {
+	groupTIDs := make(map[string]map[string]int)
+	groupLanes := make(map[string][]string)
+	tidsOf := func(group string) map[string]int {
+		m, ok := groupTIDs[group]
+		if !ok {
+			m = make(map[string]int, len(laneOrder))
+			for i, lane := range laneOrder {
+				m[lane] = i
+			}
+			groupTIDs[group] = m
+		}
+		return m
+	}
+	laneSeen := make(map[string]map[string]bool)
+	noteLane := func(group, lane string) int {
 		if lane == "" {
 			return 0
 		}
-		if !laneSeen[lane] {
-			laneSeen[lane] = true
-			lanes = append(lanes, lane)
+		if laneSeen[group] == nil {
+			laneSeen[group] = make(map[string]bool)
 		}
-		if tid, ok := tids[lane]; ok {
+		if !laneSeen[group][lane] {
+			laneSeen[group][lane] = true
+			groupLanes[group] = append(groupLanes[group], lane)
+		}
+		m := tidsOf(group)
+		if tid, ok := m[lane]; ok {
 			return tid
 		}
-		tid := len(tids)
-		tids[lane] = tid
+		tid := len(m)
+		m[lane] = tid
 		return tid
 	}
 
@@ -71,21 +100,21 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	for _, ev := range events {
 		switch ev.Kind {
 		case KindSpan:
-			tid := noteLane(ev.Lane)
+			pid, tid := notePID(ev.Group), noteLane(ev.Group, ev.Lane)
 			args := spanArgs(ev)
 			records = append(records,
-				chromeRecord{Name: ev.Name, Cat: ev.Cat, Ph: "B", TS: usec(ev.Start), PID: chromePID, TID: tid, Args: args},
-				chromeRecord{Name: ev.Name, Cat: ev.Cat, Ph: "E", TS: usec(ev.End), PID: chromePID, TID: tid})
+				chromeRecord{Name: ev.Name, Cat: ev.Cat, Ph: "B", TS: usec(ev.Start), PID: pid, TID: tid, Args: args},
+				chromeRecord{Name: ev.Name, Cat: ev.Cat, Ph: "E", TS: usec(ev.End), PID: pid, TID: tid})
 		case KindInstant:
 			if ev.Lane != "" {
 				records = append(records, chromeRecord{
 					Name: ev.Name, Cat: ev.Cat, Ph: "i", TS: usec(ev.Start),
-					PID: chromePID, TID: noteLane(ev.Lane), Scope: "t", Args: spanArgs(ev),
+					PID: notePID(ev.Group), TID: noteLane(ev.Group, ev.Lane), Scope: "t", Args: spanArgs(ev),
 				})
 			}
-			records = append(records, counterRecords(ev)...)
+			records = append(records, counterRecords(ev, notePID(ev.Group))...)
 		case KindCounter:
-			records = append(records, counterRecords(ev)...)
+			records = append(records, counterRecords(ev, notePID(ev.Group))...)
 		}
 	}
 	// Stable sort by timestamp: records built in emission order, so at
@@ -97,11 +126,22 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
 		Args: map[string]any{"name": "capuchin-sim"},
 	}}
-	sort.Slice(lanes, func(i, j int) bool { return tids[lanes[i]] < tids[lanes[j]] })
-	for _, lane := range lanes {
+	laneMeta := func(group string, pid int) {
+		lanes, tids := groupLanes[group], groupTIDs[group]
+		sort.Slice(lanes, func(i, j int) bool { return tids[lanes[i]] < tids[lanes[j]] })
+		for _, lane := range lanes {
+			meta = append(meta,
+				chromeRecord{Name: "thread_name", Ph: "M", PID: pid, TID: tids[lane], Args: map[string]any{"name": lane}},
+				chromeRecord{Name: "thread_sort_index", Ph: "M", PID: pid, TID: tids[lane], Args: map[string]any{"sort_index": tids[lane]}})
+		}
+	}
+	laneMeta("", chromePID)
+	for _, group := range extraGroups {
+		pid := pids[group]
 		meta = append(meta,
-			chromeRecord{Name: "thread_name", Ph: "M", PID: chromePID, TID: tids[lane], Args: map[string]any{"name": lane}},
-			chromeRecord{Name: "thread_sort_index", Ph: "M", PID: chromePID, TID: tids[lane], Args: map[string]any{"sort_index": tids[lane]}})
+			chromeRecord{Name: "process_name", Ph: "M", PID: pid, TID: 0, Args: map[string]any{"name": group}},
+			chromeRecord{Name: "process_sort_index", Ph: "M", PID: pid, TID: 0, Args: map[string]any{"sort_index": pid}})
+		laneMeta(group, pid)
 	}
 	records = append(meta, records...)
 
@@ -150,18 +190,18 @@ func spanArgs(ev Event) map[string]any {
 }
 
 // counterRecords renders the memory counter tracks for an event carrying
-// allocator samples.
-func counterRecords(ev Event) []chromeRecord {
+// allocator samples, in the process of the event's group.
+func counterRecords(ev Event, pid int) []chromeRecord {
 	if ev.Used == 0 && ev.Free == 0 && ev.HostUsed == 0 {
 		return nil
 	}
 	ts := usec(ev.Start)
 	return []chromeRecord{
-		{Name: "device memory", Ph: "C", TS: ts, PID: chromePID, TID: 0,
+		{Name: "device memory", Ph: "C", TS: ts, PID: pid, TID: 0,
 			Args: map[string]any{"free": ev.Free, "used": ev.Used}},
-		{Name: "largest free chunk", Ph: "C", TS: ts, PID: chromePID, TID: 0,
+		{Name: "largest free chunk", Ph: "C", TS: ts, PID: pid, TID: 0,
 			Args: map[string]any{"bytes": ev.LargestFree}},
-		{Name: "host memory", Ph: "C", TS: ts, PID: chromePID, TID: 0,
+		{Name: "host memory", Ph: "C", TS: ts, PID: pid, TID: 0,
 			Args: map[string]any{"used": ev.HostUsed}},
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"capuchin/internal/memory"
 	"capuchin/internal/sim"
 )
 
@@ -32,10 +33,11 @@ type TensorFootprint struct {
 
 // FragSample is one fragmentation measurement of the device allocator.
 type FragSample struct {
-	At                sim.Time
-	Used, Free        int64
-	LargestFree       int64
-	// Fragmentation is 1 - LargestFree/Free (0 when nothing is free).
+	At          sim.Time
+	Used, Free  int64
+	LargestFree int64
+	// Fragmentation is memory.FragRatio(LargestFree, Free): clamped to
+	// [0, 1], 0 when nothing is free.
 	Fragmentation float64
 }
 
@@ -101,9 +103,7 @@ func BuildMemProfile(events []Event) *MemProfile {
 			p.HostPeak = ev.HostUsed
 		}
 		s := FragSample{At: ev.Start, Used: ev.Used, Free: ev.Free, LargestFree: ev.LargestFree}
-		if s.Free > 0 {
-			s.Fragmentation = 1 - float64(s.LargestFree)/float64(s.Free)
-		}
+		s.Fragmentation = memory.FragRatio(s.LargestFree, s.Free)
 		p.Frag = append(p.Frag, s)
 	}
 	// Close out tensors still resident at the end of the trace.
@@ -173,6 +173,13 @@ const reportTopResidents = 12
 // fragmentation timeline, and the most-churned residency histories.
 func (p *MemProfile) WriteReport(w io.Writer) error {
 	fmt.Fprintf(w, "== memory profile ==\n")
+	if len(p.Frag) == 0 && len(p.PeakResidents) == 0 && len(p.Residency) == 0 {
+		// An empty profile (no memory events recorded — e.g. a run that
+		// never allocated, or a trace without alloc/free sampling) gets an
+		// explicit marker instead of a misleading zero-valued report.
+		fmt.Fprintf(w, "no memory events recorded\n")
+		return nil
+	}
 	fmt.Fprintf(w, "device peak: %s at %v\n", FmtBytes(p.PeakBytes), p.PeakAt)
 	fmt.Fprintf(w, "host peak:   %s\n", FmtBytes(p.HostPeak))
 

@@ -53,6 +53,10 @@ type Event struct {
 	// Lane is the timeline lane — a stream name ("compute", "h2d",
 	// "d2h", "cpu") — or empty for process-wide events.
 	Lane string
+	// Group names the process-level grouping of the lane in multi-device
+	// runs ("replica 0", "interconnect"). Empty means the single-device
+	// default group, keeping single-device traces byte-identical.
+	Group string
 	// Start and End bound a span; instants set End == Start.
 	Start, End sim.Time
 	// Queued is, for transfer spans, the virtual time the transfer was
@@ -91,6 +95,8 @@ type Decision struct {
 	At   sim.Time
 	// Policy is the deciding policy's name ("capuchin", "vdnn", ...).
 	Policy string
+	// Group names the replica that decided, in multi-device runs.
+	Group string
 	// Tensor is the subject tensor, when the decision concerns one.
 	Tensor string
 	// Action is the decision kind: "plan", "plan-swap",
@@ -115,6 +121,12 @@ type Decision struct {
 	Candidates int
 	// Bytes is the tensor or allocation size at stake.
 	Bytes int64
+	// CommSlowdown and CommUntil record the comm-window input of a
+	// comm-aware scheduling decision: the bandwidth degradation of the
+	// pending all-reduce window the scheduler consulted and when that
+	// window drains. Zero when no collective traffic was pending.
+	CommSlowdown float64
+	CommUntil    sim.Time
 }
 
 // Tracer receives events and decisions. Implementations must be safe for
@@ -174,6 +186,35 @@ func (c *Collector) Decisions() []Decision {
 	out := make([]Decision, len(c.decisions))
 	copy(out, c.decisions)
 	return out
+}
+
+// GroupTracer wraps a Tracer and stamps a group name — "replica 0",
+// "interconnect" — onto every event and decision that does not already
+// carry one. The cluster runner hands each replica's session a
+// GroupTracer over one shared Collector, so a multi-device timeline
+// renders as one process per replica without the executor knowing about
+// replicas at all.
+type GroupTracer struct {
+	T     Tracer
+	Group string
+}
+
+var _ Tracer = GroupTracer{}
+
+// Emit implements Tracer.
+func (g GroupTracer) Emit(ev Event) {
+	if ev.Group == "" {
+		ev.Group = g.Group
+	}
+	g.T.Emit(ev)
+}
+
+// Decide implements Tracer.
+func (g GroupTracer) Decide(d Decision) {
+	if d.Group == "" {
+		d.Group = g.Group
+	}
+	g.T.Decide(d)
 }
 
 // Len reports the number of recorded events.

@@ -213,6 +213,36 @@ func TestBuildMemProfile(t *testing.T) {
 	}
 }
 
+// TestEmptyMemProfileReportGolden pins the empty-profile report byte for
+// byte. Before the empty-input guard, a profile built from zero memory
+// events printed a misleading zero-valued report ("device peak: 0B at
+// 0ns", "peak attribution (top 0 of 0 resident tensors):") instead of
+// saying that nothing was recorded.
+func TestEmptyMemProfileReportGolden(t *testing.T) {
+	const golden = "== memory profile ==\nno memory events recorded\n"
+	for name, p := range map[string]*MemProfile{
+		"built":  BuildMemProfile(nil),
+		"manual": {},
+	} {
+		var buf bytes.Buffer
+		if err := p.WriteReport(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.String() != golden {
+			t.Errorf("%s: empty-profile report =\n%q\nwant\n%q", name, buf.String(), golden)
+		}
+	}
+	// A NaN can never appear in a profile's samples, whatever the inputs.
+	p := BuildMemProfile([]Event{
+		{Kind: KindInstant, Cat: "alloc", Tensor: "t0", Start: 1, Bytes: 64, Used: 64, Free: 0, LargestFree: 0},
+	})
+	for _, s := range p.Frag {
+		if s.Fragmentation != s.Fragmentation { // NaN check
+			t.Fatalf("NaN fragmentation in sample %+v", s)
+		}
+	}
+}
+
 func TestWriteExplain(t *testing.T) {
 	decisions := []Decision{
 		{Iter: 1, At: 100, Policy: "capuchin", Tensor: "conv1:out", Action: "plan-swap",

@@ -74,17 +74,31 @@ func MinTime(a, b Time) Time {
 // budgets cannot overflow virtual time.
 const maxBackoffShift = 16
 
+// MaxBackoff is the ceiling on any single backoff delay (one virtual
+// minute). Capping the shift alone is not enough: a large base shifted by
+// even a modest attempt count can wrap int64 and produce a negative delay,
+// which a stream would reject as a negative duration.
+const MaxBackoff = 60 * Second
+
 // Backoff reports the exponential retry delay for the given zero-based
 // attempt: base doubled per prior attempt (base, 2*base, 4*base, ...),
-// with the doubling capped at 2^16. It is the virtual-time analogue of a
-// driver's retry backoff; the executor uses it between re-issued PCIe
-// transfers.
+// with the doubling capped at 2^16 and the delay clamped to MaxBackoff.
+// It is the virtual-time analogue of a driver's retry backoff; the
+// executor uses it between re-issued PCIe transfers.
 func Backoff(base Time, attempt int) Time {
 	if base <= 0 || attempt < 0 {
 		return 0
 	}
+	if base >= MaxBackoff {
+		return MaxBackoff
+	}
 	if attempt > maxBackoffShift {
 		attempt = maxBackoffShift
+	}
+	// base << attempt overflows iff base > MaxBackoff >> attempt; the
+	// comparison itself cannot overflow because base < MaxBackoff here.
+	if base > MaxBackoff>>attempt {
+		return MaxBackoff
 	}
 	return base << attempt
 }

@@ -257,3 +257,44 @@ func TestBackoff(t *testing.T) {
 		t.Errorf("Backoff cap: got %v, want %v", got, want)
 	}
 }
+
+// TestBackoffClamp is the regression test for the int64 overflow: before
+// the MaxBackoff clamp, a large base shifted by the capped attempt count
+// wrapped negative (e.g. Time(1)<<50 at attempt 16), and a negative delay
+// would panic the stream as a negative duration. Every delay must be
+// non-negative, bounded by MaxBackoff and non-decreasing in the attempt
+// count, for bases spanning the whole representable range and attempts up
+// to 64.
+func TestBackoffClamp(t *testing.T) {
+	bases := []Time{
+		Nanosecond, Microsecond, 25 * Microsecond, Millisecond, Second,
+		Time(1) << 40, Time(1) << 50, MaxBackoff - 1, MaxBackoff,
+		MaxBackoff + 1, Time(1) << 62,
+	}
+	for _, base := range bases {
+		prev := Time(0)
+		for attempt := 0; attempt <= 64; attempt++ {
+			got := Backoff(base, attempt)
+			if got < 0 {
+				t.Fatalf("Backoff(%d, %d) = %d: overflowed negative", int64(base), attempt, int64(got))
+			}
+			if got > MaxBackoff {
+				t.Fatalf("Backoff(%d, %d) = %v exceeds MaxBackoff %v", int64(base), attempt, got, MaxBackoff)
+			}
+			if got < prev {
+				t.Fatalf("Backoff(%d, %d) = %v decreased from attempt %d's %v",
+					int64(base), attempt, got, attempt-1, prev)
+			}
+			prev = got
+		}
+	}
+	// Small bases below the clamp keep pure exponential growth.
+	if got, want := Backoff(25*Microsecond, 5), 32*25*Microsecond; got != want {
+		t.Fatalf("clamp must not disturb in-range backoff: got %v, want %v", got, want)
+	}
+	// The documented overflow case: Time(1)<<50 doubled 16 times wraps
+	// int64 without the clamp; with it, the delay saturates at MaxBackoff.
+	if got := Backoff(Time(1)<<50, 16); got != MaxBackoff {
+		t.Fatalf("Backoff(1<<50, 16) = %v, want MaxBackoff %v", got, MaxBackoff)
+	}
+}
