@@ -3,9 +3,9 @@
 # parallel experiment engine touches + the chaos soak suite.
 GO ?= go
 
-.PHONY: check vet build test race soak bench goldens profile-smoke fuzz-smoke scale-smoke
+.PHONY: check vet build test race soak bench goldens profile-smoke fuzz-smoke scale-smoke arena-smoke
 
-check: vet build test race soak profile-smoke scale-smoke
+check: vet build test race soak profile-smoke scale-smoke arena-smoke
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,17 @@ scale-smoke:
 	$(GO) run ./cmd/capuchin-bench -exp scale -quick -iters 2 -devices 1,2 -jobs 1 > /tmp/capuchin-scale-b.txt
 	cmp /tmp/capuchin-scale-a.txt /tmp/capuchin-scale-b.txt
 	rm -f /tmp/capuchin-scale-a.txt /tmp/capuchin-scale-b.txt
+
+# arena-smoke guards the policy arena: the cross-policy conformance suite
+# under the race detector (every registered policy must match the
+# fingerprint oracle), then a small arena tournament replayed through the
+# CLI at two job counts — the tables must be byte-identical.
+arena-smoke:
+	$(GO) test -race ./internal/policy/... -run 'Conform|DTR|Chunk'
+	$(GO) run ./cmd/capuchin-bench -exp arena -quick -iters 2 -mem 4 > /tmp/capuchin-arena-a.txt
+	$(GO) run ./cmd/capuchin-bench -exp arena -quick -iters 2 -mem 4 -jobs 1 > /tmp/capuchin-arena-b.txt
+	cmp /tmp/capuchin-arena-a.txt /tmp/capuchin-arena-b.txt
+	rm -f /tmp/capuchin-arena-a.txt /tmp/capuchin-arena-b.txt
 
 # profile-smoke drives the observability stack end to end: the exporter
 # tests (golden Chrome trace, memory profile, audit log, metrics) plus a

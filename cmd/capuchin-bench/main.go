@@ -3,9 +3,18 @@
 //
 // Usage:
 //
-//	capuchin-bench [-exp all|fig1|fig2|fig3|fig8a|fig8b|table2|table3|fig9|fig10|overhead|ablations|resilience|dynamic|scale]
+//	capuchin-bench [-exp all|fig1|fig2|fig3|fig8a|fig8b|table2|table3|fig9|fig10|overhead|ablations|resilience|dynamic|scale|arena]
 //	               [-device p100|v100|t4] [-mem GiB] [-iters N] [-jobs N] [-quick] [-markdown]
 //	               [-faults spec] [-profile] [-schedule kind] [-schedule-seed N] [-devices list]
+//
+// -exp arena runs the policy tournament: every rival registered in the
+// exec policy registry (TF-ori, vDNN, SuperNeurons, OpenAI checkpointing,
+// Capuchin, h-DTR, chunk-based placement) across a model set and a
+// memory-cap ladder, reporting each policy's maximum batch plus its
+// iteration time, swap and recompute traffic at a shared probe batch 25%
+// beyond the unmanaged maximum. Policies self-register, so a new rival
+// appears here without harness changes; its correctness is enforced
+// separately by the conformance suite (internal/policy/conformance).
 //
 // -exp scale evaluates multi-GPU data-parallel training: N replicas over
 // a shared PCIe-ring interconnect with a per-iteration gradient barrier,
@@ -52,7 +61,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig8a, fig8b, table2, table3, fig9, fig10, overhead, capacity, extensions, sensitivity, ablations, resilience, dynamic, scale")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig8a, fig8b, table2, table3, fig9, fig10, overhead, capacity, extensions, sensitivity, ablations, resilience, dynamic, scale, arena")
 	device := flag.String("device", "p100", "device model: p100, v100, t4")
 	mem := flag.Int64("mem", 0, "override device memory in GiB (0 = device default)")
 	iters := flag.Int("iters", 0, "iterations per timed run (0 = default 8)")
@@ -176,6 +185,8 @@ func main() {
 		write(bench.Dynamic(o))
 	case "scale":
 		write(bench.Scaling(o))
+	case "arena":
+		write(bench.Arena(o))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -64,7 +64,7 @@ func main() {
 	tensors := flag.String("tensors", "", "comma-separated tensor IDs to trace (empty = all)")
 	spans := flag.String("spans", "", "dump stream spans instead: compute, h2d or d2h")
 	memGiB := flag.Float64("mem", 64, "device memory in GiB, fractions allowed (large default = no pressure)")
-	system := flag.String("system", "tf-ori", "memory-management system (observability and -spans modes)")
+	system := flag.String("system", "tf-ori", "memory-management system: "+strings.Join(bench.SystemNames(), ", "))
 	faults := flag.String("faults", "", "fault-injection plan: \"default\", \"off\", or key=value pairs")
 	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON timeline to this file (\"-\" = stdout)")
 	memprof := flag.Bool("memprof", false, "print the memory profile (peak attribution, fragmentation)")

@@ -23,7 +23,7 @@ import (
 func main() {
 	model := flag.String("model", "resnet50", "workload: "+strings.Join(models.Names(), ", "))
 	batch := flag.Int64("batch", 256, "batch size")
-	system := flag.String("system", "capuchin", "memory system: tf-ori, vdnn, openai-m, openai-s, capuchin, capuchin-swap, capuchin-recomp")
+	system := flag.String("system", "capuchin", "memory system: "+strings.Join(bench.SystemNames(), ", "))
 	iters := flag.Int("iters", 8, "iterations to simulate")
 	mode := flag.String("mode", "graph", "execution mode: graph or eager")
 	device := flag.String("device", "p100", "device model: p100, v100, t4")

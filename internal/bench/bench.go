@@ -16,16 +16,24 @@ import (
 	"capuchin/internal/hw"
 	"capuchin/internal/models"
 	"capuchin/internal/obs"
-	"capuchin/internal/policy/checkpoint"
-	"capuchin/internal/policy/superneurons"
-	"capuchin/internal/policy/vdnn"
+
+	// The harness discovers systems through the exec policy registry;
+	// these imports exist only to run each package's registration.
+	_ "capuchin/internal/policy/checkpoint"
+	_ "capuchin/internal/policy/chunk"
+	_ "capuchin/internal/policy/dtr"
+	_ "capuchin/internal/policy/superneurons"
+	_ "capuchin/internal/policy/vdnn"
 )
 
 // System names a memory-management configuration under test.
 type System string
 
-// The systems of the paper's evaluation (§6.1) plus Capuchin's breakdown
-// configurations (§6.2).
+// The systems of the paper's evaluation (§6.1), Capuchin's breakdown
+// configurations (§6.2), and the arena's rival policies. Each name is a
+// key into the exec policy registry; the constants exist for call-site
+// readability, not as the source of truth — SystemNames lists whatever is
+// actually registered.
 const (
 	SystemTF                 System = "tf-ori"
 	SystemVDNN               System = "vdnn"
@@ -37,7 +45,12 @@ const (
 	SystemCapuchinSwapNoFA   System = "capuchin-swap-nofa"   // ATP+DS
 	SystemCapuchinRecompute  System = "capuchin-recomp"      // ATP+CR, recompute only
 	SystemCapuchinRecompNoCR System = "capuchin-recomp-nocr" // ATP
+	SystemDTR                System = "dtr"                  // h-DTR online rematerialization
+	SystemChunk              System = "chunk"                // chunk-based placement
 )
+
+// SystemNames lists every registered system in sorted order.
+func SystemNames() []string { return exec.PolicyNames() }
 
 // RunConfig describes one simulated training run.
 type RunConfig struct {
@@ -156,49 +169,21 @@ func execConfig(cfg RunConfig, g *graph.Graph) (exec.Config, *core.Capuchin, *ob
 		ec.Tracer = col
 		ec.Metrics = met
 	}
-	if g == nil {
-		switch cfg.System {
-		case SystemVDNN, SystemSuperNeurons, SystemOpenAIMemory, SystemOpenAISpeed:
-			return ec, nil, nil, nil, fmt.Errorf("bench: system %q keys its policy to one graph and cannot follow a dynamic shape schedule", cfg.System)
-		}
-	}
-	var cap *core.Capuchin
-	switch cfg.System {
-	case SystemTF:
-		ec.Policy = exec.NullPolicy{}
-	case SystemVDNN:
-		ec.Policy = vdnn.New(g, vdnn.ConvOnly)
-		ec.CoupledSwap = true // layer-wise synchronization (§3.1)
-	case SystemSuperNeurons:
-		ec.Policy = superneurons.New(g)
-		ec.CollectiveRecompute = true
-	case SystemOpenAIMemory:
-		ec.Policy = checkpoint.New(g, checkpoint.Memory)
-		ec.CollectiveRecompute = true // segment-wise recompute
-	case SystemOpenAISpeed:
-		ec.Policy = checkpoint.New(g, checkpoint.Speed)
-		ec.CollectiveRecompute = true
-	case SystemCapuchin:
-		cap = core.New(core.Options{})
-		ec.Policy = cap
-		ec.CollectiveRecompute = true
-	case SystemCapuchinSwap:
-		cap = core.New(core.Options{SwapOnly: true})
-		ec.Policy = cap
-	case SystemCapuchinSwapNoFA:
-		cap = core.New(core.Options{SwapOnly: true, DisableFeedback: true})
-		ec.Policy = cap
-	case SystemCapuchinRecompute:
-		cap = core.New(core.Options{RecomputeOnly: true})
-		ec.Policy = cap
-		ec.CollectiveRecompute = true
-	case SystemCapuchinRecompNoCR:
-		cap = core.New(core.Options{RecomputeOnly: true})
-		ec.Policy = cap
-		ec.CollectiveRecompute = false
-	default:
+	spec, ok := exec.LookupPolicy(string(cfg.System))
+	if !ok {
 		return ec, nil, nil, nil, fmt.Errorf("bench: unknown system %q", cfg.System)
 	}
+	if g == nil && !spec.GraphAgnostic {
+		return ec, nil, nil, nil, fmt.Errorf("bench: system %q keys its policy to one graph and cannot follow a dynamic shape schedule", cfg.System)
+	}
+	pol, err := spec.Build(exec.BuildContext{Graph: g, Device: cfg.Device})
+	if err != nil {
+		return ec, nil, nil, nil, fmt.Errorf("bench: building system %q: %w", cfg.System, err)
+	}
+	ec.Policy = pol
+	ec.CoupledSwap = spec.CoupledSwap
+	ec.CollectiveRecompute = spec.CollectiveRecompute
+	cap, _ := pol.(*core.Capuchin)
 	if cfg.ForceCoupledSwap {
 		ec.CoupledSwap = true
 	}

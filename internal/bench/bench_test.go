@@ -17,7 +17,7 @@ func TestRunSystems(t *testing.T) {
 	for _, sys := range []System{
 		SystemTF, SystemVDNN, SystemSuperNeurons, SystemOpenAIMemory, SystemOpenAISpeed,
 		SystemCapuchin, SystemCapuchinSwap, SystemCapuchinSwapNoFA,
-		SystemCapuchinRecompute, SystemCapuchinRecompNoCR,
+		SystemCapuchinRecompute, SystemCapuchinRecompNoCR, SystemDTR, SystemChunk,
 	} {
 		r := Run(RunConfig{Model: "resnet50", Batch: 8, System: sys, Device: smallDev(), Iterations: 2})
 		if !r.OK {
@@ -50,7 +50,7 @@ func TestFingerprintsAgreeAcrossSystems(t *testing.T) {
 	if !ref.OK {
 		t.Fatal(ref.Err)
 	}
-	for _, sys := range []System{SystemVDNN, SystemSuperNeurons, SystemOpenAIMemory, SystemOpenAISpeed, SystemCapuchin} {
+	for _, sys := range []System{SystemVDNN, SystemSuperNeurons, SystemOpenAIMemory, SystemOpenAISpeed, SystemCapuchin, SystemDTR, SystemChunk} {
 		r := Run(RunConfig{Model: "resnet50", Batch: 8, System: sys, Device: smallDev(), Iterations: 2})
 		if !r.OK {
 			t.Errorf("%s: %v", sys, r.Err)

@@ -699,6 +699,7 @@ func AllTables(o Options) []*Table {
 		func() []*Table { return Ablations(o) },
 		func() []*Table { return []*Table{Dynamic(o)} },
 		func() []*Table { return []*Table{Scaling(o)} },
+		func() []*Table { return []*Table{Arena(o)} },
 	}
 	groups := make([][]*Table, len(gens))
 	var wg sync.WaitGroup

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"capuchin/internal/graph"
+	"capuchin/internal/hw"
+	"capuchin/internal/sim"
+	"capuchin/internal/tensor"
+)
+
+// ProducerCosts estimates, per non-persistent tensor, the compute cost of
+// regenerating it by re-running its producer: the fastest algorithm's
+// duration on the given device. Capuchin's own planner prices
+// recomputation from measured durations, but rival policies that plan
+// before any measured pass (h-DTR's cost/(size·staleness) ranking, chunk
+// placement) need a static estimate; sharing the estimator here keeps
+// their cost model consistent with the simulator's kernel timings instead
+// of each policy inventing its own.
+func ProducerCosts(g *graph.Graph, dev hw.DeviceSpec) map[string]sim.Time {
+	costs := make(map[string]sim.Time)
+	for _, n := range g.Nodes {
+		inShapes := make([]tensor.Shape, len(n.Inputs))
+		for i, in := range n.Inputs {
+			inShapes[i] = in.Shape
+		}
+		algos := n.Op.Algorithms(dev, inShapes)
+		if len(algos) == 0 {
+			continue
+		}
+		dur := algos[0].Duration
+		for _, out := range n.Outputs {
+			if out.Persistent {
+				continue
+			}
+			costs[out.ID] = dur
+		}
+	}
+	return costs
+}

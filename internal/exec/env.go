@@ -369,6 +369,22 @@ func (e *Env) FallbackToRecompute(t *tensor.Tensor) bool {
 	return true
 }
 
+// Evictable reports whether t is currently a legal eviction victim: it
+// holds device memory in the evictable state and is neither persistent nor
+// pinned by the executing node. Online policies (h-DTR) filter their
+// candidate sets through this, so in-flight tensors are never chosen.
+func (e *Env) Evictable(t *tensor.Tensor) bool {
+	return t.Status == tensor.In && !t.Persistent && !e.s.pinned[t.ID]
+}
+
+// RecomputeSafe reports whether t may be released for lineage
+// recomputation: it needs a replayable producer and every remaining use
+// must precede the first in-place parameter update, so the replay cannot
+// observe modified weights.
+func (e *Env) RecomputeSafe(t *tensor.Tensor) bool {
+	return e.s.fallbackSafe(t)
+}
+
 // LRUResidents returns, oldest first, roughly need bytes of unpinned,
 // non-persistent resident tensors — the paper's passive-mode victim scan
 // over the tensor access list (§5.2). Policies delegate their OnOOM to

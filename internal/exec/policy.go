@@ -92,6 +92,19 @@ type Policy interface {
 	TracksAccesses() bool
 }
 
+// OOMHandler is the optional eviction hook for policies that answer memory
+// pressure with actions richer than the passive host-swap victim list OnOOM
+// supports — h-DTR, for example, frees tensors for recomputation. When a
+// policy implements it, the executor's OOM escalation calls HandleOOM
+// instead of OnOOM. progress=true means the handler freed device memory or
+// queued an asynchronous release, so the allocation should be retried;
+// progress=false with ok=true lets the executor try its last resorts
+// (completing an in-flight swap-in) before failing; ok=false fails the
+// iteration with OOM immediately.
+type OOMHandler interface {
+	HandleOOM(need int64, env *Env) (progress, ok bool)
+}
+
 // NullPolicy is original TensorFlow: no memory management, OOM is fatal.
 type NullPolicy struct{}
 

@@ -1,0 +1,114 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"capuchin/internal/graph"
+	"capuchin/internal/hw"
+)
+
+// BuildContext carries everything a registered policy may consult while
+// constructing itself. Graph is nil on the dynamic-shape path, where the
+// graph changes per shape signature; only graph-agnostic policies are
+// built there.
+type BuildContext struct {
+	Graph  *graph.Graph
+	Device hw.DeviceSpec
+}
+
+// PolicySpec describes one registered memory-management policy: its
+// canonical name (the bench System string), the executor couplings it
+// requires, and a constructor. Policy packages self-register from init(),
+// so adding a rival policy to every CLI, experiment and conformance suite
+// is one RegisterPolicy call.
+type PolicySpec struct {
+	// Name is the canonical system name ("vdnn", "capuchin", "dtr", ...).
+	Name string
+	// Doc is a one-line description for CLI help and the README table.
+	Doc string
+	// GraphAgnostic marks policies driven purely by the access stream
+	// (TF-ori, the Capuchin variants): they follow dynamic shape
+	// schedules, while graph-keyed policies are rejected there.
+	GraphAgnostic bool
+	// CoupledSwap and CollectiveRecompute are the executor couplings the
+	// policy's published design assumes (vDNN synchronizes layer-wise;
+	// the recomputing baselines retain replay intermediates).
+	CoupledSwap         bool
+	CollectiveRecompute bool
+	// Arena opts the policy into the -exp arena tournament. Ablation
+	// variants (capuchin-swap, ...) stay out: they are breakdowns of one
+	// system, not rivals, and have their own experiment.
+	Arena bool
+	// Build constructs a fresh policy instance for one session.
+	Build func(BuildContext) (Policy, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]PolicySpec)
+)
+
+// RegisterPolicy adds a policy to the registry. It panics on a duplicate
+// or malformed spec — registration happens at init() time, where a panic
+// is a build error, not a runtime hazard.
+func RegisterPolicy(spec PolicySpec) {
+	if spec.Name == "" || spec.Build == nil {
+		panic("exec: RegisterPolicy needs a name and a Build func")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[spec.Name]; dup {
+		panic(fmt.Sprintf("exec: policy %q registered twice", spec.Name))
+	}
+	registry[spec.Name] = spec
+}
+
+// LookupPolicy returns the spec registered under name.
+func LookupPolicy(name string) (PolicySpec, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	spec, ok := registry[name]
+	return spec, ok
+}
+
+// PolicyNames lists every registered policy name in sorted order.
+func PolicyNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ArenaPolicyNames lists the policies competing in the arena tournament:
+// the no-management baseline first, then the rivals in sorted order.
+func ArenaPolicyNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	var names []string
+	for n, spec := range registry {
+		if spec.Arena && n != "tf-ori" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if spec, ok := registry["tf-ori"]; ok && spec.Arena {
+		names = append([]string{"tf-ori"}, names...)
+	}
+	return names
+}
+
+func init() {
+	RegisterPolicy(PolicySpec{
+		Name:          "tf-ori",
+		Doc:           "original framework: no memory management, OOM is fatal",
+		GraphAgnostic: true,
+		Arena:         true,
+		Build:         func(BuildContext) (Policy, error) { return NullPolicy{}, nil },
+	})
+}

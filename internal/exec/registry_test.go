@@ -1,0 +1,74 @@
+package exec
+
+import (
+	"testing"
+
+	"capuchin/internal/hw"
+)
+
+func TestRegistryHasBaseline(t *testing.T) {
+	spec, ok := LookupPolicy("tf-ori")
+	if !ok {
+		t.Fatal("tf-ori not registered")
+	}
+	if !spec.GraphAgnostic {
+		t.Error("tf-ori must be graph-agnostic")
+	}
+	p, err := spec.Build(BuildContext{Device: hw.P100()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isNull := p.(NullPolicy); !isNull {
+		t.Errorf("tf-ori built %T, want NullPolicy", p)
+	}
+}
+
+func TestRegistryNamesSortedAndComplete(t *testing.T) {
+	names := PolicyNames()
+	if len(names) == 0 {
+		t.Fatal("no policies registered")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted/unique: %v", names)
+		}
+	}
+	for _, n := range names {
+		if _, ok := LookupPolicy(n); !ok {
+			t.Errorf("listed policy %q does not resolve", n)
+		}
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndMalformed(t *testing.T) {
+	mustPanic := func(name string, spec PolicySpec) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: RegisterPolicy did not panic", name)
+			}
+		}()
+		RegisterPolicy(spec)
+	}
+	mustPanic("duplicate", PolicySpec{
+		Name:  "tf-ori",
+		Build: func(BuildContext) (Policy, error) { return NullPolicy{}, nil },
+	})
+	mustPanic("no build", PolicySpec{Name: "hollow"})
+	mustPanic("no name", PolicySpec{
+		Build: func(BuildContext) (Policy, error) { return NullPolicy{}, nil },
+	})
+}
+
+func TestArenaPolicyNamesLeadWithBaseline(t *testing.T) {
+	names := ArenaPolicyNames()
+	if len(names) == 0 || names[0] != "tf-ori" {
+		t.Fatalf("arena names = %v, want tf-ori first", names)
+	}
+	for _, n := range names {
+		spec, ok := LookupPolicy(n)
+		if !ok || !spec.Arena {
+			t.Errorf("arena listing includes %q which is not arena-registered", n)
+		}
+	}
+}

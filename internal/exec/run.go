@@ -665,6 +665,7 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 	t.Fingerprint = tensor.ComputeFingerprint(node.ID, 0, inFPs)
 	s.stats.RecomputeCount++
 	s.stats.RecomputeTime += dur
+	s.stats.RecomputeBytes += t.Bytes()
 	regenerated[t] = true
 
 	// Progressive collective-recomputation retention (§5.3): now that t
@@ -761,6 +762,41 @@ func (s *Session) allocate(size int64, env *Env) (*memory.Allocation, error) {
 				return nil, err
 			}
 			continue
+		}
+		if h, isHandler := s.policy.(OOMHandler); isHandler {
+			// Eviction-hook path: the policy acts directly through the Env
+			// (releases for recomputation, asynchronous swap-outs) instead
+			// of returning a passive victim list.
+			freeBefore := s.pool.FreeBytes()
+			progress, hok := h.HandleOOM(size, env)
+			if s.defErr != nil {
+				derr := s.defErr
+				s.defErr = nil
+				return nil, derr
+			}
+			if !hok {
+				return nil, fmt.Errorf("allocating %d bytes: %w: %w", size, err, ErrIterationOOM)
+			}
+			if progress {
+				// A handler that claims progress without freeing anything
+				// now or queueing an asynchronous release would livelock
+				// the loop; demote the claim.
+				if _, pending := s.pendingFrees.PeekEarliest(); !pending && s.pool.FreeBytes() == freeBefore {
+					progress = false
+				}
+			}
+			if progress {
+				evicts++
+				continue
+			}
+			progressed, cerr := s.completeEarliestSwapIn()
+			if cerr != nil {
+				return nil, cerr
+			}
+			if progressed {
+				continue
+			}
+			return nil, fmt.Errorf("allocating %d bytes with no evictable tensors: %w: %w", size, err, ErrIterationOOM)
 		}
 		victims, ok := s.policy.OnOOM(size, env)
 		if !ok {

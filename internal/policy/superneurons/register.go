@@ -1,0 +1,22 @@
+package superneurons
+
+import (
+	"errors"
+
+	"capuchin/internal/exec"
+)
+
+func init() {
+	exec.RegisterPolicy(exec.PolicySpec{
+		Name:                "superneurons",
+		Doc:                 "SuperNeurons (PPoPP'18): conv-input offload plus cost-aware recompute of cheap layers",
+		CollectiveRecompute: true,
+		Arena:               true,
+		Build: func(bc exec.BuildContext) (exec.Policy, error) {
+			if bc.Graph == nil {
+				return nil, errors.New("superneurons: policy keys its schedule to one graph")
+			}
+			return New(bc.Graph), nil
+		},
+	})
+}
