@@ -3,9 +3,9 @@
 # parallel experiment engine touches + the chaos soak suite.
 GO ?= go
 
-.PHONY: check vet build test race soak bench goldens profile-smoke fuzz-smoke scale-smoke arena-smoke
+.PHONY: check vet build test race soak bench goldens profile-smoke fuzz-smoke scale-smoke arena-smoke fleet-smoke
 
-check: vet build test race soak profile-smoke scale-smoke arena-smoke
+check: vet build test race soak profile-smoke scale-smoke arena-smoke fleet-smoke
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +67,21 @@ arena-smoke:
 	$(GO) run ./cmd/capuchin-bench -exp arena -quick -iters 2 -mem 4 -jobs 1 > /tmp/capuchin-arena-b.txt
 	cmp /tmp/capuchin-arena-a.txt /tmp/capuchin-arena-b.txt
 	rm -f /tmp/capuchin-arena-a.txt /tmp/capuchin-arena-b.txt
+
+# fleet-smoke guards the multi-tenant fleet simulator: the full fleet
+# suite (including the seeded chaos soak) under the race detector, then
+# the fleet experiment replayed through the CLI at two -jobs values plus
+# a re-run at the same seed — both the table and the JSON artifact must
+# be byte-identical.
+fleet-smoke:
+	$(GO) test -race ./internal/fleet
+	$(GO) run ./cmd/capuchin-bench -exp fleet -quick -fleet-jobs 60 -fleet-devices 4 \
+		-fleet-json /tmp/capuchin-fleet-a.json > /tmp/capuchin-fleet-a.txt
+	$(GO) run ./cmd/capuchin-bench -exp fleet -quick -fleet-jobs 60 -fleet-devices 4 \
+		-fleet-json /tmp/capuchin-fleet-b.json -jobs 1 > /tmp/capuchin-fleet-b.txt
+	cmp /tmp/capuchin-fleet-a.txt /tmp/capuchin-fleet-b.txt
+	cmp /tmp/capuchin-fleet-a.json /tmp/capuchin-fleet-b.json
+	rm -f /tmp/capuchin-fleet-a.txt /tmp/capuchin-fleet-b.txt /tmp/capuchin-fleet-a.json /tmp/capuchin-fleet-b.json
 
 # profile-smoke drives the observability stack end to end: the exporter
 # tests (golden Chrome trace, memory profile, audit log, metrics) plus a

@@ -3,9 +3,23 @@
 //
 // Usage:
 //
-//	capuchin-bench [-exp all|fig1|fig2|fig3|fig8a|fig8b|table2|table3|fig9|fig10|overhead|ablations|resilience|dynamic|scale|arena]
+//	capuchin-bench [-exp all|fig1|fig2|fig3|fig8a|fig8b|table2|table3|fig9|fig10|overhead|ablations|resilience|dynamic|scale|arena|fleet]
 //	               [-device p100|v100|t4] [-mem GiB] [-iters N] [-jobs N] [-quick] [-markdown]
 //	               [-faults spec] [-profile] [-schedule kind] [-schedule-seed N] [-devices list]
+//	               [-fleet-jobs N] [-fleet-devices N] [-fleet-seed N] [-fleet-json path]
+//
+// -exp fleet runs the multi-tenant fleet simulator: a seeded stochastic
+// arrival stream of heterogeneous training jobs (tenant classes
+// CRITICAL/HIGH/LOW) scheduled onto simulated devices backed by real
+// allocator pools, comparing admit-all scheduling against
+// OOM-prediction admission control (a warmup-iteration sandbox predicts
+// each job's peak) and against predictive admission with
+// Capuchin-managed jobs (oversized jobs run under a memory cap instead
+// of being killed or rejected). -fleet-jobs, -fleet-devices and
+// -fleet-seed size and seed the arrival stream; -fleet-json also writes
+// the three-scenario comparison as machine-readable JSON. The fleet is
+// a discrete-event simulation, fully determined by its seed: identical
+// flags reproduce byte-identical tables at any -jobs value.
 //
 // -exp arena runs the policy tournament: every rival registered in the
 // exec policy registry (TF-ori, vDNN, SuperNeurons, OpenAI checkpointing,
@@ -61,7 +75,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig8a, fig8b, table2, table3, fig9, fig10, overhead, capacity, extensions, sensitivity, ablations, resilience, dynamic, scale, arena")
+	exp := flag.String("exp", "all", "experiment: all, fig1, fig2, fig3, fig8a, fig8b, table2, table3, fig9, fig10, overhead, capacity, extensions, sensitivity, ablations, resilience, dynamic, scale, arena, fleet")
 	device := flag.String("device", "p100", "device model: p100, v100, t4")
 	mem := flag.Int64("mem", 0, "override device memory in GiB (0 = device default)")
 	iters := flag.Int("iters", 0, "iterations per timed run (0 = default 8)")
@@ -74,6 +88,10 @@ func main() {
 	schedule := flag.String("schedule", "", "shape-drift kind for -exp dynamic: constant, batch, seq, mixed (\"\" = batch)")
 	scheduleSeed := flag.Uint64("schedule-seed", 0, "seed for the dynamic experiment's shape sampler (0 = 1)")
 	devices := flag.String("devices", "", "replica counts for -exp scale, comma-separated (\"\" = 1,2,4,8; quick 1,2)")
+	fleetJobs := flag.Int("fleet-jobs", 0, "arrival-stream length for -exp fleet (0 = 1200; quick 250)")
+	fleetDevices := flag.Int("fleet-devices", 0, "simulated device count for -exp fleet (0 = 48; quick 8)")
+	fleetSeed := flag.Uint64("fleet-seed", 0, "arrival-stream seed for -exp fleet (0 = 1)")
+	fleetJSON := flag.String("fleet-json", "", "also write the -exp fleet comparison as JSON to this path")
 	flag.Parse()
 
 	deviceCounts, err := parseDevices(*devices)
@@ -187,6 +205,29 @@ func main() {
 		write(bench.Scaling(o))
 	case "arena":
 		write(bench.Arena(o))
+	case "fleet":
+		fo := bench.FleetOptions{Jobs: *fleetJobs, Devices: *fleetDevices, Seed: *fleetSeed}
+		fc, err := bench.FleetScenarios(o, fo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		write(bench.FleetTableFrom(fc))
+		if *fleetJSON != "" {
+			f, err := os.Create(*fleetJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := fc.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

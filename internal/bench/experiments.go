@@ -700,6 +700,7 @@ func AllTables(o Options) []*Table {
 		func() []*Table { return []*Table{Dynamic(o)} },
 		func() []*Table { return []*Table{Scaling(o)} },
 		func() []*Table { return []*Table{Arena(o)} },
+		func() []*Table { return []*Table{Fleet(o)} },
 	}
 	groups := make([][]*Table, len(gens))
 	var wg sync.WaitGroup

@@ -1,0 +1,49 @@
+package exec
+
+import (
+	"testing"
+
+	"capuchin/internal/graph"
+	"capuchin/internal/hw"
+)
+
+// TestSessionResetPeakBetweenRuns is the regression test for per-run peak
+// scoping at the session level: without ResetPeak, a second Run on the
+// same session inherits the first Run's pool high-water mark in its
+// IterStats.PeakBytes.
+func TestSessionResetPeakBetweenRuns(t *testing.T) {
+	g := testCNN(t, graph.GraphModeOptions())
+	s, err := NewSession(g, Config{Device: hw.P100()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak1 := first[len(first)-1].PeakBytes
+	if peak1 <= 0 {
+		t.Fatalf("first run peak = %d", peak1)
+	}
+
+	s.ResetPeak()
+	if got := s.Pool().Peak(); got != s.Pool().Used() {
+		t.Fatalf("pool peak after ResetPeak = %d, want current use %d", got, s.Pool().Used())
+	}
+	// The rescoped peak must drop below the transient first-run peak: only
+	// persistent tensors (weights, optimizer state) remain resident
+	// between iterations, and they are a strict subset of the in-flight
+	// working set that set peak1.
+	if got := s.Pool().Peak(); got >= peak1 {
+		t.Fatalf("rescoped peak %d did not drop below run-1 peak %d", got, peak1)
+	}
+
+	second, err := s.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak2 := second[0].PeakBytes
+	if peak2 <= 0 || peak2 > peak1 {
+		t.Fatalf("second run peak = %d, want a fresh per-run peak at most the first run's %d", peak2, peak1)
+	}
+}

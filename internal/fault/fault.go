@@ -17,6 +17,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -138,28 +139,60 @@ func (p Plan) SpikeFactor() float64 {
 	return DefaultKernelSpikeFactor
 }
 
-// String summarizes the plan for table notes and logs.
+// String renders the plan in ParsePlan's canonical key=value form: the
+// output is itself a valid -faults spec, and every valid plan re-parses to
+// an equal plan (ParsePlan(p.String()) == p). The zero plan prints "off".
+//
+// Floats use the shortest representation that round-trips exactly, and
+// time fields print in ParsePlan's units (microseconds for backoff,
+// milliseconds for the degradation window geometry). When a degradation
+// factor is set, the period and window are always emitted — even when
+// zero — so ParsePlan's defaulting cannot resurrect fields the plan left
+// empty.
 func (p Plan) String() string {
-	if !p.Enabled() {
-		return "faults off"
+	if p == (Plan{}) {
+		return "off"
 	}
-	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
-	if p.TransferFailRate > 0 {
-		parts = append(parts, fmt.Sprintf("transfer=%.3g", p.TransferFailRate))
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	if p.Seed != 0 {
+		add("seed", strconv.FormatUint(p.Seed, 10))
 	}
-	if p.DegradeFactor > 1 && p.DegradePeriod > 0 {
-		parts = append(parts, fmt.Sprintf("degrade=%.3gx/%v per %v", p.DegradeFactor, p.DegradeDuration, p.DegradePeriod))
+	if p.TransferFailRate != 0 {
+		add("transfer", f(p.TransferFailRate))
 	}
-	if p.KernelSpikeRate > 0 {
-		parts = append(parts, fmt.Sprintf("kernel=%.3g@%.3gx", p.KernelSpikeRate, p.SpikeFactor()))
+	if p.MaxTransferRetries != 0 {
+		add("retries", strconv.Itoa(p.MaxTransferRetries))
 	}
-	if p.AllocFailRate > 0 {
-		parts = append(parts, fmt.Sprintf("alloc=%.3g", p.AllocFailRate))
+	if p.RetryBackoff != 0 {
+		add("backoff", f(float64(p.RetryBackoff)/float64(sim.Microsecond)))
 	}
-	if p.HostFailRate > 0 {
-		parts = append(parts, fmt.Sprintf("host=%.3g", p.HostFailRate))
+	if p.DegradeFactor != 0 {
+		add("degrade", f(p.DegradeFactor))
+		add("degrade-period", f(float64(p.DegradePeriod)/float64(sim.Millisecond)))
+		add("degrade-window", f(float64(p.DegradeDuration)/float64(sim.Millisecond)))
+	} else {
+		if p.DegradePeriod != 0 {
+			add("degrade-period", f(float64(p.DegradePeriod)/float64(sim.Millisecond)))
+		}
+		if p.DegradeDuration != 0 {
+			add("degrade-window", f(float64(p.DegradeDuration)/float64(sim.Millisecond)))
+		}
 	}
-	return strings.Join(parts, " ")
+	if p.KernelSpikeRate != 0 {
+		add("kernel", f(p.KernelSpikeRate))
+	}
+	if p.KernelSpikeFactor != 0 {
+		add("kernel-factor", f(p.KernelSpikeFactor))
+	}
+	if p.AllocFailRate != 0 {
+		add("alloc", f(p.AllocFailRate))
+	}
+	if p.HostFailRate != 0 {
+		add("host", f(p.HostFailRate))
+	}
+	return strings.Join(parts, ",")
 }
 
 // DefaultPlan is a moderate chaos profile: occasional transfer aborts and
@@ -230,19 +263,19 @@ func ParsePlan(spec string) (Plan, error) {
 			if err != nil || f < 0 {
 				return Plan{}, fmt.Errorf("fault: bad backoff %q", v)
 			}
-			p.RetryBackoff = sim.Time(f * float64(sim.Microsecond))
+			p.RetryBackoff = roundTime(f, sim.Microsecond)
 		case "degrade-period":
 			f, err := parseRatio(v)
 			if err != nil || f < 0 {
 				return Plan{}, fmt.Errorf("fault: bad degrade-period %q", v)
 			}
-			p.DegradePeriod = sim.Time(f * float64(sim.Millisecond))
+			p.DegradePeriod = roundTime(f, sim.Millisecond)
 		case "degrade-window":
 			f, err := parseRatio(v)
 			if err != nil || f < 0 {
 				return Plan{}, fmt.Errorf("fault: bad degrade-window %q", v)
 			}
-			p.DegradeDuration = sim.Time(f * float64(sim.Millisecond))
+			p.DegradeDuration = roundTime(f, sim.Millisecond)
 		case "transfer", "degrade", "kernel", "kernel-factor", "alloc", "host":
 			f, err := parseRatio(v)
 			if err != nil {
@@ -280,6 +313,15 @@ func ParsePlan(spec string) (Plan, error) {
 
 func parseRatio(v string) (float64, error) { return strconv.ParseFloat(v, 64) }
 
+// roundTime converts a float duration in the given unit to virtual time,
+// rounding to the nearest nanosecond. Truncation would break the
+// String↔ParsePlan round trip: a nanosecond-granular field printed in
+// microseconds picks up a one-ulp float error that truncation turns into
+// a whole lost nanosecond.
+func roundTime(v float64, unit sim.Time) sim.Time {
+	return sim.Time(math.Round(v * float64(unit)))
+}
+
 // Validate reports configuration errors (rates out of [0,1], a degradation
 // window longer than its period, a sub-unity slowdown).
 func (p Plan) Validate() error {
@@ -298,6 +340,21 @@ func (p Plan) Validate() error {
 	}
 	if p.DegradeFactor != 0 && p.DegradeFactor < 1 {
 		return fmt.Errorf("fault: degrade factor %v below 1 (would speed the link up)", p.DegradeFactor)
+	}
+	for _, d := range []struct {
+		name string
+		v    sim.Time
+	}{
+		{"retry backoff", p.RetryBackoff},
+		{"degrade period", p.DegradePeriod},
+		{"degrade window", p.DegradeDuration},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("fault: negative %s %v", d.name, d.v)
+		}
+	}
+	if p.MaxTransferRetries < 0 {
+		return fmt.Errorf("fault: negative retry budget %d", p.MaxTransferRetries)
 	}
 	if p.DegradePeriod > 0 && p.DegradeDuration > p.DegradePeriod {
 		return fmt.Errorf("fault: degrade window %v longer than period %v", p.DegradeDuration, p.DegradePeriod)

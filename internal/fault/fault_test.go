@@ -216,11 +216,11 @@ func TestParsePlan(t *testing.T) {
 }
 
 func TestPlanString(t *testing.T) {
-	if got := (Plan{}).String(); got != "faults off" {
+	if got := (Plan{}).String(); got != "off" {
 		t.Fatalf("zero plan String = %q", got)
 	}
 	s := DefaultPlan(4).String()
-	if s == "" || s == "faults off" {
+	if s == "" || s == "off" {
 		t.Fatalf("enabled plan String = %q", s)
 	}
 }

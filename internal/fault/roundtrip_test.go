@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"capuchin/internal/sim"
+)
+
+// randomValidPlan draws one Plan that passes Validate, exercising every
+// field: zero and non-zero seeds, nanosecond-granular backoffs, degrade
+// geometry with and without a factor, and full-precision rates.
+func randomValidPlan(rng *rand.Rand) Plan {
+	var p Plan
+	if rng.Intn(2) == 0 {
+		p.Seed = rng.Uint64()
+	}
+	if rng.Intn(2) == 0 {
+		p.TransferFailRate = rng.Float64()
+	}
+	if rng.Intn(2) == 0 {
+		p.MaxTransferRetries = rng.Intn(16)
+	}
+	if rng.Intn(2) == 0 {
+		// Nanosecond granularity up to ~1 s: the precision-hostile range
+		// for a field printed in microseconds.
+		p.RetryBackoff = sim.Time(rng.Int63n(int64(sim.Second)))
+	}
+	switch rng.Intn(3) {
+	case 0:
+		// Full degradation geometry.
+		p.DegradeFactor = 1 + 7*rng.Float64()
+		p.DegradePeriod = sim.Time(1 + rng.Int63n(int64(60*sim.Second)))
+		p.DegradeDuration = sim.Time(rng.Int63n(int64(p.DegradePeriod) + 1))
+	case 1:
+		// Factor without windows (disabled, but a valid plan value).
+		p.DegradeFactor = 1 + 7*rng.Float64()
+	}
+	if rng.Intn(2) == 0 {
+		p.KernelSpikeRate = rng.Float64()
+	}
+	if rng.Intn(2) == 0 {
+		p.KernelSpikeFactor = 1 + 9*rng.Float64()
+	}
+	if rng.Intn(2) == 0 {
+		p.AllocFailRate = rng.Float64()
+	}
+	if rng.Intn(2) == 0 {
+		p.HostFailRate = rng.Float64()
+	}
+	return p
+}
+
+// TestPlanStringRoundTrip is the property test of the String↔ParsePlan
+// pair: every valid plan's canonical rendering re-parses to an equal plan,
+// field for field. This pins the fields the old summary format dropped
+// (retries, backoff, kernel-factor, the exact window geometry) and the
+// nanosecond rounding in ParsePlan.
+func TestPlanStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		p := randomValidPlan(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generator produced invalid plan %+v: %v", p, err)
+		}
+		s := p.String()
+		got, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q) of plan %+v: %v", s, p, err)
+		}
+		if got != p {
+			t.Fatalf("round trip dropped fields:\n spec %q\n want %+v\n got  %+v", s, p, got)
+		}
+	}
+}
+
+// TestPlanStringRoundTripCorners pins the hand-picked corner plans the
+// random generator may miss.
+func TestPlanStringRoundTripCorners(t *testing.T) {
+	plans := []Plan{
+		{},
+		{Seed: 42},
+		DefaultPlan(0),
+		DefaultPlan(1 << 63),
+		{MaxTransferRetries: 7},
+		{RetryBackoff: 1}, // a single nanosecond
+		{RetryBackoff: sim.MaxBackoff},
+		{DegradeFactor: 4}, // factor with zero geometry: must not resurrect defaults
+		{DegradePeriod: 3 * sim.Millisecond},
+		{DegradeDuration: 5 * sim.Microsecond},
+		{KernelSpikeFactor: 2.5}, // factor without a rate
+		{TransferFailRate: 0.123456789123456789},
+	}
+	for _, p := range plans {
+		s := p.String()
+		got, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", s, err)
+		}
+		if got != p {
+			t.Errorf("round trip of %+v via %q = %+v", p, s, got)
+		}
+	}
+}
+
+func TestValidateRejectsNegatives(t *testing.T) {
+	for _, p := range []Plan{
+		{RetryBackoff: -1},
+		{DegradePeriod: -1},
+		{DegradeDuration: -1},
+		{MaxTransferRetries: -1},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"container/heap"
+
+	"capuchin/internal/sim"
+)
+
+// eventKind discriminates scheduler events.
+type eventKind int
+
+const (
+	// evArrive: a job enters the system and starts its sandbox warmup
+	// (Predictive) or is considered immediately (AdmitAll).
+	evArrive eventKind = iota
+	// evProfiled: the sandbox warmup finished; the job joins the
+	// admission queue with its prediction attached.
+	evProfiled
+	// evPeak: a running job finishes its on-device ramp and demands its
+	// full realized footprint — the moment mispredictions surface.
+	evPeak
+	// evComplete: a running job finishes its remaining iterations.
+	evComplete
+	// evRequeue: a killed job's backoff expired; it rejoins the queue.
+	evRequeue
+)
+
+// event is one scheduled state transition. gen guards against staleness:
+// a job's kills and preemptions bump job.gen, and events carrying an old
+// generation are dropped on arrival, so a preempted job's in-flight
+// completion can never fire.
+type event struct {
+	at   sim.Time
+	seq  int
+	kind eventKind
+	job  *Job
+	gen  int
+}
+
+// eventQueue is a binary min-heap with total (time, sequence) order —
+// the determinism backbone: ties in virtual time resolve by insertion
+// order, never by map iteration or heap internals.
+type eventQueue struct {
+	h   eventHeap
+	seq int
+}
+
+func newEventQueue() *eventQueue { return &eventQueue{} }
+
+func (q *eventQueue) push(at sim.Time, kind eventKind, j *Job, gen int) {
+	heap.Push(&q.h, event{at: at, seq: q.seq, kind: kind, job: j, gen: gen})
+	q.seq++
+}
+
+func (q *eventQueue) pop() (event, bool) {
+	if len(q.h) == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&q.h).(event), true
+}
+
+func (q *eventQueue) len() int { return len(q.h) }
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"math"
+
+	"capuchin/internal/sim"
+)
+
+// Counter-keyed hash randomness, the same idiom internal/fault uses: a
+// draw is a pure function of (seed, counter, purpose), so streams never
+// perturb each other and any single draw can be replayed in isolation.
+// Adding a new purpose string leaves every existing draw unchanged,
+// which is what makes reports replayable across versions that add
+// sampling sites.
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a over the purpose label.
+func hashString(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// bits returns 64 pseudo-random bits for (seed, n, purpose).
+func bits(seed, n uint64, purpose string) uint64 {
+	return splitmix64(seed ^ hashString(purpose) ^ (n * 0xbf58476d1ce4e5b9))
+}
+
+// u01 returns a uniform sample in [0, 1) for (seed, n, purpose).
+func u01(seed, n uint64, purpose string) float64 {
+	return float64(bits(seed, n, purpose)>>11) / float64(1<<53)
+}
+
+// expTime converts a uniform sample to an exponential inter-arrival time
+// with the given mean, via inversion. u < 1 always holds for u01 output,
+// so the log argument is strictly positive.
+func expTime(u float64, mean sim.Time) sim.Time {
+	d := -math.Log(1-u) * float64(mean)
+	if d < 1 {
+		d = 1 // arrivals get distinct, strictly increasing times
+	}
+	return sim.Time(d)
+}

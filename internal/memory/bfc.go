@@ -216,6 +216,11 @@ func (a *BFC) FreeBytes() int64 { return a.capacity - a.used }
 // Peak implements Pool.
 func (a *BFC) Peak() int64 { return a.peak }
 
+// ResetPeak implements Pool: the high-water mark restarts from the bytes
+// currently reserved, not from zero, because live allocations still count
+// against whatever job observes the pool next.
+func (a *BFC) ResetPeak() { a.peak = a.used }
+
 // LargestFree implements Pool.
 func (a *BFC) LargestFree() int64 {
 	for i := numBins - 1; i >= 0; i-- {

@@ -115,6 +115,10 @@ func (a *FirstFit) FreeBytes() int64 { return a.capacity - a.used }
 // Peak implements Pool.
 func (a *FirstFit) Peak() int64 { return a.peak }
 
+// ResetPeak implements Pool: the high-water mark restarts from the bytes
+// currently reserved (see BFC.ResetPeak).
+func (a *FirstFit) ResetPeak() { a.peak = a.used }
+
 // LargestFree implements Pool.
 func (a *FirstFit) LargestFree() int64 {
 	var largest int64

@@ -72,6 +72,10 @@ func (h *HostArena) Used() int64 { return h.used }
 // Peak reports the high-water mark of Used.
 func (h *HostArena) Peak() int64 { return h.peak }
 
+// ResetPeak rescopes the high-water mark to the bytes currently reserved,
+// mirroring Pool.ResetPeak for sequential jobs sharing the staging arena.
+func (h *HostArena) ResetPeak() { h.peak = h.used }
+
 // Capacity reports the arena size.
 func (h *HostArena) Capacity() int64 { return h.capacity }
 

@@ -106,6 +106,10 @@ type Pool interface {
 	LargestFree() int64
 	// Peak reports the high-water mark of Used.
 	Peak() int64
+	// ResetPeak rescopes the high-water mark to the bytes currently in
+	// use, so a pool reused across sequential jobs attributes each job's
+	// peak to that job instead of inheriting its predecessor's.
+	ResetPeak()
 	// Name identifies the allocator for stats and ablation output.
 	Name() string
 }

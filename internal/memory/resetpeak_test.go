@@ -1,0 +1,81 @@
+package memory
+
+import "testing"
+
+// TestResetPeakScopesSequentialJobs is the regression test for per-job
+// peak scoping: a pool reused by a second job must not report the first
+// job's high-water mark as the second's.
+func TestResetPeakScopesSequentialJobs(t *testing.T) {
+	pools := []Pool{NewBFC(1 << 20), NewFirstFit(1 << 20)}
+	for _, p := range pools {
+		// Job 1: a large transient footprint.
+		big, err := p.Alloc(512 << 10)
+		if err != nil {
+			t.Fatalf("%s: alloc: %v", p.Name(), err)
+		}
+		MustFree(p, big)
+		if p.Peak() < 512<<10 {
+			t.Fatalf("%s: peak %d after 512 KiB job", p.Name(), p.Peak())
+		}
+
+		// Without rescoping, job 2 would inherit job 1's peak.
+		p.ResetPeak()
+		if got := p.Peak(); got != p.Used() {
+			t.Fatalf("%s: ResetPeak left peak %d, want current use %d", p.Name(), got, p.Used())
+		}
+
+		// Job 2: a small footprint must report its own, small peak.
+		small, err := p.Alloc(4 << 10)
+		if err != nil {
+			t.Fatalf("%s: alloc: %v", p.Name(), err)
+		}
+		if got := p.Peak(); got >= 512<<10 {
+			t.Fatalf("%s: job 2 peak %d inherited job 1's high-water mark", p.Name(), got)
+		}
+		if got := p.Peak(); got < 4<<10 {
+			t.Fatalf("%s: job 2 peak %d below its own allocation", p.Name(), got)
+		}
+		MustFree(p, small)
+	}
+}
+
+// TestResetPeakKeepsLiveBytes pins the "reset to used, not zero" rule:
+// live allocations survive the rescope and still count.
+func TestResetPeakKeepsLiveBytes(t *testing.T) {
+	p := NewBFC(1 << 20)
+	live, err := p.Alloc(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := p.Alloc(256 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MustFree(p, big)
+	p.ResetPeak()
+	if got := p.Peak(); got != p.Used() || got < 64<<10 {
+		t.Fatalf("peak after reset = %d, want live bytes %d", got, p.Used())
+	}
+	MustFree(p, live)
+}
+
+// TestHostArenaResetPeak covers the pinned staging arena's variant.
+func TestHostArenaResetPeak(t *testing.T) {
+	h := NewHostArena(1 << 20)
+	if err := h.Reserve("a", 512<<10); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	h.ResetPeak()
+	if got := h.Peak(); got != 0 {
+		t.Fatalf("host peak after reset = %d, want 0", got)
+	}
+	if err := h.Reserve("b", 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Peak(); got != 1<<10 {
+		t.Fatalf("host peak = %d, want 1 KiB", got)
+	}
+}

@@ -103,8 +103,15 @@ type Decision struct {
 	// "plan-recompute", "swap-out", "swap-out-failed", "prefetch",
 	// "prefetch-deferred", "prefetch-failed", "release-recompute",
 	// "fallback-recompute", "ondemand-swapin", "advance-trigger",
-	// "oom-scan", "passive-evict".
+	// "oom-scan", "passive-evict". The fleet scheduler adds its
+	// admission-controller kinds: "admit", "queue", "shed", "reject",
+	// "preempt", "oom-kill", "requeue", "readmit-capped", "absorb-cap",
+	// "complete".
 	Action string
+	// Class is the tenant priority class behind a fleet-scheduler
+	// decision ("CRITICAL", "HIGH", "LOW"); empty for per-job policy
+	// decisions.
+	Class string
 	// Reason is the human-readable justification.
 	Reason string
 	// FreeTime is the paper's Eq. 1 value (swap-in start minus swap-out
