@@ -3,9 +3,9 @@
 # parallel experiment engine touches + the chaos soak suite.
 GO ?= go
 
-.PHONY: check vet build test race soak bench goldens profile-smoke fuzz-smoke scale-smoke arena-smoke fleet-smoke
+.PHONY: check vet build test race soak bench goldens profile-smoke fuzz-smoke scale-smoke arena-smoke fleet-smoke regress-smoke
 
-check: vet build test race soak profile-smoke scale-smoke arena-smoke fleet-smoke
+check: vet build test race soak profile-smoke scale-smoke arena-smoke fleet-smoke regress-smoke
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +82,24 @@ fleet-smoke:
 	cmp /tmp/capuchin-fleet-a.txt /tmp/capuchin-fleet-b.txt
 	cmp /tmp/capuchin-fleet-a.json /tmp/capuchin-fleet-b.json
 	rm -f /tmp/capuchin-fleet-a.txt /tmp/capuchin-fleet-b.txt /tmp/capuchin-fleet-a.json /tmp/capuchin-fleet-b.json
+
+# regress-smoke drives the perf-regression gate both ways: the real
+# checked-in baselines must pass at smoke slack, the degraded fixture
+# must fail (proving the gate actually fires), and the fleet
+# observability exports must be byte-identical across -jobs values.
+regress-smoke:
+	$(GO) run ./cmd/capuchin-regress -slack 3
+	if $(GO) run ./cmd/capuchin-regress -slack 3 -runner '' \
+		-fleet internal/bench/testdata/fleet_regressed_baseline.json >/dev/null; then \
+		echo "regress-smoke: gate passed a degraded baseline"; exit 1; fi
+	$(GO) run ./cmd/capuchin-trace -fleet -fleet-jobs 60 -fleet-devices 4 \
+		-prom /tmp/capuchin-regress-a.prom -events /tmp/capuchin-regress-a.jsonl 2>/dev/null
+	$(GO) run ./cmd/capuchin-trace -fleet -fleet-jobs 60 -fleet-devices 4 -jobs 1 \
+		-prom /tmp/capuchin-regress-b.prom -events /tmp/capuchin-regress-b.jsonl 2>/dev/null
+	cmp /tmp/capuchin-regress-a.prom /tmp/capuchin-regress-b.prom
+	cmp /tmp/capuchin-regress-a.jsonl /tmp/capuchin-regress-b.jsonl
+	rm -f /tmp/capuchin-regress-a.prom /tmp/capuchin-regress-b.prom \
+		/tmp/capuchin-regress-a.jsonl /tmp/capuchin-regress-b.jsonl
 
 # profile-smoke drives the observability stack end to end: the exporter
 # tests (golden Chrome trace, memory profile, audit log, metrics) plus a

@@ -7,6 +7,7 @@
 //	               [-device p100|v100|t4] [-mem GiB] [-iters N] [-jobs N] [-quick] [-markdown]
 //	               [-faults spec] [-profile] [-schedule kind] [-schedule-seed N] [-devices list]
 //	               [-fleet-jobs N] [-fleet-devices N] [-fleet-seed N] [-fleet-json path]
+//	               [-fleet-trace path] [-meta-date YYYY-MM-DD]
 //
 // -exp fleet runs the multi-tenant fleet simulator: a seeded stochastic
 // arrival stream of heterogeneous training jobs (tenant classes
@@ -20,6 +21,18 @@
 // the three-scenario comparison as machine-readable JSON. The fleet is
 // a discrete-event simulation, fully determined by its seed: identical
 // flags reproduce byte-identical tables at any -jobs value.
+//
+// -fleet-trace additionally replays the flagship scenario (predictive
+// admission, capuchin-managed jobs) with the fleet tracer attached and
+// writes its Perfetto-loadable Chrome timeline — per-device processes,
+// per-job lifecycle spans, memory and queue-depth counter tracks.
+// Tracing is outcome-neutral, so the table and JSON are unchanged.
+//
+// Every JSON artifact embeds a meta provenance block (tool, seed,
+// toolchain, semantic flags) that cmd/capuchin-regress validates and
+// reads the reproduction parameters from. The block is deterministic
+// for a fixed checkout; -meta-date opts into stamping a wall-clock
+// date, which trades away reproduction-time byte equality.
 //
 // -exp arena runs the policy tournament: every rival registered in the
 // exec policy registry (TF-ori, vDNN, SuperNeurons, OpenAI checkpointing,
@@ -72,6 +85,7 @@ import (
 	"capuchin/internal/bench"
 	"capuchin/internal/fault"
 	"capuchin/internal/hw"
+	"capuchin/internal/obs"
 )
 
 func main() {
@@ -92,6 +106,8 @@ func main() {
 	fleetDevices := flag.Int("fleet-devices", 0, "simulated device count for -exp fleet (0 = 48; quick 8)")
 	fleetSeed := flag.Uint64("fleet-seed", 0, "arrival-stream seed for -exp fleet (0 = 1)")
 	fleetJSON := flag.String("fleet-json", "", "also write the -exp fleet comparison as JSON to this path")
+	fleetTrace := flag.String("fleet-trace", "", "also write a Chrome trace of the -exp fleet flagship scenario to this path")
+	metaDate := flag.String("meta-date", "", "stamp this date (YYYY-MM-DD) into the JSON artifact's meta block (default: omitted for byte-reproducibility)")
 	flag.Parse()
 
 	deviceCounts, err := parseDevices(*devices)
@@ -212,6 +228,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if *metaDate != "" {
+			fc.Meta = fc.Meta.WithDate(*metaDate)
+		}
 		write(bench.FleetTableFrom(fc))
 		if *fleetJSON != "" {
 			f, err := os.Create(*fleetJSON)
@@ -227,6 +246,27 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+		}
+		if *fleetTrace != "" {
+			col := obs.NewCollector()
+			if _, err := bench.FleetObserved(o, fo, col, nil); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f, err := os.Create(*fleetTrace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := obs.WriteChromeTrace(f, col.Events()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d fleet trace events to %s (load in Perfetto)\n", col.Len(), *fleetTrace)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -1,0 +1,79 @@
+// Command capuchin-regress is the perf-regression gate: it reproduces
+// the experiments behind the checked-in BENCH_*.json artifacts and
+// diffs the fresh results against them with per-metric tolerances.
+//
+// Usage:
+//
+//	capuchin-regress [-fleet BENCH_fleet.json] [-runner BENCH_parallel_runner.json]
+//	                 [-slack N] [-jobs N]
+//
+// Each baseline artifact carries a meta provenance block (tool, seed,
+// toolchain, semantic flags) that the gate validates and reads the
+// reproduction parameters from — the artifact is self-describing, so
+// the gate needs no side-channel configuration. Metrics only fail in
+// their bad direction (fewer completions, more kills, slower tails);
+// improvements never fail the gate. -slack multiplies every tolerance:
+// 1 for the strict local gate, higher for CI smoke where only gross
+// regressions matter.
+//
+// Passing an empty path skips that gate. Exits 0 when every gated
+// metric is within tolerance, 1 when any regressed, 2 on usage or
+// reproduction errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"capuchin/internal/bench"
+)
+
+func main() {
+	fleetPath := flag.String("fleet", "BENCH_fleet.json", "fleet baseline artifact (\"\" = skip)")
+	runnerPath := flag.String("runner", "BENCH_parallel_runner.json", "parallel-runner baseline artifact (\"\" = skip)")
+	slack := flag.Float64("slack", 1, "tolerance multiplier (>1 loosens every gate)")
+	jobs := flag.Int("jobs", 0, "parallel worker count for the reproduction runs (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *fleetPath == "" && *runnerPath == "" {
+		fmt.Fprintln(os.Stderr, "nothing to gate: both -fleet and -runner are empty")
+		os.Exit(2)
+	}
+	o := bench.Options{Jobs: *jobs}
+
+	var regs []bench.Regression
+	if *fleetPath != "" {
+		r, err := bench.RegressFleet(*fleetPath, o, *slack)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet gate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("fleet gate: %s: %d regressed\n", *fleetPath, len(r))
+		regs = append(regs, r...)
+	}
+	if *runnerPath != "" {
+		r, err := bench.RegressParallelRunner(*runnerPath, o, *slack)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "runner gate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("runner gate: %s: determinism + wall-clock ratio checked, %d regressed\n",
+			*runnerPath, len(r))
+		regs = append(regs, r...)
+	}
+
+	if len(regs) > 0 {
+		fmt.Println()
+		for _, r := range regs {
+			fmt.Printf("REGRESSION %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("no regressions")
+}

@@ -10,7 +10,10 @@
 //	               [-spans compute|h2d|d2h] [-system capuchin] [-mem GiB]
 //	               [-faults spec] [-schedule kind] [-schedule-seed N]
 //	               [-chrome out.json] [-memprof] [-explain tensor|auto]
-//	               [-devices N]
+//	               [-devices N] [-prom out.prom] [-events out.jsonl]
+//	capuchin-trace -fleet [-fleet-jobs N] [-fleet-devices N] [-fleet-seed N]
+//	               [-chrome out.json] [-prom out.prom] [-events out.jsonl]
+//	               [-jobs N]
 //
 // -devices N simulates N data-parallel replicas over a shared PCIe-ring
 // interconnect (observability modes only). The Chrome trace renders one
@@ -34,6 +37,23 @@
 // fragmentation timeline. -explain prints every policy decision that
 // touched a tensor ("auto" picks the first tensor the policy acted on).
 // -faults takes the same spec as capuchin-bench (see fault.ParsePlan).
+//
+// -prom and -events attach to any observability run: -prom writes the
+// run's metrics registry in Prometheus text exposition format 0.0.4,
+// -events streams the full event and decision log as JSONL (one typed
+// record per line). Both accept a path or "-" for stdout.
+//
+// -fleet switches to the fleet timeline: it runs the flagship
+// multi-tenant scenario (predictive admission, capuchin-managed jobs)
+// with the observability stack attached. The Chrome trace renders one
+// Perfetto process per device plus a scheduler lane: per-job lifecycle
+// spans (queued, warmup, running), reserved/free-memory and queue-depth
+// counter tracks, and instant markers for admissions, preemptions and
+// OOM kills. -prom exposes the fleet/* counters and per-class
+// queue-wait/JCT histograms; -events streams the same timeline plus the
+// scheduler's decision audit. -fleet-jobs, -fleet-devices and
+// -fleet-seed size the scenario; -jobs parallelizes the profiling
+// fan-out (output is byte-identical at any -jobs).
 package main
 
 import (
@@ -72,7 +92,19 @@ func main() {
 	schedule := flag.String("schedule", "", "dynamic shape schedule: constant, batch, seq or mixed (\"\" = static run)")
 	scheduleSeed := flag.Uint64("schedule-seed", 1, "seed for the shape schedule's deterministic sampler")
 	devices := flag.Int("devices", 1, "data-parallel replica count (observability modes only)")
+	prom := flag.String("prom", "", "write the run's metrics in Prometheus text exposition format (\"-\" = stdout)")
+	events := flag.String("events", "", "stream the event and decision log as JSONL (\"-\" = stdout)")
+	fleetMode := flag.Bool("fleet", false, "trace the multi-tenant fleet scenario instead of a single run")
+	fleetJobs := flag.Int("fleet-jobs", 60, "fleet mode: arrival-stream length")
+	fleetDevices := flag.Int("fleet-devices", 4, "fleet mode: simulated device count")
+	fleetSeed := flag.Uint64("fleet-seed", 1, "fleet mode: arrival-stream seed")
+	jobs := flag.Int("jobs", 0, "fleet mode: parallel workers for the profiling fan-out (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *fleetMode {
+		observeFleet(*fleetJobs, *fleetDevices, *fleetSeed, *jobs, *chrome, *prom, *events)
+		return
+	}
 
 	plan, err := fault.ParsePlan(*faults)
 	if err != nil {
@@ -81,7 +113,7 @@ func main() {
 	}
 	dev := hw.P100().WithMemory(int64(*memGiB * float64(hw.GiB)))
 
-	if *chrome != "" || *memprof || *explain != "" || *spans != "" {
+	if *chrome != "" || *memprof || *explain != "" || *spans != "" || *prom != "" || *events != "" {
 		observe(bench.RunConfig{
 			Model:        *model,
 			Batch:        *batch,
@@ -94,7 +126,7 @@ func main() {
 			Schedule:     *schedule,
 			ScheduleSeed: *scheduleSeed,
 			Devices:      *devices,
-		}, *chrome, *memprof, *explain, *spans)
+		}, *chrome, *memprof, *explain, *spans, *prom, *events)
 		return
 	}
 	if *devices > 1 {
@@ -155,9 +187,85 @@ func main() {
 	}
 }
 
+// outFile resolves an output flag to a writer: "-" is stdout, anything
+// else is created. The returned func closes file targets.
+func outFile(path string) (*os.File, func()) {
+	if path == "-" {
+		return os.Stdout, func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f, func() { f.Close() }
+}
+
+// writeProm writes a metrics registry in Prometheus exposition format.
+func writeProm(path string, met *obs.Metrics) {
+	w, done := outFile(path)
+	defer done()
+	if err := met.WritePrometheus(w); err != nil {
+		fatal(err)
+	}
+}
+
+// writeEvents streams the event log and decision audit as JSONL.
+func writeEvents(path string, col *obs.Collector) {
+	w, done := outFile(path)
+	defer done()
+	if err := obs.WriteJSONL(w, col.Events()); err != nil {
+		fatal(err)
+	}
+	if err := obs.WriteDecisionsJSONL(w, col.Decisions()); err != nil {
+		fatal(err)
+	}
+}
+
+// writeChrome writes a Chrome trace-event timeline.
+func writeChrome(path string, col *obs.Collector) {
+	w, done := outFile(path)
+	defer done()
+	if err := obs.WriteChromeTrace(w, col.Events()); err != nil {
+		fatal(err)
+	}
+	if path != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (load in Perfetto or chrome://tracing)\n",
+			col.Len(), path)
+	}
+}
+
+// observeFleet runs the flagship fleet scenario with the observability
+// stack attached and emits the requested exports.
+func observeFleet(fleetJobs, fleetDevices int, fleetSeed uint64, jobs int, chrome, prom, events string) {
+	if chrome == "" && prom == "" && events == "" {
+		fmt.Fprintln(os.Stderr, "-fleet needs at least one export: -chrome, -prom or -events")
+		os.Exit(2)
+	}
+	col := obs.NewCollector()
+	met := obs.NewMetrics()
+	rep, err := bench.FleetObserved(
+		bench.Options{Quick: true, Jobs: jobs},
+		bench.FleetOptions{Jobs: fleetJobs, Devices: fleetDevices, Seed: fleetSeed},
+		col, met)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fleet: %d jobs on %d devices: %d completed, %d kills, %d preemptions\n",
+		rep.Jobs, rep.Devices, rep.Completed, rep.Kills, rep.Preemptions)
+	if chrome != "" {
+		writeChrome(chrome, col)
+	}
+	if prom != "" {
+		writeProm(prom, met)
+	}
+	if events != "" {
+		writeEvents(events, col)
+	}
+}
+
 // observe runs one profiled cell through the bench harness and emits the
 // requested observability outputs.
-func observe(cfg bench.RunConfig, chrome string, memprof bool, explain, spans string) {
+func observe(cfg bench.RunConfig, chrome string, memprof bool, explain, spans string, prom, events string) {
 	res := bench.Run(cfg)
 	if res.Profile == nil {
 		if res.Err != nil {
@@ -190,22 +298,13 @@ func observe(cfg bench.RunConfig, chrome string, memprof bool, explain, spans st
 	}
 
 	if chrome != "" {
-		w := os.Stdout
-		if chrome != "-" {
-			f, err := os.Create(chrome)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			w = f
-		}
-		if err := obs.WriteChromeTrace(w, p.Events.Events()); err != nil {
-			fatal(err)
-		}
-		if chrome != "-" {
-			fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (load in Perfetto or chrome://tracing)\n",
-				p.Events.Len(), chrome)
-		}
+		writeChrome(chrome, p.Events)
+	}
+	if prom != "" {
+		writeProm(prom, p.Metrics)
+	}
+	if events != "" {
+		writeEvents(events, p.Events)
 	}
 
 	if memprof {

@@ -6,6 +6,13 @@
 //
 //	capuchin-train -model resnet50 -batch 400 -system capuchin [-iters 8]
 //	               [-mode graph|eager] [-device p100|v100|t4] [-mem GiB]
+//	               [-prom out.prom] [-events out.jsonl]
+//
+// -prom writes the run's metrics registry (kernel/transfer/stall
+// histograms, swap and fault counters) in Prometheus text exposition
+// format; -events streams the event log and policy decision audit as
+// JSONL. Both attach the observability stack to the run, which is
+// outcome-neutral, and accept "-" for stdout.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"capuchin/internal/exec"
 	"capuchin/internal/hw"
 	"capuchin/internal/models"
+	"capuchin/internal/obs"
 )
 
 func main() {
@@ -30,6 +38,8 @@ func main() {
 	mem := flag.Int64("mem", 0, "override device memory in GiB")
 	showPlan := flag.Bool("plan", false, "dump Capuchin's per-tensor plan after the run")
 	savePlan := flag.String("save-plan", "", "write Capuchin's plan as JSON to this file after the run")
+	prom := flag.String("prom", "", "write the run's metrics in Prometheus text exposition format (\"-\" = stdout)")
+	events := flag.String("events", "", "stream the event and decision log as JSONL (\"-\" = stdout)")
 	flag.Parse()
 
 	var dev hw.DeviceSpec
@@ -59,6 +69,7 @@ func main() {
 		Device:     dev,
 		Mode:       m,
 		Iterations: *iters,
+		Profile:    *prom != "" || *events != "",
 	})
 	fmt.Printf("%s, batch %d, %s mode, %s (%.1f GiB)\n",
 		*model, *batch, m, dev.Name, float64(dev.MemoryBytes)/float64(hw.GiB))
@@ -104,5 +115,34 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("plan written to %s\n", *savePlan)
+	}
+	if *prom != "" {
+		export(*prom, func(w *os.File) error { return r.Profile.Metrics.WritePrometheus(w) })
+	}
+	if *events != "" {
+		export(*events, func(w *os.File) error {
+			if err := obs.WriteJSONL(w, r.Profile.Events.Events()); err != nil {
+				return err
+			}
+			return obs.WriteDecisionsJSONL(w, r.Profile.Events.Decisions())
+		})
+	}
+}
+
+// export writes one observability artifact to a path or stdout ("-").
+func export(path string, write func(*os.File) error) {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := write(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

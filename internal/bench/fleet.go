@@ -8,6 +8,7 @@ import (
 
 	"capuchin/internal/fleet"
 	"capuchin/internal/hw"
+	"capuchin/internal/obs"
 	"capuchin/internal/sim"
 )
 
@@ -162,6 +163,10 @@ func (fo FleetOptions) fill(quick bool) FleetOptions {
 // fully determined by (Options.Device, Options.Quick, FleetOptions) and
 // marshals to stable JSON — the BENCH_fleet.json contract.
 type FleetComparison struct {
+	// Meta is the run's provenance block. It is deterministic for a
+	// fixed checkout (no wall-clock unless explicitly stamped), so the
+	// artifact's byte-stability contract extends over it.
+	Meta    RunMeta        `json:"meta"`
 	Device  string         `json:"device"`
 	Jobs    int            `json:"jobs"`
 	Devices int            `json:"devices"`
@@ -177,13 +182,14 @@ func (fc FleetComparison) WriteJSON(w io.Writer) error {
 	return enc.Encode(fc)
 }
 
-// FleetScenarios profiles the menu on the real executor and runs the
-// three fleet scenarios over one identical seeded arrival stream.
-func FleetScenarios(o Options, fo FleetOptions) (FleetComparison, error) {
-	o = o.fill()
-	fo = fo.fill(o.Quick)
-	menu := fleetWorkloads(o.Quick)
-	prof := &ExecProfiler{Runner: o.Runner, Device: o.Device}
+// fleetSetup is the scenario assembly shared by FleetScenarios and
+// FleetObserved: profile the menu on the real executor (fanned out on
+// the runner) and tune the arrival rate to the profiled workloads so the
+// fleet is genuinely contended at any size — offered load ≈ 1.4×
+// capacity.
+func fleetSetup(o Options, fo FleetOptions) (menu []fleet.Workload, prof *ExecProfiler, mean sim.Time, err error) {
+	menu = fleetWorkloads(o.Quick)
+	prof = &ExecProfiler{Runner: o.Runner, Device: o.Device}
 
 	// Resolve the whole menu concurrently before the (serial) fleet
 	// runs: RunAll fans the warm/steady cells out on the runner.
@@ -196,24 +202,63 @@ func FleetScenarios(o Options, fo FleetOptions) (FleetComparison, error) {
 	}
 	o.Runner.RunAll(cfgs)
 
-	// Tune the arrival rate to the profiled workloads so the fleet is
-	// genuinely contended at any size: offered load ≈ 1.4× capacity.
 	var work float64 // mean job demand in byte-seconds
 	for _, w := range menu {
-		pr, err := prof.Profile(w)
-		if err != nil {
-			return FleetComparison{}, err
+		pr, perr := prof.Profile(w)
+		if perr != nil {
+			return nil, nil, 0, perr
 		}
 		work += float64(pr.SteadyPeak) * (70 * pr.IterTime).Seconds() // 70 = mean iters
 	}
 	work /= float64(len(menu))
 	fleetBytes := float64(fo.Devices) * float64(o.Device.MemoryBytes)
-	mean := sim.Time(work / fleetBytes / 1.4 * float64(sim.Second))
+	mean = sim.Time(work / fleetBytes / 1.4 * float64(sim.Second))
 	if mean < sim.Millisecond {
 		mean = sim.Millisecond
 	}
+	return menu, prof, mean, nil
+}
+
+// fleetConfig assembles one scenario's fleet.Config over the shared
+// setup.
+func fleetConfig(o Options, fo FleetOptions, menu []fleet.Workload, prof fleet.Profiler, mean sim.Time,
+	mode fleet.AdmissionMode, mgr fleet.Manager) fleet.Config {
+	return fleet.Config{
+		Seed:             fo.Seed,
+		Jobs:             fo.Jobs,
+		Devices:          fo.Devices,
+		DeviceMemory:     o.Device.MemoryBytes,
+		Admission:        mode,
+		Manager:          mgr,
+		Profiler:         prof,
+		Workloads:        menu,
+		MeanInterarrival: mean,
+		JitterFrac:       0.25,
+	}
+}
+
+// fleetMeta is the deterministic provenance block of a fleet artifact.
+func fleetMeta(o Options, fo FleetOptions) RunMeta {
+	return NewRunMeta("capuchin-bench -exp fleet", fo.Seed, o.Quick,
+		fmt.Sprintf("device=%s", o.Device.Name),
+		fmt.Sprintf("mem-gib=%d", o.Device.MemoryBytes/hw.GiB),
+		fmt.Sprintf("fleet-jobs=%d", fo.Jobs),
+		fmt.Sprintf("fleet-devices=%d", fo.Devices),
+		fmt.Sprintf("fleet-seed=%d", fo.Seed))
+}
+
+// FleetScenarios profiles the menu on the real executor and runs the
+// three fleet scenarios over one identical seeded arrival stream.
+func FleetScenarios(o Options, fo FleetOptions) (FleetComparison, error) {
+	o = o.fill()
+	fo = fo.fill(o.Quick)
+	menu, prof, mean, err := fleetSetup(o, fo)
+	if err != nil {
+		return FleetComparison{}, err
+	}
 
 	fc := FleetComparison{
+		Meta:    fleetMeta(o, fo),
 		Device:  fmt.Sprintf("%s @ %d GiB x%d", o.Device.Name, o.Device.MemoryBytes/hw.GiB, fo.Devices),
 		Jobs:    fo.Jobs,
 		Devices: fo.Devices,
@@ -230,18 +275,7 @@ func FleetScenarios(o Options, fo FleetOptions) (FleetComparison, error) {
 		{fleet.Predictive, fleet.ManagerNone},
 		{fleet.Predictive, fleet.ManagerCapuchin},
 	} {
-		f, err := fleet.New(fleet.Config{
-			Seed:             fo.Seed,
-			Jobs:             fo.Jobs,
-			Devices:          fo.Devices,
-			DeviceMemory:     o.Device.MemoryBytes,
-			Admission:        sc.mode,
-			Manager:          sc.mgr,
-			Profiler:         prof,
-			Workloads:        menu,
-			MeanInterarrival: mean,
-			JitterFrac:       0.25,
-		})
+		f, err := fleet.New(fleetConfig(o, fo, menu, prof, mean, sc.mode, sc.mgr))
 		if err != nil {
 			return FleetComparison{}, err
 		}
@@ -252,6 +286,29 @@ func FleetScenarios(o Options, fo FleetOptions) (FleetComparison, error) {
 		fc.Runs = append(fc.Runs, rep)
 	}
 	return fc, nil
+}
+
+// FleetObserved runs the flagship scenario — predictive admission with
+// Capuchin-managed jobs — over the same setup as FleetScenarios with the
+// full observability stack attached: tracer receives the fleet timeline
+// and decision audit, and met (when non-nil) a merge of the run's
+// registry. Tracing is outcome-neutral: the returned report is
+// byte-identical to the corresponding FleetScenarios run.
+func FleetObserved(o Options, fo FleetOptions, tracer obs.Tracer, met *obs.Metrics) (fleet.Report, error) {
+	o = o.fill()
+	fo = fo.fill(o.Quick)
+	menu, prof, mean, err := fleetSetup(o, fo)
+	if err != nil {
+		return fleet.Report{}, err
+	}
+	cfg := fleetConfig(o, fo, menu, prof, mean, fleet.Predictive, fleet.ManagerCapuchin)
+	cfg.Tracer = tracer
+	cfg.Metrics = met
+	f, err := fleet.New(cfg)
+	if err != nil {
+		return fleet.Report{}, err
+	}
+	return f.Run()
 }
 
 // Fleet runs the multi-tenant fleet experiment: a seeded stochastic

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"time"
+
+	"capuchin/internal/exec"
+	"capuchin/internal/fleet"
+)
+
+// The perf-regression gate. A checked-in BENCH_*.json artifact is a
+// baseline; the gate reproduces the run it describes and flags any
+// metric that moved past its tolerance in the bad direction. The fleet
+// simulator is fully deterministic, so a fresh run at the baseline's
+// parameters should match it almost exactly — the per-metric relative
+// tolerances exist to absorb intentional small algorithm shifts, and
+// the smoke `slack` multiplier loosens them further for CI (where the
+// point is catching gross regressions, not pinning every decimal).
+//
+// Tolerance policy: each metric carries a direction (higher- or
+// lower-better) and a relative tolerance; drift in the good direction
+// never fails the gate. The effective allowance is RelTol × slack of
+// the baseline value, plus a small absolute floor for near-zero
+// baselines.
+
+// metricSpec is one gated metric's direction and tolerance.
+type metricSpec struct {
+	name         string
+	higherBetter bool
+	relTol       float64 // allowed relative drift in the bad direction
+	absTol       float64 // absolute floor, for near-zero baselines
+	read         func(fleet.Report) float64
+}
+
+// fleetSpecs are the gated metrics of each fleet scenario.
+var fleetSpecs = []metricSpec{
+	{"completed", true, 0.02, 0.5, func(r fleet.Report) float64 { return float64(r.Completed) }},
+	{"killRatePct", false, 0.05, 0.5, func(r fleet.Report) float64 { return r.KillRatePct }},
+	{"utilizationPct", true, 0.03, 0.5, func(r fleet.Report) float64 { return r.UtilizationPct }},
+	{"goodputPct", true, 0.03, 0.5, func(r fleet.Report) float64 { return r.GoodputPct }},
+	{"p50JctMillis", false, 0.10, 1, func(r fleet.Report) float64 { return r.P50JCTMillis }},
+	{"p99JctMillis", false, 0.15, 1, func(r fleet.Report) float64 { return r.P99JCTMillis }},
+}
+
+// Regression is one metric that moved past tolerance in the bad
+// direction.
+type Regression struct {
+	Scenario string  `json:"scenario"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Fresh    float64 `json:"fresh"`
+	// Allowed is the absolute drift the tolerance permitted.
+	Allowed float64 `json:"allowed"`
+}
+
+// String implements fmt.Stringer.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s/%s: baseline %.2f -> fresh %.2f (allowed drift %.2f)",
+		r.Scenario, r.Metric, r.Baseline, r.Fresh, r.Allowed)
+}
+
+// CompareFleet diffs a fresh fleet comparison against a baseline. The
+// two must describe the same experiment (jobs, devices, seed, menu);
+// a mismatch is an error, not a regression — the gate cannot judge
+// different experiments against each other.
+func CompareFleet(base, fresh FleetComparison, slack float64) ([]Regression, error) {
+	if slack <= 0 {
+		slack = 1
+	}
+	if base.Jobs != fresh.Jobs || base.Devices != fresh.Devices || base.Seed != fresh.Seed {
+		return nil, fmt.Errorf("bench: baseline (%d jobs, %d devices, seed %d) and fresh run (%d, %d, %d) describe different experiments",
+			base.Jobs, base.Devices, base.Seed, fresh.Jobs, fresh.Devices, fresh.Seed)
+	}
+	if !reflect.DeepEqual(base.Menu, fresh.Menu) {
+		return nil, fmt.Errorf("bench: workload menu drifted: baseline %v, fresh %v", base.Menu, fresh.Menu)
+	}
+	if len(base.Runs) != len(fresh.Runs) {
+		return nil, fmt.Errorf("bench: %d baseline scenarios vs %d fresh", len(base.Runs), len(fresh.Runs))
+	}
+	var regs []Regression
+	for i, b := range base.Runs {
+		fr := fresh.Runs[i]
+		if b.Mode != fr.Mode || b.Manager != fr.Manager {
+			return nil, fmt.Errorf("bench: scenario %d is %s+%s in baseline but %s+%s fresh",
+				i, b.Mode, b.Manager, fr.Mode, fr.Manager)
+		}
+		scenario := b.Mode
+		if b.Manager != "none" {
+			scenario += "+" + b.Manager
+		}
+		for _, spec := range fleetSpecs {
+			bv, fv := spec.read(b), spec.read(fr)
+			allowed := math.Max(spec.relTol*slack*math.Abs(bv), spec.absTol*slack)
+			bad := fv < bv-allowed // higher-better: fresh fell too far
+			if !spec.higherBetter {
+				bad = fv > bv+allowed
+			}
+			if bad {
+				regs = append(regs, Regression{
+					Scenario: scenario, Metric: spec.name,
+					Baseline: bv, Fresh: fv, Allowed: allowed,
+				})
+			}
+		}
+	}
+	return regs, nil
+}
+
+// readFleetBaseline loads and validates a checked-in fleet artifact.
+func readFleetBaseline(path string) (FleetComparison, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return FleetComparison{}, err
+	}
+	var fc FleetComparison
+	if err := json.Unmarshal(b, &fc); err != nil {
+		return FleetComparison{}, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if err := fc.Meta.Validate(); err != nil {
+		return FleetComparison{}, fmt.Errorf("bench: %s has no provenance block: %w", path, err)
+	}
+	return fc, nil
+}
+
+// RegressFleet reproduces the fleet experiment a baseline artifact
+// describes — same jobs, devices, seed and quick mode, read from the
+// artifact itself — and diffs the fresh run against it.
+func RegressFleet(path string, o Options, slack float64) ([]Regression, error) {
+	base, err := readFleetBaseline(path)
+	if err != nil {
+		return nil, err
+	}
+	o.Quick = base.Meta.Quick
+	fresh, err := FleetScenarios(o, FleetOptions{
+		Jobs:    base.Jobs,
+		Devices: base.Devices,
+		Seed:    base.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return CompareFleet(base, fresh, slack)
+}
+
+// parallelRunnerBaseline is the shape of BENCH_parallel_runner.json the
+// gate reads; fields the gate ignores stay in the raw JSON.
+type parallelRunnerBaseline struct {
+	Meta   RunMeta `json:"meta"`
+	Matrix struct {
+		SerialNsPerOp   int64   `json:"serial_ns_per_op"`
+		ParallelNsPerOp int64   `json:"parallel_ns_per_op"`
+		Ratio           float64 `json:"parallel_vs_serial"`
+	} `json:"matrix_microbenchmark"`
+	Determinism struct {
+		Result string `json:"result"`
+	} `json:"determinism"`
+}
+
+// RegressParallelRunner gates the parallel experiment engine against
+// its checked-in baseline. Wall-clock numbers are host-dependent, so
+// the gate checks the two properties that must hold everywhere:
+//
+//   - determinism: an identical sweep at jobs=1 and jobs=4 produces
+//     equal results (the property the baseline's byte-identity row
+//     records);
+//   - sanity: the parallel path is not catastrophically slower than
+//     serial — the fresh serial/parallel wall-clock speedup stays above
+//     the baseline's recorded speedup divided by 4 × slack (loose by
+//     design: this is a smoke bound, not a timing benchmark).
+func RegressParallelRunner(path string, o Options, slack float64) ([]Regression, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base parallelRunnerBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if err := base.Meta.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s has no provenance block: %w", path, err)
+	}
+	if slack <= 0 {
+		slack = 1
+	}
+	o = o.fill()
+
+	cells := []RunConfig{
+		{Model: "alexnet", Batch: 64, System: SystemTF, Device: o.Device, Iterations: 2},
+		{Model: "alexnet", Batch: 128, System: SystemTF, Device: o.Device, Iterations: 2},
+		{Model: "mobilenetv2", Batch: 32, System: SystemTF, Device: o.Device, Iterations: 2},
+		{Model: "lstm", Batch: 4, System: SystemTF, Device: o.Device, Iterations: 2},
+	}
+	measure := func(jobs int) ([]exec.IterStats, time.Duration) {
+		r := NewRunner(jobs)
+		start := time.Now()
+		res := r.RunAll(cells)
+		wall := time.Since(start)
+		stats := make([]exec.IterStats, len(res))
+		for i, rr := range res {
+			stats[i] = rr.Steady
+		}
+		return stats, wall
+	}
+	serialStats, serialWall := measure(1)
+	parallelStats, parallelWall := measure(4)
+
+	var regs []Regression
+	if !reflect.DeepEqual(serialStats, parallelStats) {
+		regs = append(regs, Regression{
+			Scenario: "parallel-runner", Metric: "determinism",
+			Baseline: 1, Fresh: 0, Allowed: 0,
+		})
+	}
+	// The artifact's parallel_vs_serial is a speedup: serial time over
+	// parallel time, <1 when the pool only adds overhead (one core).
+	baseSpeedup := base.Matrix.Ratio
+	if baseSpeedup <= 0 && base.Matrix.ParallelNsPerOp > 0 {
+		baseSpeedup = float64(base.Matrix.SerialNsPerOp) / float64(base.Matrix.ParallelNsPerOp)
+	}
+	if baseSpeedup > 0 && parallelWall > 0 {
+		freshSpeedup := float64(serialWall) / float64(parallelWall)
+		if floor := baseSpeedup / (4 * slack); freshSpeedup < floor {
+			regs = append(regs, Regression{
+				Scenario: "parallel-runner", Metric: "parallel_vs_serial",
+				Baseline: baseSpeedup, Fresh: freshSpeedup, Allowed: floor,
+			})
+		}
+	}
+	return regs, nil
+}

@@ -9,6 +9,7 @@ import (
 	"capuchin/internal/exec"
 	"capuchin/internal/graph"
 	"capuchin/internal/hw"
+	"capuchin/internal/obs"
 	"capuchin/internal/ops"
 	"capuchin/internal/sim"
 	"capuchin/internal/tensor"
@@ -257,5 +258,58 @@ func TestMoreDevicesMoreComm(t *testing.T) {
 	if s2.AllReduceBytes != s4.AllReduceBytes {
 		t.Errorf("per-replica gradient bytes changed with N: %d vs %d",
 			s2.AllReduceBytes, s4.AllReduceBytes)
+	}
+}
+
+// TestSharedMetricsRegistry pins the Config.Metrics plumbing: replicas
+// aggregate into one shared obs.Metrics registry, the kernel histogram
+// scales with the replica count, and attaching the registry never
+// changes the simulation (metrics are observation, not participation).
+func TestSharedMetricsRegistry(t *testing.T) {
+	run := func(devices int, met *obs.Metrics) []IterStats {
+		c, err := New(Config{
+			Devices: devices,
+			Metrics: met,
+			Build: func(replica int) (*graph.Graph, error) {
+				return testCNN(t, 8, "fc_w"), nil
+			},
+			Exec: func(replica int, g *graph.Graph) (exec.Config, error) {
+				return exec.Config{Device: hw.P100().WithMemory(2 * hw.GiB)}, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := c.Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+
+	m1, m2 := obs.NewMetrics(), obs.NewMetrics()
+	plain := run(2, nil)
+	observed := run(2, m2)
+	if !reflect.DeepEqual(plain, observed) {
+		t.Error("attaching a metrics registry changed the cluster's statistics")
+	}
+	run(1, m1)
+
+	h1, ok1 := m1.Hist("kernel")
+	h2, ok2 := m2.Hist("kernel")
+	if !ok1 || !ok2 {
+		t.Fatal("no kernel histogram collected")
+	}
+	if h2.Count != 2*h1.Count {
+		t.Errorf("2-replica kernel count %d, want twice the 1-replica count %d", h2.Count, h1.Count)
+	}
+
+	// The shared registry renders for Prometheus like any other.
+	var buf strings.Builder
+	if err := m2.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "capuchin_kernel_seconds_count") {
+		t.Errorf("exposition missing kernel histogram:\n%s", buf.String())
 	}
 }

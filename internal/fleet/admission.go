@@ -53,6 +53,9 @@ func (f *Fleet) Run() (Report, error) {
 	if err := f.checkAccounting(); err != nil {
 		return Report{}, err
 	}
+	if f.cfg.Metrics != nil {
+		f.cfg.Metrics.Merge(f.met)
+	}
 	return f.buildReport(), nil
 }
 
@@ -72,6 +75,7 @@ func (f *Fleet) onArrive(j *Job) {
 
 // onProfiled moves a warmed-up job into the admission queue.
 func (f *Fleet) onProfiled(j *Job) {
+	f.emitJobSpan(j, schedGroup, "warmup", j.Arrival, "sandbox", j.Profile.WarmupPeak)
 	f.enqueue(j, fmt.Sprintf("warmup peak %d -> predicted %d", j.Profile.WarmupPeak, j.Predicted))
 	f.drainQueue()
 }
@@ -93,8 +97,8 @@ func (f *Fleet) enqueue(j *Job, reason string) {
 	}
 	for len(f.queued) > f.cfg.MaxQueue {
 		victim := f.queued[len(f.queued)-1]
-		f.queued = f.queued[:len(f.queued)-1]
-		f.rep.Shed++
+		f.queueRemove(victim)
+		f.met.Add(mShed, 1)
 		f.decide(victim, "shed", fmt.Sprintf("queue over %d", f.cfg.MaxQueue), -1, 0)
 		f.reject(victim, "shed: admission queue full")
 	}
@@ -262,6 +266,7 @@ func (f *Fleet) allocOn(di int, j *Job, need int64) bool {
 	j.alloc = append(j.alloc, a)
 	j.allocBytes += a.Size
 	f.classUsed[j.Class] += a.Size
+	f.emitDeviceMemory(di)
 	return true
 }
 
@@ -272,6 +277,8 @@ func (f *Fleet) startAttempt(j *Job, dev int, reserve int64) {
 	j.Device = dev
 	f.devs[dev].jobs[j.ID] = j
 	j.Admissions++
+	f.met.Add(mAdmissions, 1)
+	f.met.Observe(classed(hQueueWait, j.Class), f.now-j.queuedAt)
 	j.admitAt = f.now
 	j.startIters = j.DoneIters
 	j.peaked = false
@@ -298,6 +305,7 @@ func (f *Fleet) startAttempt(j *Job, dev int, reserve int64) {
 	if j.Cap > 0 {
 		action = "readmit-capped"
 	}
+	f.emitInstant(j, dev, "admission", action, fmt.Sprintf("attempt %d", j.Admissions), reserve)
 	f.decide(j, action, fmt.Sprintf("reserved %d on device %d (attempt %d)", reserve, dev, j.Admissions), dev, reserve)
 }
 
@@ -363,6 +371,7 @@ func (f *Fleet) onPeak(j *Job) {
 // managed slowdown, and completion is rescheduled.
 func (f *Fleet) absorbCap(j *Job, slowdown float64) {
 	f.checkpoint(j)
+	f.emitJobSpan(j, deviceGroup(j.Device), "running", j.admitAt, "absorb-cap", j.allocBytes)
 	j.Cap = j.allocBytes
 	j.Capped = true
 	j.gen++ // invalidate the old completion event
@@ -372,7 +381,8 @@ func (f *Fleet) absorbCap(j *Job, slowdown float64) {
 	remaining := j.Iters - j.DoneIters
 	j.completeAt = f.now + sim.Time(remaining)*j.effIter
 	f.q.push(j.completeAt, evComplete, j, j.gen)
-	f.rep.CapAbsorbs++
+	f.met.Add(mCapAbsorbs, 1)
+	f.emitInstant(j, j.Device, "admission", "absorb-cap", fmt.Sprintf("slowdown %.2fx", slowdown), j.Cap)
 	f.decide(j, "absorb-cap", fmt.Sprintf("cap %d (%.0f%% of peak), slowdown %.2fx", j.Cap, 100*float64(j.Cap)/float64(j.Actual), slowdown), j.Device, j.Cap)
 }
 
@@ -403,6 +413,9 @@ func (f *Fleet) releaseAllocs(j *Job) {
 		for _, a := range j.alloc {
 			memory.MustFree(pool, a)
 		}
+		if len(j.alloc) > 0 {
+			f.emitDeviceMemory(j.Device)
+		}
 	}
 	f.classUsed[j.Class] -= j.allocBytes
 	j.alloc = nil
@@ -425,9 +438,14 @@ func (f *Fleet) evict(j *Job) {
 // back off, and either requeue (optionally with a tighter Capuchin cap)
 // or reject when the kill budget is spent.
 func (f *Fleet) oomKill(j *Job, reason string) {
+	dev := j.Device
+	f.checkpoint(j)
+	f.emitJobSpan(j, deviceGroup(dev), "running", j.admitAt, "oom-kill", j.allocBytes)
+	f.emitInstant(j, dev, "oom", "oom-kill", reason, j.allocBytes)
 	f.evict(j)
 	j.Kills++
-	f.rep.Kills++
+	f.met.Add(mKills, 1)
+	f.met.Add(classed(mKills, j.Class), 1)
 	f.decide(j, "oom-kill", reason, -1, 0)
 	if j.Kills > f.cfg.MaxKills {
 		f.reject(j, fmt.Sprintf("killed %d times, budget %d", j.Kills, f.cfg.MaxKills))
@@ -443,7 +461,7 @@ func (f *Fleet) oomKill(j *Job, reason string) {
 		j.Cap = int64(float64(j.Actual) * ratio)
 	}
 	j.State = StateBackoff
-	f.rep.Requeues++
+	f.met.Add(mRequeues, 1)
 	f.q.push(f.now+sim.Backoff(f.cfg.BackoffBase, j.Kills-1), evRequeue, j, j.gen)
 }
 
@@ -522,9 +540,13 @@ func (f *Fleet) preemptOn(di int, j *Job, need int64) bool {
 		}
 		freed += v.allocBytes
 		freedByClass[v.Class] += v.allocBytes
+		f.checkpoint(v)
+		f.emitJobSpan(v, deviceGroup(di), "running", v.admitAt, "preempt", v.allocBytes)
+		f.emitInstant(v, di, "preempt", "preempt", fmt.Sprintf("displaced by %s job %d", j.Class, j.ID), v.allocBytes)
 		f.evict(v)
 		v.Preempted++
-		f.rep.Preemptions++
+		f.met.Add(mPreemptions, 1)
+		f.met.Add(classed(mPreemptions, v.Class), 1)
 		f.decide(v, "preempt", fmt.Sprintf("%s job %d displaces it on device %d", j.Class, j.ID, di), di, v.allocBytes)
 		f.queueInsert(v)
 	}
@@ -542,12 +564,16 @@ func (f *Fleet) onComplete(j *Job) {
 	// attempts of jobs that are eventually rejected are waste, however
 	// many iterations they checkpointed along the way.
 	f.goodput += j.workByteSec
+	f.emitJobSpan(j, deviceGroup(j.Device), "running", j.admitAt, "complete", j.allocBytes)
 	f.releaseAllocs(j)
 	delete(f.devs[j.Device].jobs, j.ID)
 	j.Device = -1
 	j.gen++
 	j.State = StateCompleted
 	j.Done = f.now
+	f.met.Add(mCompleted, 1)
+	f.met.Add(classed(mCompleted, j.Class), 1)
+	f.met.Observe(classed(hJCT, j.Class), j.Done-j.Arrival)
 	f.decide(j, "complete", fmt.Sprintf("%d iters, %d admissions, %d kills", j.Iters, j.Admissions, j.Kills), -1, 0)
 	f.drainQueue()
 }
@@ -556,7 +582,8 @@ func (f *Fleet) onComplete(j *Job) {
 func (f *Fleet) reject(j *Job, reason string) {
 	j.State = StateRejected
 	j.Done = f.now
-	f.rep.Rejected++
+	f.met.Add(mRejected, 1)
+	f.met.Add(classed(mRejected, j.Class), 1)
 	f.decide(j, "reject", reason, -1, 0)
 }
 

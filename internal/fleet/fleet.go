@@ -267,6 +267,7 @@ type Job struct {
 
 	// Per-attempt runtime state.
 	gen        int // attempt generation; stale events are dropped
+	queuedAt   sim.Time
 	admitAt    sim.Time
 	completeAt sim.Time
 	effIter    sim.Time
@@ -336,8 +337,19 @@ type Config struct {
 	// further kill and floored at the workload's MinCapRatio.
 	CapRetryRatio float64
 	// Tracer, when non-nil, receives an audit Decision for every
-	// admission-controller choice.
+	// admission-controller choice plus the fleet timeline: a span per
+	// job lifecycle phase, per-device memory counter tracks, a
+	// queue-depth gauge, and instants for admissions, preemptions and
+	// OOM kills. Tracing is outcome-neutral: a traced run's Report is
+	// byte-identical to an untraced one.
 	Tracer obs.Tracer
+	// Metrics, when non-nil, receives a merge of the run's metric
+	// registry (fleet/* counters, per-class queue-wait and JCT
+	// histograms) after Run drains. The fleet always accumulates into
+	// its own fresh registry — exposed via Fleet.Metrics — so a shared
+	// destination aggregates scenarios without polluting any one run's
+	// Report.
+	Metrics *obs.Metrics
 }
 
 // fill applies defaults and validates.
@@ -430,7 +442,9 @@ type Fleet struct {
 	usedIntegral float64 // ∫ Σ pool.Used dt
 	goodput      float64 // Σ byte·seconds of work owned by completed jobs
 
-	rep Report
+	// met is the run's metric registry: every Report counter is derived
+	// from it, and per-class queue-wait/JCT histograms accumulate here.
+	met *obs.Metrics
 }
 
 // New builds a fleet scenario: it samples the arrival stream, profiles
@@ -440,7 +454,7 @@ func New(cfg Config) (*Fleet, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &Fleet{cfg: cfg, q: newEventQueue()}
+	f := &Fleet{cfg: cfg, q: newEventQueue(), met: obs.NewMetrics()}
 
 	// Devices.
 	for i := 0; i < cfg.Devices; i++ {
@@ -498,6 +512,8 @@ func New(cfg Config) (*Fleet, error) {
 			j.Predicted = int64(float64(p.WarmupPeak) * (1 + cfg.SafetyMargin))
 		}
 		f.jobs = append(f.jobs, j)
+		f.met.Add(mJobs, 1)
+		f.met.Add(classed(mJobs, j.Class), 1)
 	}
 	return f, nil
 }
@@ -526,6 +542,7 @@ func (f *Fleet) Jobs() []*Job { return f.jobs }
 // higher class first, then earlier arrival, then lower ID.
 func (f *Fleet) queueInsert(j *Job) {
 	j.State = StateQueued
+	j.queuedAt = f.now
 	i := sort.Search(len(f.queued), func(i int) bool {
 		q := f.queued[i]
 		if q.Class != j.Class {
@@ -539,13 +556,17 @@ func (f *Fleet) queueInsert(j *Job) {
 	f.queued = append(f.queued, nil)
 	copy(f.queued[i+1:], f.queued[i:])
 	f.queued[i] = j
+	f.emitQueueDepth()
 }
 
-// queueRemove drops j from the admission queue.
+// queueRemove drops j from the admission queue, closing its queued span
+// on the scheduler timeline.
 func (f *Fleet) queueRemove(j *Job) {
 	for i, q := range f.queued {
 		if q == j {
 			f.queued = append(f.queued[:i], f.queued[i+1:]...)
+			f.emitJobSpan(j, schedGroup, "queued", j.queuedAt, "", 0)
+			f.emitQueueDepth()
 			return
 		}
 	}

@@ -60,33 +60,51 @@ type Report struct {
 	ByClass map[string]ClassStats `json:"byClass"`
 }
 
-// buildReport assembles the report after the event loop drains.
+// buildReport assembles the report after the event loop drains. Every
+// counter field is a derived view over the fleet's obs.Metrics registry
+// — the registry is the single source of truth, so the report, its
+// goldens and a Prometheus exposition of the same run can never
+// disagree. The JCT quantiles and the prediction-error mean stay exact
+// float computations over the job set (the registry's histograms store
+// bucketed upper bounds, which would coarsen the goldens), documented as
+// derived views over the same events the fleet/jct histograms observe.
 func (f *Fleet) buildReport() Report {
-	r := f.rep
-	r.Mode = f.cfg.Admission.String()
-	r.Manager = f.cfg.Manager.String()
-	r.Seed = f.cfg.Seed
-	r.Jobs = len(f.jobs)
-	r.Devices = len(f.devs)
+	r := Report{
+		Mode:        f.cfg.Admission.String(),
+		Manager:     f.cfg.Manager.String(),
+		Seed:        f.cfg.Seed,
+		Jobs:        len(f.jobs),
+		Devices:     len(f.devs),
+		Completed:   int(f.met.Counter(mCompleted)),
+		Rejected:    int(f.met.Counter(mRejected)),
+		Shed:        int(f.met.Counter(mShed)),
+		Admissions:  int(f.met.Counter(mAdmissions)),
+		Kills:       int(f.met.Counter(mKills)),
+		Preemptions: int(f.met.Counter(mPreemptions)),
+		Requeues:    int(f.met.Counter(mRequeues)),
+		CapAbsorbs:  int(f.met.Counter(mCapAbsorbs)),
+	}
 	r.ByClass = make(map[string]ClassStats, int(numClasses))
+	for c := Low; c < numClasses; c++ {
+		jobs := f.met.Counter(classed(mJobs, c))
+		if jobs == 0 {
+			continue
+		}
+		r.ByClass[c.String()] = ClassStats{
+			Jobs:      int(jobs),
+			Completed: int(f.met.Counter(classed(mCompleted, c))),
+			Rejected:  int(f.met.Counter(classed(mRejected, c))),
+			Preempted: int(f.met.Counter(classed(mPreemptions, c))),
+			Kills:     int(f.met.Counter(classed(mKills, c))),
+		}
+	}
 
 	var jcts []float64
 	var absErr, errN float64
 	for _, j := range f.jobs {
-		cs := r.ByClass[j.Class.String()]
-		cs.Jobs++
-		cs.Preempted += j.Preempted
-		cs.Kills += j.Kills
-		r.Admissions += j.Admissions
-		switch j.State {
-		case StateCompleted:
-			cs.Completed++
-			r.Completed++
+		if j.State == StateCompleted {
 			jcts = append(jcts, (j.Done - j.Arrival).Milliseconds())
-		case StateRejected:
-			cs.Rejected++
 		}
-		r.ByClass[j.Class.String()] = cs
 		if j.Predicted > 0 && j.Actual > 0 {
 			absErr += math.Abs(float64(j.Predicted-j.Actual)) / float64(j.Actual)
 			errN++

@@ -190,8 +190,16 @@ func spanArgs(ev Event) map[string]any {
 }
 
 // counterRecords renders the memory counter tracks for an event carrying
-// allocator samples, in the process of the event's group.
+// allocator samples, in the process of the event's group. Events in
+// category "gauge" are generic single-value counter tracks (the fleet
+// scheduler's queue depth, for example): the track is named by the event
+// and the value rides in Bytes. Executor events never use Cat "gauge",
+// so pre-fleet traces are unaffected.
 func counterRecords(ev Event, pid int) []chromeRecord {
+	if ev.Cat == "gauge" {
+		return []chromeRecord{{Name: ev.Name, Ph: "C", TS: usec(ev.Start), PID: pid, TID: 0,
+			Args: map[string]any{"value": ev.Bytes}}}
+	}
 	if ev.Used == 0 && ev.Free == 0 && ev.HostUsed == 0 {
 		return nil
 	}

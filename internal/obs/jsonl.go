@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONL encoding: one JSON object per line, suitable for tailing by an
+// external process (the planned capuchin-serve streams exactly these
+// records). Every record carries a "type" discriminator — "event" or
+// "decision" — so a single stream can interleave both logs. Encoding is
+// deterministic: fields appear in struct order, zero-valued optional
+// fields are omitted, and virtual times are integer nanoseconds.
+
+// jsonlEvent is the wire form of an Event.
+type jsonlEvent struct {
+	Type   string `json:"type"`
+	Kind   string `json:"kind"`
+	Cat    string `json:"cat,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Lane   string `json:"lane,omitempty"`
+	Group  string `json:"group,omitempty"`
+	Start  int64  `json:"start"`
+	End    int64  `json:"end,omitempty"`
+	Queued int64  `json:"queued,omitempty"`
+	Iter   int    `json:"iter,omitempty"`
+	Tensor string `json:"tensor,omitempty"`
+	Node   string `json:"node,omitempty"`
+	Bytes  int64  `json:"bytes,omitempty"`
+	Used   int64  `json:"used,omitempty"`
+	Free   int64  `json:"free,omitempty"`
+	Lrg    int64  `json:"largestFree,omitempty"`
+	Host   int64  `json:"hostUsed,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// jsonlDecision is the wire form of a Decision.
+type jsonlDecision struct {
+	Type         string  `json:"type"`
+	Iter         int     `json:"iter,omitempty"`
+	At           int64   `json:"at"`
+	Policy       string  `json:"policy,omitempty"`
+	Group        string  `json:"group,omitempty"`
+	Tensor       string  `json:"tensor,omitempty"`
+	Action       string  `json:"action"`
+	Class        string  `json:"class,omitempty"`
+	Reason       string  `json:"reason,omitempty"`
+	FreeTime     int64   `json:"freeTime,omitempty"`
+	MSPS         float64 `json:"msps,omitempty"`
+	BackAccess   int64   `json:"backAccess,omitempty"`
+	Candidates   int     `json:"candidates,omitempty"`
+	Bytes        int64   `json:"bytes,omitempty"`
+	CommSlowdown float64 `json:"commSlowdown,omitempty"`
+	CommUntil    int64   `json:"commUntil,omitempty"`
+}
+
+// kindName renders an EventKind for the wire.
+func kindName(k EventKind) string {
+	switch k {
+	case KindSpan:
+		return "span"
+	case KindInstant:
+		return "instant"
+	case KindCounter:
+		return "counter"
+	}
+	return "unknown"
+}
+
+func eventRecord(ev Event) jsonlEvent {
+	return jsonlEvent{
+		Type: "event", Kind: kindName(ev.Kind),
+		Cat: ev.Cat, Name: ev.Name, Lane: ev.Lane, Group: ev.Group,
+		Start: int64(ev.Start), End: int64(ev.End), Queued: int64(ev.Queued),
+		Iter: ev.Iter, Tensor: ev.Tensor, Node: ev.Node, Bytes: ev.Bytes,
+		Used: ev.Used, Free: ev.Free, Lrg: ev.LargestFree, Host: ev.HostUsed,
+		Detail: ev.Detail,
+	}
+}
+
+func decisionRecord(d Decision) jsonlDecision {
+	return jsonlDecision{
+		Type: "decision", Iter: d.Iter, At: int64(d.At),
+		Policy: d.Policy, Group: d.Group, Tensor: d.Tensor, Action: d.Action,
+		Class: d.Class, Reason: d.Reason,
+		FreeTime: int64(d.FreeTime), MSPS: d.MSPS, BackAccess: int64(d.BackAccess),
+		Candidates: d.Candidates, Bytes: d.Bytes,
+		CommSlowdown: d.CommSlowdown, CommUntil: int64(d.CommUntil),
+	}
+}
+
+// WriteJSONL streams events as JSON lines.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(eventRecord(ev)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDecisionsJSONL streams audit-log decisions as JSON lines.
+func WriteDecisionsJSONL(w io.Writer, decisions []Decision) error {
+	enc := json.NewEncoder(w)
+	for _, d := range decisions {
+		if err := enc.Encode(decisionRecord(d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONLTracer is a Tracer that streams every event and decision to w as
+// it is emitted, one JSON line each, instead of buffering them in
+// memory. Encoding errors are sticky: the first one is kept, later
+// emissions become no-ops, and Err reports it after the run — Emit and
+// Decide cannot return errors without the executor knowing tracing
+// exists.
+type JSONLTracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+var _ Tracer = (*JSONLTracer)(nil)
+
+// NewJSONLTracer returns a tracer streaming to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Tracer.
+func (t *JSONLTracer) Emit(ev Event) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = t.enc.Encode(eventRecord(ev))
+	}
+	t.mu.Unlock()
+}
+
+// Decide implements Tracer.
+func (t *JSONLTracer) Decide(d Decision) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = t.enc.Encode(decisionRecord(d))
+	}
+	t.mu.Unlock()
+}
+
+// Err reports the first encoding error, if any.
+func (t *JSONLTracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

@@ -52,7 +52,14 @@ func (h *Histogram) Observe(d sim.Time) {
 	h.Buckets[bucketFor(d)]++
 }
 
-// Merge adds another histogram's observations into h.
+// Merge adds another histogram's observations into h. Both sides always
+// share the same bucket layout — histBuckets and the exponential
+// microsecond edges are compile-time constants, so a "differing layout"
+// cannot be constructed — and Merge is therefore exact element-wise
+// addition: counts, sums and bucket occupancies add, Min/Max take the
+// extrema, and quantile upper bounds after a merge are identical to
+// observing both streams into one histogram. Pinned by
+// TestMergeEquivalence.
 func (h *Histogram) Merge(o *Histogram) {
 	if o.Count == 0 {
 		return
@@ -78,12 +85,28 @@ func (h *Histogram) Mean() sim.Time {
 	return h.Sum / sim.Time(h.Count)
 }
 
-// Quantile reports an upper bound for the p-quantile (0 < p <= 1) as the
-// exclusive upper edge of the bucket containing it; the true value lies
-// within a factor of two below.
+// Quantile reports an upper bound for the p-quantile as the exclusive
+// upper edge of the bucket containing it, clamped to the observed Max;
+// the true value lies within a factor of two below.
+//
+// Edge cases are defined so callers never special-case:
+//
+//   - an empty histogram returns 0 for every p;
+//   - p <= 0 returns Min and p >= 1 returns Max (exact);
+//   - a single-sample histogram returns that sample for every p,
+//     because the bucket upper edge clamps to Max == Min == the sample.
+//
+// The contract is pinned by TestHistogramQuantileContract's property
+// test in metrics_test.go.
 func (h *Histogram) Quantile(p float64) sim.Time {
 	if h.Count == 0 {
 		return 0
+	}
+	if p <= 0 {
+		return h.Min
+	}
+	if p >= 1 {
+		return h.Max
 	}
 	target := int64(p * float64(h.Count))
 	if target < 1 {
