@@ -3,9 +3,9 @@
 # parallel experiment engine touches + the chaos soak suite.
 GO ?= go
 
-.PHONY: check vet build test race soak bench goldens profile-smoke fuzz-smoke scale-smoke arena-smoke fleet-smoke regress-smoke
+.PHONY: check vet build test race soak bench goldens profile-smoke fuzz-smoke scale-smoke arena-smoke fleet-smoke regress-smoke perf-smoke hotpath-profiles
 
-check: vet build test race soak profile-smoke scale-smoke arena-smoke fleet-smoke regress-smoke
+check: vet build test race soak profile-smoke scale-smoke arena-smoke fleet-smoke regress-smoke perf-smoke
 
 vet:
 	$(GO) vet ./...
@@ -89,7 +89,7 @@ fleet-smoke:
 # observability exports must be byte-identical across -jobs values.
 regress-smoke:
 	$(GO) run ./cmd/capuchin-regress -slack 3
-	if $(GO) run ./cmd/capuchin-regress -slack 3 -runner '' \
+	if $(GO) run ./cmd/capuchin-regress -slack 3 -runner '' -hotpath '' \
 		-fleet internal/bench/testdata/fleet_regressed_baseline.json >/dev/null; then \
 		echo "regress-smoke: gate passed a degraded baseline"; exit 1; fi
 	$(GO) run ./cmd/capuchin-trace -fleet -fleet-jobs 60 -fleet-devices 4 \
@@ -100,6 +100,35 @@ regress-smoke:
 	cmp /tmp/capuchin-regress-a.jsonl /tmp/capuchin-regress-b.jsonl
 	rm -f /tmp/capuchin-regress-a.prom /tmp/capuchin-regress-b.prom \
 		/tmp/capuchin-regress-a.jsonl /tmp/capuchin-regress-b.jsonl
+
+# perf-smoke is the allocs/op gate: it runs the pinned BenchmarkHotPath*
+# suite across every hot-path package with -benchmem and fails when any
+# benchmark exceeds its checked-in budget
+# (internal/bench/testdata/alloc_budget.json). Like regress-smoke, the
+# gate is proven both ways on every run: the real budget must pass and
+# the deliberately regressed fixture must fail. Iteration counts are
+# fixed (-benchtime 300x) because the gated metric is allocs/op, which
+# is load-independent — wall-clock on a busy CI host is not.
+HOTPATH_PKGS = . ./internal/exec ./internal/memory ./internal/sim ./internal/fleet ./internal/obs
+perf-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkHotPath -benchmem -benchtime 300x \
+		$(HOTPATH_PKGS) | tee /tmp/capuchin-hotpath-bench.txt
+	$(GO) run ./cmd/capuchin-allocgate -budget internal/bench/testdata/alloc_budget.json \
+		/tmp/capuchin-hotpath-bench.txt
+	if $(GO) run ./cmd/capuchin-allocgate -budget internal/bench/testdata/alloc_budget_regressed.json \
+		/tmp/capuchin-hotpath-bench.txt >/dev/null; then \
+		echo "perf-smoke: alloc gate passed a degraded budget"; exit 1; fi
+	rm -f /tmp/capuchin-hotpath-bench.txt
+
+# hotpath-profiles collects pprof CPU and allocation profiles of the
+# flagship hot-path benchmark into hotpath_pprof/. CI runs this when
+# perf-smoke fails and uploads the directory as a workflow artifact, so
+# an alloc regression is diagnosable from the CI run alone.
+hotpath-profiles:
+	mkdir -p hotpath_pprof
+	$(GO) test -run '^$$' -bench 'BenchmarkHotPathIteration$$' -benchmem -benchtime 100x \
+		-cpuprofile hotpath_pprof/cpu.out -memprofile hotpath_pprof/mem.out \
+		-memprofilerate 1 . | tee hotpath_pprof/bench.txt
 
 # profile-smoke drives the observability stack end to end: the exporter
 # tests (golden Chrome trace, memory profile, audit log, metrics) plus a

@@ -338,3 +338,52 @@ func BenchmarkMeasuredIteration(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkHotPathIteration pins the flagship hot path: a guided
+// Capuchin training iteration on a warm session, the loop every sweep
+// and regression run re-executes. Steady state must not allocate — the
+// alloc gate (make perf-smoke) budgets this benchmark at zero.
+func BenchmarkHotPathIteration(b *testing.B) {
+	r := bench.Run(bench.RunConfig{
+		Model: "resnet50", Batch: 400, System: bench.SystemCapuchin,
+		Device: hw.P100(), Iterations: 3,
+	})
+	if !r.OK {
+		b.Fatal(r.Err)
+	}
+	s := r.Session
+	// Warm well past plan convergence: the allocator's fragmentation
+	// pattern (and with it the spare-chunk list) takes tens of guided
+	// iterations to reach its fixed point.
+	for i := 0; i < 64; i++ {
+		if _, err := s.RunIteration(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunIteration(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotPathMeasuredIteration covers the cold path the gate
+// tracks with a finite budget rather than zero: a full run including
+// graph build, session setup, and Capuchin's measured iteration. Its
+// allocation count may not silently explode, but it legitimately
+// allocates — which also makes it the benchmark the degraded budget
+// fixture zeroes out to prove the gate fires.
+func BenchmarkHotPathMeasuredIteration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := bench.Run(bench.RunConfig{
+			Model: "resnet50", Batch: 64, System: bench.SystemCapuchin,
+			Device: hw.P100(), Iterations: 1,
+		})
+		if !r.OK {
+			b.Fatal(r.Err)
+		}
+	}
+}

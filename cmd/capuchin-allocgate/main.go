@@ -1,0 +1,59 @@
+// Command capuchin-allocgate is the allocs/op half of the perf gate:
+// it parses `go test -bench -benchmem` output and fails when any
+// benchmark exceeds its checked-in allocation budget.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkHotPath -benchmem <pkgs> | \
+//	    capuchin-allocgate -budget internal/bench/testdata/alloc_budget.json -
+//
+// The positional argument is the bench output file, or "-" for stdin.
+// Every budgeted benchmark must appear in the output — a benchmark
+// that silently stopped running fails the gate rather than passing it.
+// Exits 0 when every budgeted benchmark is within budget, 1 when any
+// exceeds it, 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"capuchin/internal/bench"
+)
+
+func main() {
+	budgetPath := flag.String("budget", "internal/bench/testdata/alloc_budget.json", "alloc budget JSON")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: capuchin-allocgate [-budget FILE] <bench-output-file | ->")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if arg := flag.Arg(0); arg != "-" {
+		f, err := os.Open(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alloc gate: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	regs, err := bench.RegressAllocs(*budgetPath, in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alloc gate: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("alloc gate: %s: %d over budget\n", *budgetPath, len(regs))
+	if len(regs) > 0 {
+		fmt.Println()
+		for _, r := range regs {
+			fmt.Printf("REGRESSION %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("all hot-path benchmarks within alloc budget")
+}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	capuchin-regress [-fleet BENCH_fleet.json] [-runner BENCH_parallel_runner.json]
-//	                 [-slack N] [-jobs N]
+//	                 [-hotpath BENCH_hotpath.json] [-slack N] [-jobs N]
 //
 // Each baseline artifact carries a meta provenance block (tool, seed,
 // toolchain, semantic flags) that the gate validates and reads the
@@ -32,6 +32,7 @@ import (
 func main() {
 	fleetPath := flag.String("fleet", "BENCH_fleet.json", "fleet baseline artifact (\"\" = skip)")
 	runnerPath := flag.String("runner", "BENCH_parallel_runner.json", "parallel-runner baseline artifact (\"\" = skip)")
+	hotpathPath := flag.String("hotpath", "BENCH_hotpath.json", "hot-path baseline artifact (\"\" = skip)")
 	slack := flag.Float64("slack", 1, "tolerance multiplier (>1 loosens every gate)")
 	jobs := flag.Int("jobs", 0, "parallel worker count for the reproduction runs (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -41,8 +42,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *fleetPath == "" && *runnerPath == "" {
-		fmt.Fprintln(os.Stderr, "nothing to gate: both -fleet and -runner are empty")
+	if *fleetPath == "" && *runnerPath == "" && *hotpathPath == "" {
+		fmt.Fprintln(os.Stderr, "nothing to gate: -fleet, -runner and -hotpath are all empty")
 		os.Exit(2)
 	}
 	o := bench.Options{Jobs: *jobs}
@@ -65,6 +66,16 @@ func main() {
 		}
 		fmt.Printf("runner gate: %s: determinism + wall-clock ratio checked, %d regressed\n",
 			*runnerPath, len(r))
+		regs = append(regs, r...)
+	}
+	if *hotpathPath != "" {
+		r, err := bench.RegressHotpath(*hotpathPath, *slack)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hotpath gate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("hotpath gate: %s: speedup + alloc-budget consistency checked, %d regressed\n",
+			*hotpathPath, len(r))
 		regs = append(regs, r...)
 	}
 

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed line of `go test -bench -benchmem` output.
+type BenchResult struct {
+	// NsPerOp, BytesPerOp and AllocsPerOp mirror the benchmark columns.
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// ParseBenchOutput extracts benchmark results from `go test -bench
+// -benchmem` output, possibly spanning several packages. Results are
+// keyed "<import path>.<benchmark name>" using the surrounding "pkg:"
+// header lines, with the -N GOMAXPROCS suffix stripped from names so
+// keys are stable across -cpu settings. Lines that are not benchmark
+// results (headers, PASS/ok trailers) are ignored.
+func ParseBenchOutput(r io.Reader) (map[string]BenchResult, error) {
+	out := make(map[string]BenchResult)
+	var pkg string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// A result line is name, iteration count, then unit pairs
+		// ("... ns/op ... B/op ... allocs/op"). Anything else starting
+		// with "Benchmark" (e.g. a bare name echoed under -v) is not a
+		// result and is skipped.
+		if len(f) < 2 {
+			continue
+		}
+		if _, err := strconv.Atoi(f[1]); err != nil {
+			continue
+		}
+		name := trimCPUSuffix(f[0])
+		res := BenchResult{}
+		seen := 0
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: malformed benchmark line %q: %v", line, err)
+			}
+			switch f[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				seen++
+			case "B/op":
+				res.BytesPerOp = v
+				seen++
+			case "allocs/op":
+				res.AllocsPerOp = v
+				seen++
+			}
+		}
+		if seen < 3 {
+			return nil, fmt.Errorf("bench: line %q lacks -benchmem columns (got %d of 3)", line, seen)
+		}
+		key := name
+		if pkg != "" {
+			key = pkg + "." + name
+		}
+		out[key] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// trimCPUSuffix strips the trailing "-N" GOMAXPROCS marker go test
+// appends to benchmark names when N != 1.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// AllocBudget is the checked-in allocs/op ceiling for the pinned
+// hot-path benchmarks — the perf-smoke contract. Budgets key on
+// "<import path>.<benchmark name>"; a budget of 0 demands a
+// steady-state allocation-free loop.
+type AllocBudget struct {
+	// Meta is the provenance block recording how the budget values were
+	// established.
+	Meta RunMeta `json:"meta"`
+	// Budgets maps qualified benchmark names to the maximum allowed
+	// allocs/op.
+	Budgets map[string]float64 `json:"budgets"`
+}
+
+// ReadAllocBudget loads and validates a checked-in alloc budget.
+func ReadAllocBudget(path string) (AllocBudget, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return AllocBudget{}, err
+	}
+	var ab AllocBudget
+	if err := json.Unmarshal(b, &ab); err != nil {
+		return AllocBudget{}, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if err := ab.Meta.Validate(); err != nil {
+		return AllocBudget{}, fmt.Errorf("bench: %s has no provenance block: %w", path, err)
+	}
+	if len(ab.Budgets) == 0 {
+		return AllocBudget{}, fmt.Errorf("bench: %s budgets no benchmarks", path)
+	}
+	return ab, nil
+}
+
+// CheckAllocBudget gates parsed benchmark results against the budget.
+// Every budgeted benchmark must be present — a benchmark that silently
+// stopped running must fail the gate, not pass it — and report
+// allocs/op at or below its ceiling. Unbudgeted benchmarks in got are
+// ignored, so the suite can grow ahead of the budget.
+func CheckAllocBudget(budget AllocBudget, got map[string]BenchResult) ([]Regression, error) {
+	names := make([]string, 0, len(budget.Budgets))
+	for name := range budget.Budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regs []Regression
+	for _, name := range names {
+		res, ok := got[name]
+		if !ok {
+			return nil, fmt.Errorf("bench: budgeted benchmark %s missing from output", name)
+		}
+		if max := budget.Budgets[name]; res.AllocsPerOp > max {
+			regs = append(regs, Regression{
+				Scenario: name, Metric: "allocs/op",
+				Baseline: max, Fresh: res.AllocsPerOp, Allowed: max,
+			})
+		}
+	}
+	return regs, nil
+}
+
+// RegressAllocs is the one-call form the perf-smoke gate uses: parse
+// bench output from r and check it against the budget at path.
+func RegressAllocs(budgetPath string, r io.Reader) ([]Regression, error) {
+	budget, err := ReadAllocBudget(budgetPath)
+	if err != nil {
+		return nil, err
+	}
+	got, err := ParseBenchOutput(r)
+	if err != nil {
+		return nil, err
+	}
+	return CheckAllocBudget(budget, got)
+}

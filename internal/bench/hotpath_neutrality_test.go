@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"capuchin/internal/core"
+	"capuchin/internal/exec"
+	"capuchin/internal/graph"
+	"capuchin/internal/hw"
+	"capuchin/internal/obs"
+	"capuchin/internal/ops"
+	"capuchin/internal/tensor"
+	"capuchin/internal/testutil"
+	"capuchin/internal/trace"
+)
+
+// TestHotPathNeutrality is the zero-alloc hot-path work's correctness
+// pin: every optimization in the inner loop (ID interning, arena
+// allocation, pooled event queues, batched span recording, BFC chunk
+// reuse) must be invisible in every rendered artifact. The test runs
+// the quick experiment suite, the fleet scenario, and the arena
+// tournament, and compares tables, fleet JSON, Prometheus exposition,
+// and the Chrome trace byte-for-byte against checked-in goldens.
+//
+// The table comparisons deliberately bypass the -update flag: these
+// goldens predate the hot-path work, and drifting them is a behavior
+// change, never a refresh. (Intentional policy changes regenerate via
+// the TestGolden* tests and make goldens, which will move this pin
+// too.) The JSON and Prometheus goldens do honor -update — they were
+// introduced alongside this test.
+func TestHotPathNeutrality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite")
+	}
+	o := goldenOpts()
+
+	// Quick suite and arena tables against the pre-existing goldens.
+	pinTable(t, "fig1_quick", Fig1(o))
+	pinTable(t, "table2_quick", Table2(o))
+	pinTable(t, "arena_quick", Arena(o))
+
+	// Fleet: one scenario run yields both the table (pre-existing
+	// golden) and the JSON artifact bytes (golden introduced with this
+	// test; meta normalized because it embeds toolchain/git state).
+	fc, err := FleetScenarios(o, FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinTable(t, "fleet_quick", FleetTableFrom(fc))
+	fc.Meta = RunMeta{Tool: "neutrality-pin", GoVersion: "pinned"}
+	var fleetJSON bytes.Buffer
+	if err := fc.WriteJSON(&fleetJSON); err != nil {
+		t.Fatal(err)
+	}
+	pinBytes(t, filepath.Join("testdata", "fleet_quick_json.golden"), fleetJSON.Bytes(), *update)
+
+	// Observability: a memory-pressured residual CNN with the full
+	// stack attached — the same run internal/trace pins — must render
+	// the identical Chrome trace (pre-existing cross-package golden)
+	// and Prometheus exposition (golden introduced with this test).
+	col, met := runResidualObserved(t)
+	var chrome bytes.Buffer
+	if err := obs.WriteChromeTrace(&chrome, col.Events()); err != nil {
+		t.Fatal(err)
+	}
+	pinBytes(t, filepath.Join("..", "trace", "testdata", "chrome_trace.golden"), chrome.Bytes(), false)
+	var prom bytes.Buffer
+	if err := met.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	pinBytes(t, filepath.Join("testdata", "residual_prom.golden"), prom.Bytes(), *update)
+}
+
+// pinTable renders a table and demands byte-equality with the existing
+// golden — no update path.
+func pinTable(t *testing.T, name string, tbl *Table) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tbl.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pinBytes(t, filepath.Join("testdata", name+".golden"), buf.Bytes(), false)
+}
+
+// pinBytes compares got against the golden at path; when regen is true
+// it rewrites the golden instead (only the goldens introduced with this
+// test pass a true flag).
+func pinBytes(t *testing.T, path string, got []byte, regen bool) {
+	t.Helper()
+	if regen {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden: %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("%s drifted: hot-path neutrality violated (%d bytes, want %d)", path, len(got), len(want))
+	}
+}
+
+// runResidualObserved replays internal/trace's golden scenario: a
+// ResNet-ish graph with skip connections under memory pressure, with
+// Capuchin wrapped in a Recorder, a Collector, and a metrics registry.
+// It must stay in lockstep with runObserved in
+// internal/trace/chrome_golden_test.go — both pin the same golden.
+func runResidualObserved(t *testing.T) (*obs.Collector, *obs.Metrics) {
+	t.Helper()
+	b := graph.NewBuilder("residualcnn")
+	x := b.Input("data", tensor.Shape{8, 3, 64, 64}, tensor.Float32)
+	labels := b.Input("labels", tensor.Shape{8, 10}, tensor.Float32)
+	const width = 32
+	stemW := b.Variable("stem_w", tensor.Shape{width, 3, 3, 3})
+	h := b.Apply1("stem", ops.Conv2D{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, x, stemW)
+	for i := 0; i < 2; i++ {
+		short := h
+		w1 := b.Variable(fmt.Sprintf("res%d_w1", i), tensor.Shape{width, width, 3, 3})
+		h = b.Apply1(fmt.Sprintf("res%d_conv1", i), ops.Conv2D{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, h, w1)
+		h = b.Apply1(fmt.Sprintf("res%d_relu1", i), ops.ReLU{}, h)
+		w2 := b.Variable(fmt.Sprintf("res%d_w2", i), tensor.Shape{width, width, 3, 3})
+		h = b.Apply1(fmt.Sprintf("res%d_conv2", i), ops.Conv2D{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, h, w2)
+		h = b.Apply1(fmt.Sprintf("res%d_add", i), ops.Add{}, h, short)
+		h = b.Apply1(fmt.Sprintf("res%d_relu2", i), ops.ReLU{}, h)
+	}
+	h = b.Apply1("gap", ops.Pool{Kind: ops.AvgPoolKind}, h)
+	flat := b.Apply1("flatten", ops.Reshape{To: tensor.Shape{8, h.Shape.Elems() / 8}}, h)
+	fcW := b.Variable("fc_w", tensor.Shape{flat.Shape[1], 10})
+	logits := b.Apply1("fc", ops.MatMul{}, flat, fcW)
+	loss := b.Apply1("loss", ops.SoftmaxCrossEntropy{}, logits, labels)
+	g, err := b.Build(loss, graph.GraphModeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col := obs.NewCollector()
+	met := obs.NewMetrics()
+	rec := trace.NewRecorder(core.New(core.Options{}), func(acc exec.Access) bool {
+		return acc.Tensor.ID == "res0_relu1:0"
+	})
+	rec.Tracer = col
+	s, err := exec.NewSession(g, exec.Config{
+		Device:  testutil.Device(24 * hw.MiB),
+		Policy:  rec,
+		Tracer:  col,
+		Metrics: met,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	return col, met
+}

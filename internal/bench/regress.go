@@ -232,3 +232,99 @@ func RegressParallelRunner(path string, o Options, slack float64) ([]Regression,
 	}
 	return regs, nil
 }
+
+// hotpathBaseline is the shape of BENCH_hotpath.json the gate reads:
+// the before/after record of the zero-alloc hot-path work. Fields the
+// gate ignores stay in the raw JSON.
+type hotpathBaseline struct {
+	Meta        RunMeta `json:"meta"`
+	AllocBudget string  `json:"alloc_budget"`
+	Matrix      struct {
+		BeforeNsPerOp int64   `json:"before_ns_per_op"`
+		AfterNsPerOp  int64   `json:"after_ns_per_op"`
+		Speedup       float64 `json:"speedup"`
+	} `json:"matrix_serial"`
+	Steady struct {
+		BeforeAllocsPerOp float64 `json:"before_allocs_per_op"`
+		AfterAllocsPerOp  float64 `json:"after_allocs_per_op"`
+	} `json:"steady_iteration"`
+	Pprof struct {
+		CPUBefore   []json.RawMessage `json:"cpu_top10_before"`
+		CPUAfter    []json.RawMessage `json:"cpu_top10_after"`
+		AllocBefore []json.RawMessage `json:"alloc_space_top10_before"`
+		AllocAfter  []json.RawMessage `json:"alloc_space_top10_after"`
+	} `json:"pprof"`
+}
+
+// RegressHotpath gates the hot-path artifact's internal consistency.
+// Wall-clock allocs/op numbers are re-measured live by the perf-smoke
+// alloc gate; this gate checks the claims the artifact records — so a
+// budget loosened or an artifact edited out of sync with the checked-in
+// budget fails loudly:
+//
+//   - the recorded speedup must match before/after ns and stay >= 3x,
+//     the tentpole's floor;
+//   - the steady iteration's recorded allocs/op must be within the
+//     referenced alloc budget's ceiling for the flagship benchmark;
+//   - the before/after pprof top-10 lists must actually hold ten
+//     entries each — the artifact is the audit trail for the work.
+func RegressHotpath(path string, slack float64) ([]Regression, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base hotpathBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if err := base.Meta.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s has no provenance block: %w", path, err)
+	}
+	if slack <= 0 {
+		slack = 1
+	}
+
+	var regs []Regression
+	if base.Matrix.AfterNsPerOp <= 0 || base.Matrix.BeforeNsPerOp <= 0 {
+		return nil, fmt.Errorf("bench: %s records no matrix_serial before/after ns", path)
+	}
+	derived := float64(base.Matrix.BeforeNsPerOp) / float64(base.Matrix.AfterNsPerOp)
+	if d := derived - base.Matrix.Speedup; d < -0.02 || d > 0.02 {
+		return nil, fmt.Errorf("bench: %s speedup %.2f inconsistent with before/after ns (%.2f)",
+			path, base.Matrix.Speedup, derived)
+	}
+	if floor := 3.0 / slack; derived < floor {
+		regs = append(regs, Regression{
+			Scenario: "hotpath", Metric: "matrix_serial_speedup",
+			Baseline: 3, Fresh: derived, Allowed: floor,
+		})
+	}
+
+	budget, err := ReadAllocBudget(base.AllocBudget)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s references unreadable alloc budget: %w", path, err)
+	}
+	const flagship = "capuchin.BenchmarkHotPathIteration"
+	max, ok := budget.Budgets[flagship]
+	if !ok {
+		return nil, fmt.Errorf("bench: alloc budget %s does not cover %s", base.AllocBudget, flagship)
+	}
+	if base.Steady.AfterAllocsPerOp > max {
+		regs = append(regs, Regression{
+			Scenario: "hotpath", Metric: "steady_allocs_per_op",
+			Baseline: max, Fresh: base.Steady.AfterAllocsPerOp, Allowed: max,
+		})
+	}
+
+	for name, top := range map[string][]json.RawMessage{
+		"cpu_top10_before":         base.Pprof.CPUBefore,
+		"cpu_top10_after":          base.Pprof.CPUAfter,
+		"alloc_space_top10_before": base.Pprof.AllocBefore,
+		"alloc_space_top10_after":  base.Pprof.AllocAfter,
+	} {
+		if len(top) != 10 {
+			return nil, fmt.Errorf("bench: %s pprof.%s holds %d entries, want 10", path, name, len(top))
+		}
+	}
+	return regs, nil
+}

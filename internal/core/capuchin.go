@@ -73,8 +73,11 @@ type Capuchin struct {
 	// pendingPrefetch queues in-triggers that fired while device memory
 	// was too tight to prefetch into; they retry at subsequent accesses.
 	// Prefetching into the peak-memory region would force evictions of
-	// its own (§4.4), so issuing waits for headroom instead.
+	// its own (§4.4), so issuing waits for headroom instead. The queue
+	// pops by advancing pendingHead so the backing array is reused; it
+	// rewinds to the front whenever it drains.
 	pendingPrefetch []string
+	pendingHead     int
 	pendingSet      map[string]bool
 
 	// stalledAdjusts counts feedback-driven in-trigger moves (observable
@@ -140,7 +143,11 @@ func (c *Capuchin) OnAccess(acc exec.Access, env *exec.Env) {
 	if acc.Kind == exec.Dealloc {
 		return
 	}
-	c.bound[t.ID] = t
+	// Read-before-write: the tensor is almost always bound already, and a
+	// map read is markedly cheaper than re-assigning on every access.
+	if c.bound[t.ID] != t {
+		c.bound[t.ID] = t
+	}
 	k := key{t.ID, acc.Count}
 
 	// Feedback-driven adjustment: the back-access found its tensor still
@@ -222,21 +229,23 @@ func (c *Capuchin) prefetch(id string, env *exec.Env) {
 // first that still does not fit (preserving the back-access order the
 // trigger schedule established).
 func (c *Capuchin) drainPrefetches(env *exec.Env) {
-	for len(c.pendingPrefetch) > 0 {
-		id := c.pendingPrefetch[0]
+	for c.pendingHead < len(c.pendingPrefetch) {
+		id := c.pendingPrefetch[c.pendingHead]
 		t, ok := c.bound[id]
 		if !ok || t.Status != tensor.Out {
 			// Already brought in (on-demand at its back-access).
-			c.pendingPrefetch = c.pendingPrefetch[1:]
+			c.pendingHead++
 			delete(c.pendingSet, id)
 			continue
 		}
 		if !c.canPrefetch(c.plan.sizes[id], env) || !env.SwapInAsync(t) {
 			return
 		}
-		c.pendingPrefetch = c.pendingPrefetch[1:]
+		c.pendingHead++
 		delete(c.pendingSet, id)
 	}
+	c.pendingPrefetch = c.pendingPrefetch[:0]
+	c.pendingHead = 0
 }
 
 // advanceTrigger moves a swap plan's in-trigger earlier on the measured
@@ -278,8 +287,9 @@ func (c *Capuchin) OnOOM(need int64, env *exec.Env) ([]*tensor.Tensor, bool) {
 // EndIteration implements exec.Policy: after the final measured iteration
 // the Policy Maker builds the plan.
 func (c *Capuchin) EndIteration(iter int, env *exec.Env) {
-	c.pendingPrefetch = nil
-	c.pendingSet = make(map[string]bool)
+	c.pendingPrefetch = c.pendingPrefetch[:0]
+	c.pendingHead = 0
+	clear(c.pendingSet)
 	if !c.measuring {
 		return
 	}

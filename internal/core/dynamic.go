@@ -41,6 +41,7 @@ func (c *Capuchin) BeginSignature(sig string, env *exec.Env) bool {
 	c.sig = sig
 	c.bound = make(map[string]*tensor.Tensor)
 	c.pendingPrefetch = nil
+	c.pendingHead = 0
 	c.pendingSet = make(map[string]bool)
 	if p, ok := c.cache.get(sig); ok {
 		c.plan = p
@@ -82,6 +83,7 @@ func (c *Capuchin) InvalidatePlan(reason string, env *exec.Env) {
 	c.plan = nil
 	c.tk = newTracker()
 	c.pendingPrefetch = nil
+	c.pendingHead = 0
 	c.pendingSet = make(map[string]bool)
 	c.measuring = false
 	c.measureLeft = c.remeasureIters()

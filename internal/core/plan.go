@@ -80,12 +80,12 @@ func (p *plan) unregisterTrigger(sp *swapPlan) {
 	list := p.triggers[k]
 	for i, id := range list {
 		if id == sp.id {
+			// Keep the emptied slice in the map: feedback rebinding moves
+			// triggers every adjustment, and retaining capacity means a
+			// later re-bind to this access appends without allocating.
 			p.triggers[k] = append(list[:i], list[i+1:]...)
 			break
 		}
-	}
-	if len(p.triggers[k]) == 0 {
-		delete(p.triggers, k)
 	}
 }
 

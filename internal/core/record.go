@@ -7,6 +7,7 @@ package core
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"capuchin/internal/exec"
@@ -70,7 +71,12 @@ type seqEntry struct {
 // the measured iteration.
 type tracker struct {
 	records map[string]*record
-	seq     []seqEntry
+	// byIdx is a dense fast path into records keyed by Tensor.Idx for
+	// tensors from an indexed graph; observe runs per access during the
+	// measured iteration, and the string hash dominates it otherwise.
+	// The map stays authoritative — everything else reads records by ID.
+	byIdx []*record
+	seq   []seqEntry
 	// nodeStart records the first input-read time per node, to derive
 	// operation durations from the access stream.
 	nodeStart map[string]sim.Time
@@ -85,13 +91,31 @@ func newTracker() *tracker {
 	}
 }
 
-// observe ingests one access event from the measured execution.
-func (tk *tracker) observe(acc exec.Access) {
-	t := acc.Tensor
+// lookup returns the tensor's record, creating it on first sight.
+func (tk *tracker) lookup(t *tensor.Tensor) *record {
 	r, ok := tk.records[t.ID]
 	if !ok {
 		r = &record{t: t, id: t.ID, size: t.Bytes(), deallocAt: liveForever}
 		tk.records[t.ID] = r
+	}
+	return r
+}
+
+// observe ingests one access event from the measured execution.
+func (tk *tracker) observe(acc exec.Access) {
+	t := acc.Tensor
+	var r *record
+	if i := int(t.Idx); i >= 0 {
+		if i >= len(tk.byIdx) {
+			tk.byIdx = append(tk.byIdx, make([]*record, i+1-len(tk.byIdx))...)
+		}
+		r = tk.byIdx[i]
+		if r == nil || r.t != t {
+			r = tk.lookup(t)
+			tk.byIdx[i] = r
+		}
+	} else {
+		r = tk.lookup(t)
 	}
 	if acc.At > tk.endOfIteration {
 		tk.endOfIteration = acc.At
@@ -121,7 +145,18 @@ func (tk *tracker) observe(acc exec.Access) {
 // finish sorts the global sequence (already nearly sorted; produce events
 // share timestamps) and returns it.
 func (tk *tracker) finish() {
-	sort.SliceStable(tk.seq, func(i, j int) bool { return tk.seq[i].at < tk.seq[j].at })
+	// slices.SortStableFunc avoids sort.SliceStable's reflection-based
+	// swapper; stability makes the result identical either way.
+	slices.SortStableFunc(tk.seq, func(a, b seqEntry) int {
+		switch {
+		case a.at < b.at:
+			return -1
+		case a.at > b.at:
+			return 1
+		default:
+			return 0
+		}
+	})
 }
 
 // lifetime returns the interval during which the tensor holds device

@@ -117,7 +117,7 @@ func (e *Env) SwapOutAsync(t *tensor.Tensor) bool {
 		}
 		return false
 	}
-	if err := s.host.Reserve(t.ID, t.Bytes()); err != nil {
+	if err := s.host.ReserveIdx(int(t.Idx), t.ID, t.Bytes()); err != nil {
 		if s.tr != nil {
 			s.decide(obs.Decision{
 				Tensor: t.ID, Action: "swap-out-failed", Bytes: t.Bytes(),
@@ -137,15 +137,21 @@ func (e *Env) SwapOutAsync(t *tensor.Tensor) bool {
 			}
 		}
 	}
+	// The "swapout <id>" label is observable only through a tracer or span
+	// recording; the steady untraced path passes the bare kind.
+	label := "swapout"
+	if s.tr != nil || s.d2h.Recording() {
+		label = "swapout " + t.ID
+	}
 	dur := s.dev.D2H.DegradedTransferTime(t.Bytes(), s.linkSlowdown(sim.MaxTime(s.d2h.AvailableAt(), anchor)))
 	if s.inj.TransferFails(fault.D2H, t.ID) {
 		// Aborted DMA: the link is occupied to the abort point, the host
 		// reservation is rolled back and the tensor stays resident.
 		s.stats.TransferFaults++
-		failStart, failEnd := s.d2h.Run("swapout "+t.ID+" !fault", anchor, dur/2)
+		failStart, failEnd := s.d2h.Run(label+" !fault", anchor, dur/2)
 		if s.tr != nil {
 			s.tr.Emit(obs.Event{
-				Kind: obs.KindSpan, Cat: "transfer", Name: "swapout " + t.ID + " !fault",
+				Kind: obs.KindSpan, Cat: "transfer", Name: label + " !fault",
 				Lane: "d2h", Start: failStart, End: failEnd, Queued: s.actionAnchor,
 				Iter: s.iter, Tensor: t.ID, Bytes: t.Bytes(), Detail: "aborted",
 			})
@@ -158,12 +164,12 @@ func (e *Env) SwapOutAsync(t *tensor.Tensor) bool {
 		if s.met != nil {
 			s.met.Add("faults/transfer", 1)
 		}
-		if err := s.host.Release(t.ID); err != nil {
+		if err := s.host.ReleaseIdx(int(t.Idx), t.ID); err != nil {
 			s.defErr = invariant("swapout-async", t.ID, err)
 		}
 		return false
 	}
-	start, end := s.d2h.Run("swapout "+t.ID, anchor, dur)
+	start, end := s.d2h.Run(label, anchor, dur)
 	if err := t.TransitionTo(tensor.SwappingOut); err != nil {
 		s.defErr = invariant("swapout-async", t.ID, err)
 		return false
@@ -176,7 +182,7 @@ func (e *Env) SwapOutAsync(t *tensor.Tensor) bool {
 	}
 	if s.tr != nil {
 		s.tr.Emit(obs.Event{
-			Kind: obs.KindSpan, Cat: "transfer", Name: "swapout " + t.ID,
+			Kind: obs.KindSpan, Cat: "transfer", Name: label,
 			Lane: "d2h", Start: start, End: end, Queued: s.actionAnchor,
 			Iter: s.iter, Tensor: t.ID, Bytes: t.Bytes(),
 		})
@@ -229,8 +235,8 @@ func (e *Env) SwapInAsync(t *tensor.Tensor) bool {
 		}
 		return false
 	}
-	a, err := s.pool.Alloc(t.Bytes())
-	if err != nil {
+	a := s.pool.TryAlloc(t.Bytes())
+	if a == nil {
 		if s.tr != nil {
 			s.decide(obs.Decision{
 				Tensor: t.ID, Action: "prefetch-failed", Bytes: t.Bytes(),
@@ -250,15 +256,19 @@ func (e *Env) SwapInAsync(t *tensor.Tensor) bool {
 			}
 		}
 	}
+	label := "swapin"
+	if s.tr != nil || s.h2d.Recording() {
+		label = "swapin " + t.ID
+	}
 	dur := s.dev.H2D.DegradedTransferTime(t.Bytes(), s.linkSlowdown(sim.MaxTime(s.h2d.AvailableAt(), anchor)))
 	if s.inj.TransferFails(fault.H2D, t.ID) {
 		// Aborted prefetch DMA: occupy the link to the abort point and put
 		// the buffer back; the back-access fetches on demand or recomputes.
 		s.stats.TransferFaults++
-		failStart, failEnd := s.h2d.Run("swapin "+t.ID+" !fault", anchor, dur/2)
+		failStart, failEnd := s.h2d.Run(label+" !fault", anchor, dur/2)
 		if s.tr != nil {
 			s.tr.Emit(obs.Event{
-				Kind: obs.KindSpan, Cat: "transfer", Name: "swapin " + t.ID + " !fault",
+				Kind: obs.KindSpan, Cat: "transfer", Name: label + " !fault",
 				Lane: "h2d", Start: failStart, End: failEnd, Queued: s.actionAnchor,
 				Iter: s.iter, Tensor: t.ID, Bytes: t.Bytes(), Detail: "aborted",
 			})
@@ -279,14 +289,14 @@ func (e *Env) SwapInAsync(t *tensor.Tensor) bool {
 		s.defErr = invariant("swapin-async", t.ID, err)
 		return false
 	}
-	start, end := s.h2d.Run("swapin "+t.ID, anchor, dur)
-	s.swapInDone[t.ID] = end
+	start, end := s.h2d.Run(label, anchor, dur)
+	s.swapInSet(t, end)
 	s.stats.PrefetchCount++
 	s.stats.PrefetchBytes += t.Bytes()
 	if s.tr != nil {
 		s.memEvent("alloc", "prefetch", t.ID, t.Bytes(), s.actionAnchor)
 		s.tr.Emit(obs.Event{
-			Kind: obs.KindSpan, Cat: "transfer", Name: "swapin " + t.ID,
+			Kind: obs.KindSpan, Cat: "transfer", Name: label,
 			Lane: "h2d", Start: start, End: end, Queued: s.actionAnchor,
 			Iter: s.iter, Tensor: t.ID, Bytes: t.Bytes(),
 		})
@@ -311,14 +321,14 @@ func (e *Env) SwapInAsync(t *tensor.Tensor) bool {
 }
 
 // InflightSwapIns reports the number of swap-ins currently in flight.
-func (e *Env) InflightSwapIns() int { return len(e.s.swapInDone) }
+func (e *Env) InflightSwapIns() int { return len(e.s.swapInList) }
 
 // InflightSwapInBytes reports the device memory held by in-flight
 // swap-ins; these buffers are not evictable until the transfers land.
 func (e *Env) InflightSwapInBytes() int64 {
 	var total int64
-	for id := range e.s.swapInDone {
-		if t := e.s.g.Tensor(id); t != nil && t.Alloc != nil {
+	for _, i := range e.s.swapInList {
+		if t := e.s.tlist[i]; t.Alloc != nil {
 			total += t.Alloc.Size
 		}
 	}
@@ -374,7 +384,7 @@ func (e *Env) FallbackToRecompute(t *tensor.Tensor) bool {
 // pinned by the executing node. Online policies (h-DTR) filter their
 // candidate sets through this, so in-flight tensors are never chosen.
 func (e *Env) Evictable(t *tensor.Tensor) bool {
-	return t.Status == tensor.In && !t.Persistent && !e.s.pinned[t.ID]
+	return t.Status == tensor.In && !t.Persistent && !e.s.pinned[t.Idx]
 }
 
 // RecomputeSafe reports whether t may be released for lineage
@@ -392,17 +402,22 @@ func (e *Env) RecomputeSafe(t *tensor.Tensor) bool {
 // require evicting more than the shortfall; the executor's OOM loop calls
 // OnOOM again until allocation succeeds or no victims remain); an empty
 // result means nothing is evictable.
+//
+// The returned slice is a session-owned scratch buffer, valid until the
+// next LRUResidents call: OnOOM implementations hand it straight back to
+// the executor, which consumes it before asking again.
 func (e *Env) LRUResidents(need int64) []*tensor.Tensor {
 	s := e.s
-	var victims []*tensor.Tensor
+	victims := s.scVictims[:0]
 	var got int64
-	for el := s.lru.Front(); el != nil && got < need; el = el.Next() {
-		t := el.Value.(*tensor.Tensor)
-		if t.Status != tensor.In || t.Persistent || s.pinned[t.ID] {
+	for i := s.lruHead; i >= 0 && got < need; i = s.lruNext[i] {
+		t := s.tlist[i]
+		if t.Status != tensor.In || t.Persistent || s.pinned[i] {
 			continue
 		}
 		victims = append(victims, t)
 		got += t.Alloc.Size
 	}
+	s.scVictims = victims
 	return victims
 }

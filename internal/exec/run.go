@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 
@@ -26,45 +25,18 @@ const maxSpuriousAllocRetries = 4
 // RunIteration executes one training iteration and returns its statistics.
 // On out-of-memory failure the returned error matches ErrIterationOOM.
 func (s *Session) RunIteration() (IterStats, error) {
-	env := &Env{s: s}
+	env := &s.env
 	s.stats = IterStats{Iter: s.iter}
 	s.startTime = s.now()
 	s.penalty = 0
 	s.defErr = nil
 	s.gradEvents = s.gradEvents[:0]
 
-	// Per-iteration reference counts: one per scheduled use. The same
-	// pass records each tensor's final read position and the first
-	// in-place parameter update, which bound the swap→recompute fallback.
-	s.refs = make(map[string]int, len(s.g.Tensors()))
-	s.lastUse = make(map[string]int, len(s.g.Tensors()))
-	s.updateBarrier = len(s.g.Nodes)
-	for i, n := range s.g.Nodes {
-		if _, isUpdate := n.Op.(ops.ApplyGradient); isUpdate && i < s.updateBarrier {
-			s.updateBarrier = i
-		}
-		for _, in := range n.Inputs {
-			if !in.Persistent {
-				s.refs[in.ID]++
-				s.lastUse[in.ID] = i
-			}
-		}
-	}
-	// Eager tape retention: imperative execution holds every forward
-	// activation until backward completes (§2.2, §6.4.1).
-	s.retained = make(map[string]bool)
-	if s.cfg.Mode == EagerMode {
-		for _, n := range s.g.Nodes {
-			if n.Phase != graph.Forward {
-				continue
-			}
-			for _, out := range n.Outputs {
-				if !out.Persistent {
-					s.retained[out.ID] = true
-				}
-			}
-		}
-	}
+	// Per-iteration reference counts: one per scheduled use, restored from
+	// the static per-graph analysis computed once in initTables (final-read
+	// positions, the update barrier and eager-tape retention are static and
+	// need no per-iteration reset).
+	copy(s.refs, s.refsInit)
 
 	s.policy.BeginIteration(s.iter, env)
 	var runErr error
@@ -100,25 +72,6 @@ func (s *Session) Run(n int) ([]IterStats, error) {
 	return stats, nil
 }
 
-// pin marks tensors as untouchable by passive eviction, returning the IDs
-// newly pinned so the caller can unpin exactly those.
-func (s *Session) pin(ts ...*tensor.Tensor) []string {
-	var added []string
-	for _, t := range ts {
-		if !s.pinned[t.ID] {
-			s.pinned[t.ID] = true
-			added = append(added, t.ID)
-		}
-	}
-	return added
-}
-
-func (s *Session) unpin(ids []string) {
-	for _, id := range ids {
-		delete(s.pinned, id)
-	}
-}
-
 // runTransfer issues one logical PCIe transfer on st, retrying injected
 // DMA aborts with exponential virtual-time backoff. A failed attempt
 // occupies the link for half its duration (the abort point), then the next
@@ -126,7 +79,16 @@ func (s *Session) unpin(ids []string) {
 // on-demand swap-ins) go through here; proactive ones fail fast instead.
 // Returns the completion time of the successful attempt, or a
 // *TransferError after the retry budget is spent.
-func (s *Session) runTransfer(dir fault.Direction, st *sim.Stream, label, key string, bytes int64, earliest sim.Time) (sim.Time, error) {
+//
+// kind names the transfer class ("swapout", "ondemand", ...); the
+// human-readable "kind key" label is built only when a tracer or span
+// recording will actually observe it, so the steady untraced path never
+// concatenates strings.
+func (s *Session) runTransfer(dir fault.Direction, st *sim.Stream, kind, key string, bytes int64, earliest sim.Time) (sim.Time, error) {
+	label := kind
+	if s.tr != nil || st.Recording() {
+		label = kind + " " + key
+	}
 	link := s.dev.H2D
 	if dir == fault.D2H {
 		link = s.dev.D2H
@@ -220,9 +182,10 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 	}
 	s.stats.Nodes++
 
-	pinnedIDs := s.pin(n.Inputs...)
-	pinnedIDs = append(pinnedIDs, s.pin(n.Outputs...)...)
-	defer s.unpin(pinnedIDs)
+	pinBase := s.pinBase()
+	s.pinAll(n.Inputs)
+	s.pinAll(n.Outputs)
+	defer s.unpinTo(pinBase)
 
 	// vDNN-style coupled execution: wait for all outstanding swap-outs
 	// before issuing the next layer (§3.1, Fig. 1).
@@ -236,7 +199,11 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 	deps := issueAt
 	// Eager mode: the CPU dispatch stream serializes ahead of the kernel.
 	if s.cpu != nil {
-		cpuStart, cpuEnd := s.cpu.Run("dispatch "+n.ID, 0, s.dev.EagerDispatch)
+		label := "dispatch"
+		if s.tr != nil || s.cpu.Recording() {
+			label = "dispatch " + n.ID
+		}
+		cpuStart, cpuEnd := s.cpu.Run(label, 0, s.dev.EagerDispatch)
 		if s.tr != nil {
 			s.tr.Emit(obs.Event{
 				Kind: obs.KindSpan, Cat: "dispatch", Name: "dispatch " + n.ID,
@@ -248,20 +215,24 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 	dispatchReady := deps
 
 	// Materialize inputs, collecting per-input stall information for the
-	// policy's feedback loop.
-	stalls := make([]sim.Time, len(n.Inputs))
-	inflight := make([]bool, len(n.Inputs))
-	for i, in := range n.Inputs {
+	// policy's feedback loop. The collection buffers live on the session
+	// and are reused across nodes (executeNode never nests).
+	stalls := s.scStalls[:0]
+	inflight := s.scInflight[:0]
+	for _, in := range n.Inputs {
 		ready, wasInFlight, err := s.materialize(in, env)
 		if err != nil {
 			return err
 		}
+		var st sim.Time
 		if ready > issueAt {
-			stalls[i] = ready - issueAt
+			st = ready - issueAt
 		}
-		inflight[i] = wasInFlight
+		stalls = append(stalls, st)
+		inflight = append(inflight, wasInFlight)
 		deps = sim.MaxTime(deps, ready)
 	}
+	s.scStalls, s.scInflight = stalls, inflight
 
 	// Allocate outputs.
 	for _, out := range n.Outputs {
@@ -285,11 +256,7 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 	// cuDNN's workspace-limited algorithm selection (§2.1). Memory
 	// pressure silently degrades convolutions to slower algorithms — the
 	// VGG16 effect of §6.3.2.
-	inShapes := make([]tensor.Shape, len(n.Inputs))
-	for i, in := range n.Inputs {
-		inShapes[i] = in.Shape
-	}
-	algo, wsAlloc, err := s.chooseAlgorithm(n.Op, inShapes)
+	algo, wsAlloc, err := s.chooseAlgorithm(n)
 	if err != nil {
 		return err
 	}
@@ -323,13 +290,14 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 	}
 
 	// Produce fingerprints: the correctness oracle.
-	inFPs := make([]uint64, len(n.Inputs))
-	for i, in := range n.Inputs {
+	inFPs := s.scFPs[:0]
+	for _, in := range n.Inputs {
 		if in.Fingerprint == 0 {
 			return invariant("fingerprint", in.ID, fmt.Errorf("input consumed with empty fingerprint (residency bug)"))
 		}
-		inFPs[i] = in.Fingerprint
+		inFPs = append(inFPs, in.Fingerprint)
 	}
+	s.scFPs = inFPs
 	for i, out := range n.Outputs {
 		out.Fingerprint = tensor.ComputeFingerprint(n.ID, i, inFPs)
 	}
@@ -345,7 +313,7 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 	// Gradient schedule for the cluster's all-reduce planner: record when
 	// each gradient tensor materializes. Bookkeeping only.
 	for _, out := range n.Outputs {
-		if s.gradIDs[out.ID] {
+		if s.gradIDs[out.Idx] {
 			s.gradEvents = append(s.gradEvents, GradEvent{At: end, Bytes: out.Bytes()})
 		}
 	}
@@ -366,15 +334,15 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 		if in.Persistent {
 			continue
 		}
-		s.refs[in.ID]--
-		if s.refs[in.ID] == 0 && !s.retained[in.ID] {
+		s.refs[in.Idx]--
+		if s.refs[in.Idx] == 0 && !s.retained[in.Idx] {
 			if err := s.release(in, end, env); err != nil {
 				return err
 			}
 		}
 	}
 	for _, out := range n.Outputs {
-		if !out.Persistent && s.refs[out.ID] == 0 && !s.retained[out.ID] {
+		if !out.Persistent && s.refs[out.Idx] == 0 && !s.retained[out.Idx] {
 			if err := s.release(out, end, env); err != nil {
 				return err
 			}
@@ -392,9 +360,20 @@ func (s *Session) executeNode(n *graph.Node, env *Env) error {
 }
 
 // chooseAlgorithm picks the fastest algorithm whose workspace can be
-// allocated, falling back to the terminal zero-workspace variant.
-func (s *Session) chooseAlgorithm(op ops.Op, inShapes []tensor.Shape) (ops.Algorithm, *memory.Allocation, error) {
-	algos := op.Algorithms(s.dev, inShapes)
+// allocated, falling back to the terminal zero-workspace variant. The
+// candidate list is a pure function of the device and the node's input
+// shapes, both fixed for the session's lifetime, so it is computed once
+// per node position and served from algoCache afterwards.
+func (s *Session) chooseAlgorithm(n *graph.Node) (ops.Algorithm, *memory.Allocation, error) {
+	algos := s.algoCache[n.Pos]
+	if algos == nil {
+		inShapes := make([]tensor.Shape, len(n.Inputs))
+		for i, in := range n.Inputs {
+			inShapes[i] = in.Shape
+		}
+		algos = n.Op.Algorithms(s.dev, inShapes)
+		s.algoCache[n.Pos] = algos
+	}
 	for _, a := range algos {
 		if a.Workspace == 0 {
 			return a, nil, nil
@@ -402,8 +381,7 @@ func (s *Session) chooseAlgorithm(op ops.Op, inShapes []tensor.Shape) (ops.Algor
 		if err := s.applyDueFrees(s.now()); err != nil {
 			return ops.Algorithm{}, nil, err
 		}
-		ws, err := s.pool.Alloc(a.Workspace)
-		if err == nil {
+		if ws := s.pool.TryAlloc(a.Workspace); ws != nil {
 			if s.tr != nil {
 				s.memEvent("alloc", "workspace", "", a.Workspace, s.now())
 			}
@@ -442,8 +420,8 @@ func (s *Session) release(t *tensor.Tensor, at sim.Time, env *Env) error {
 			s.memEvent("free", "dead", t.ID, t.Bytes(), at)
 		}
 	case tensor.Out:
-		if s.host.Holds(t.ID) {
-			if err := s.host.Release(t.ID); err != nil {
+		if s.host.HoldsIdx(int(t.Idx)) {
+			if err := s.host.ReleaseIdx(int(t.Idx), t.ID); err != nil {
 				return invariant("release", t.ID, err)
 			}
 		}
@@ -496,8 +474,11 @@ func (s *Session) ensureOnDevice(t *tensor.Tensor, env *Env, countStats bool) (r
 		// its host copy covers the later re-access (§5.3).
 		return now, false, true, nil
 	case tensor.SwappingIn:
-		done := s.swapInDone[t.ID]
-		delete(s.swapInDone, t.ID)
+		var done sim.Time
+		if s.swapInOn[t.Idx] {
+			done = s.swapInAt[t.Idx]
+			s.swapInClear(t.Idx)
+		}
 		if err := s.landSwapIn(t, "finish-swapin"); err != nil {
 			return 0, false, true, err
 		}
@@ -522,7 +503,7 @@ func (s *Session) ensureOnDevice(t *tensor.Tensor, env *Env, countStats bool) (r
 		if s.met != nil {
 			s.met.Add("swap/ondemand", 1)
 		}
-		end, terr := s.runTransfer(fault.H2D, s.h2d, "ondemand "+t.ID, t.ID, t.Bytes(), s.now())
+		end, terr := s.runTransfer(fault.H2D, s.h2d, "ondemand", t.ID, t.Bytes(), s.now())
 		if terr != nil {
 			return s.abandonSwapIn(t, terr)
 		}
@@ -550,7 +531,7 @@ func (s *Session) abandonSwapIn(t *tensor.Tensor, terr error) (sim.Time, bool, b
 	if !s.fallbackSafe(t) {
 		return 0, false, true, fmt.Errorf("on-demand swap-in of %s: %w", t.ID, terr)
 	}
-	if err := s.host.Release(t.ID); err != nil {
+	if err := s.host.ReleaseIdx(int(t.Idx), t.ID); err != nil {
 		return 0, false, true, invariant("abandon-swapin", t.ID, err)
 	}
 	if err := t.TransitionTo(tensor.Recompute); err != nil {
@@ -575,15 +556,29 @@ func (s *Session) abandonSwapIn(t *tensor.Tensor, terr error) (sim.Time, bool, b
 // proceeds: each regenerated intermediate is kept while memory allows and
 // released otherwise, bounding the replay's own footprint.
 func (s *Session) recompute(t *tensor.Tensor, env *Env) (sim.Time, error) {
-	regenerated := make(map[*tensor.Tensor]bool)
-	return s.replay(t, env, regenerated, 0)
+	end, err := s.replay(t, env, 0)
+	// Clear the regenerated-set scratch for the next replay; the list
+	// bounds the sweep to tensors actually touched.
+	for _, i := range s.regenList {
+		s.regen[i] = false
+	}
+	s.regenList = s.regenList[:0]
+	return end, err
+}
+
+// markRegen adds t to the regenerated set of the replay in progress.
+func (s *Session) markRegen(t *tensor.Tensor) {
+	if !s.regen[t.Idx] {
+		s.regen[t.Idx] = true
+		s.regenList = append(s.regenList, t.Idx)
+	}
 }
 
 // replay recursively re-executes the producer of t. Replay accesses are
 // not reported to the policy and do not advance access counts: guided
 // execution keys its decisions on the access counts observed during
 // measured execution (§4.2).
-func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Tensor]bool, depth int) (sim.Time, error) {
+func (s *Session) replay(t *tensor.Tensor, env *Env, depth int) (sim.Time, error) {
 	if depth > maxReplayDepth {
 		return 0, fmt.Errorf("recompute of %s exceeds depth %d (lineage cycle?)", t.ID, maxReplayDepth)
 	}
@@ -598,9 +593,10 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 		return 0, fmt.Errorf("recompute of %s: multi-output producer %s", t.ID, node.ID)
 	}
 
-	pinnedIDs := s.pin(node.Inputs...)
-	pinnedIDs = append(pinnedIDs, s.pin(t)...)
-	defer s.unpin(pinnedIDs)
+	pinBase := s.pinBase()
+	s.pinAll(node.Inputs)
+	s.pinOne(t)
+	defer s.unpinTo(pinBase)
 
 	deps := s.now()
 	for _, in := range node.Inputs {
@@ -609,7 +605,7 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 			return 0, err
 		}
 		if !handled {
-			ready, err = s.replay(in, env, regenerated, depth+1)
+			ready, err = s.replay(in, env, depth+1)
 			if err != nil {
 				return 0, err
 			}
@@ -629,24 +625,32 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 		s.memEvent("alloc", "recompute", t.ID, t.Bytes(), s.now())
 	}
 
-	inShapes := make([]tensor.Shape, len(node.Inputs))
-	inFPs := make([]uint64, len(node.Inputs))
-	for i, in := range node.Inputs {
-		inShapes[i] = in.Shape
+	// Per-depth fingerprint scratch: inner replays at depth+1 run before
+	// this depth reads its buffer, so each depth owns its own.
+	for len(s.replayBufs) <= depth {
+		s.replayBufs = append(s.replayBufs, replayBuf{})
+	}
+	inFPs := s.replayBufs[depth].fps[:0]
+	for _, in := range node.Inputs {
 		if in.Fingerprint == 0 {
 			return 0, invariant("replay", in.ID, fmt.Errorf("recompute of %s reads input with empty fingerprint", t.ID))
 		}
-		inFPs[i] = in.Fingerprint
+		inFPs = append(inFPs, in.Fingerprint)
 	}
-	algo, wsAlloc, err := s.chooseAlgorithm(node.Op, inShapes)
+	s.replayBufs[depth].fps = inFPs
+	algo, wsAlloc, err := s.chooseAlgorithm(node)
 	if err != nil {
 		return 0, err
 	}
 	dur := s.spikeKernel(node.ID, algo.Duration)
-	rStart, end := s.compute.Run("recompute "+node.ID, deps, dur)
+	label := "recompute"
+	if s.tr != nil || s.compute.Recording() {
+		label = "recompute " + node.ID
+	}
+	rStart, end := s.compute.Run(label, deps, dur)
 	if s.tr != nil {
 		s.tr.Emit(obs.Event{
-			Kind: obs.KindSpan, Cat: "recompute", Name: "recompute " + node.ID,
+			Kind: obs.KindSpan, Cat: "recompute", Name: label,
 			Lane: "compute", Start: rStart, End: end, Iter: s.iter,
 			Node: node.ID, Tensor: t.ID,
 		})
@@ -666,33 +670,33 @@ func (s *Session) replay(t *tensor.Tensor, env *Env, regenerated map[*tensor.Ten
 	s.stats.RecomputeCount++
 	s.stats.RecomputeTime += dur
 	s.stats.RecomputeBytes += t.Bytes()
-	regenerated[t] = true
+	s.markRegen(t)
 
 	// Progressive collective-recomputation retention (§5.3): now that t
 	// exists, each input regenerated along the way is kept only if it
 	// will be used again and memory is plentiful; otherwise its memory is
 	// released immediately so deep replays cost O(1) extra space.
 	for _, in := range node.Inputs {
-		if !regenerated[in] || in == t {
+		if !s.regen[in.Idx] || in == t {
 			continue
 		}
 		if in.Status != tensor.In || in.Alloc == nil {
-			delete(regenerated, in) // claimed by a passive eviction
+			s.regen[in.Idx] = false // claimed by a passive eviction
 			continue
 		}
-		keep := s.cfg.CollectiveRecompute && s.refs[in.ID] > 0 &&
+		keep := s.cfg.CollectiveRecompute && s.refs[in.Idx] > 0 &&
 			s.pool.FreeBytes() >= s.cfg.RecomputeHeadroom+in.Alloc.Size
 		if keep {
 			continue
 		}
 		next := tensor.Freed
-		if s.refs[in.ID] > 0 {
+		if s.refs[in.Idx] > 0 {
 			next = tensor.Recompute
 		}
 		if err := s.freeDevice(in, next, "replay-release"); err != nil {
 			return 0, err
 		}
-		delete(regenerated, in)
+		s.regen[in.Idx] = false
 		if s.tr != nil {
 			s.memEvent("free", "replay-release", in.ID, in.Bytes(), s.now())
 		}
@@ -731,8 +735,8 @@ func (s *Session) allocate(size int64, env *Env) (*memory.Allocation, error) {
 			}
 			continue
 		}
-		a, err := s.pool.Alloc(size)
-		if err == nil {
+		a := s.pool.TryAlloc(size)
+		if a != nil {
 			if oomSeen || spurious > 0 {
 				s.stats.OOMRecoveries++
 				s.stats.RecoveryEvicts += evicts
@@ -775,7 +779,7 @@ func (s *Session) allocate(size int64, env *Env) (*memory.Allocation, error) {
 				return nil, derr
 			}
 			if !hok {
-				return nil, fmt.Errorf("allocating %d bytes: %w: %w", size, err, ErrIterationOOM)
+				return nil, fmt.Errorf("allocating %d bytes: %w: %w", size, memory.NewOOMError(s.pool, size), ErrIterationOOM)
 			}
 			if progress {
 				// A handler that claims progress without freeing anything
@@ -796,11 +800,11 @@ func (s *Session) allocate(size int64, env *Env) (*memory.Allocation, error) {
 			if progressed {
 				continue
 			}
-			return nil, fmt.Errorf("allocating %d bytes with no evictable tensors: %w: %w", size, err, ErrIterationOOM)
+			return nil, fmt.Errorf("allocating %d bytes with no evictable tensors: %w: %w", size, memory.NewOOMError(s.pool, size), ErrIterationOOM)
 		}
 		victims, ok := s.policy.OnOOM(size, env)
 		if !ok {
-			return nil, fmt.Errorf("allocating %d bytes: %w: %w", size, err, ErrIterationOOM)
+			return nil, fmt.Errorf("allocating %d bytes: %w: %w", size, memory.NewOOMError(s.pool, size), ErrIterationOOM)
 		}
 		if s.tr != nil {
 			s.decide(obs.Decision{
@@ -815,7 +819,7 @@ func (s *Session) allocate(size int64, env *Env) (*memory.Allocation, error) {
 		}
 		evicted := false
 		for _, v := range victims {
-			if v.Status != tensor.In || v.Persistent || s.pinned[v.ID] {
+			if v.Status != tensor.In || v.Persistent || s.pinned[v.Idx] {
 				continue
 			}
 			if everr := s.passiveEvict(v); everr != nil {
@@ -851,7 +855,7 @@ func (s *Session) allocate(size int64, env *Env) (*memory.Allocation, error) {
 			if progressed {
 				continue
 			}
-			return nil, fmt.Errorf("allocating %d bytes with no evictable tensors: %w: %w", size, err, ErrIterationOOM)
+			return nil, fmt.Errorf("allocating %d bytes with no evictable tensors: %w: %w", size, memory.NewOOMError(s.pool, size), ErrIterationOOM)
 		}
 	}
 }
@@ -862,7 +866,7 @@ func (s *Session) allocate(size int64, env *Env) (*memory.Allocation, error) {
 // observe modified weights (recompute-after-update would produce
 // different values than the preserved host copy).
 func (s *Session) fallbackSafe(t *tensor.Tensor) bool {
-	return !t.Persistent && s.g.Producer(t) != nil && s.lastUse[t.ID] < s.updateBarrier
+	return !t.Persistent && s.g.Producer(t) != nil && int(s.lastUse[t.Idx]) < s.updateBarrier
 }
 
 // recomputeFallback abandons the swap path for a resident victim and
@@ -894,19 +898,22 @@ func (s *Session) recomputeFallback(v *tensor.Tensor) (bool, error) {
 // finishes and marks its tensor resident (and therefore evictable).
 // Returns false when no swap-in is in flight.
 func (s *Session) completeEarliestSwapIn() (bool, error) {
-	var bestID string
+	best := int32(-1)
 	var bestAt sim.Time
-	for id, at := range s.swapInDone {
-		if bestID == "" || at < bestAt || (at == bestAt && id < bestID) {
-			bestID, bestAt = id, at
+	for _, i := range s.swapInList {
+		at := s.swapInAt[i]
+		// Tie-break on tensor ID, matching the historical map scan's
+		// deterministic order.
+		if best < 0 || at < bestAt || (at == bestAt && s.tlist[i].ID < s.tlist[best].ID) {
+			best, bestAt = i, at
 		}
 	}
-	if bestID == "" {
+	if best < 0 {
 		return false, nil
 	}
-	t := s.g.Tensor(bestID)
-	delete(s.swapInDone, bestID)
-	if t == nil || t.Status != tensor.SwappingIn {
+	t := s.tlist[best]
+	s.swapInClear(best)
+	if t.Status != tensor.SwappingIn {
 		return true, nil // state moved on; let the caller retry
 	}
 	s.stallTo(bestAt, "oom-wait-swapin")
@@ -931,12 +938,12 @@ func (s *Session) passiveEvict(v *tensor.Tensor) error {
 		}
 		return fmt.Errorf("host reservation for %s: %w", v.ID, fault.ErrInjected)
 	}
-	if err := s.host.Reserve(v.ID, v.Bytes()); err != nil {
+	if err := s.host.ReserveIdx(int(v.Idx), v.ID, v.Bytes()); err != nil {
 		return err
 	}
-	end, terr := s.runTransfer(fault.D2H, s.d2h, "passive "+v.ID, v.ID, v.Bytes(), s.now())
+	end, terr := s.runTransfer(fault.D2H, s.d2h, "passive", v.ID, v.Bytes(), s.now())
 	if terr != nil {
-		if err := s.host.Release(v.ID); err != nil {
+		if err := s.host.ReleaseIdx(int(v.Idx), v.ID); err != nil {
 			return invariant("passive-evict", v.ID, err)
 		}
 		return terr
@@ -1046,18 +1053,17 @@ func (s *Session) endIteration(env *Env) error {
 					s.memEvent("free", "end-iter", t.ID, t.Bytes(), s.now())
 				}
 			}
-			if s.host.Holds(t.ID) {
-				if err := s.host.Release(t.ID); err != nil && firstErr == nil {
+			if s.host.HoldsIdx(int(t.Idx)) {
+				if err := s.host.ReleaseIdx(int(t.Idx), t.ID); err != nil && firstErr == nil {
 					firstErr = invariant("end-iteration", t.ID, err)
 				}
 			}
 			t.ResetIteration()
 		}
 	}
-	s.lru.Init()
-	s.lruPos = make(map[string]*list.Element)
-	s.swapInDone = make(map[string]sim.Time)
-	s.pinned = make(map[string]bool)
+	s.resetLRU()
+	s.clearSwapIns()
+	s.unpinTo(0)
 	if firstErr == nil && s.defErr != nil {
 		firstErr = s.defErr
 		s.defErr = nil

@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"container/list"
 	"fmt"
 
 	"capuchin/internal/fault"
@@ -101,29 +100,69 @@ type Session struct {
 	// pendingFrees holds device memory releases that complete in the
 	// future (swap-outs in flight), keyed by tensor ID.
 	pendingFrees sim.PendingSet
-	// swapInDone maps tensor ID -> completion time of an in-flight
-	// prefetch or on-demand swap-in.
-	swapInDone map[string]sim.Time
 
-	// refs counts remaining scheduled uses of each tensor this iteration.
-	refs map[string]int
-	// lastUse maps tensor ID -> schedule index of its final read this
-	// iteration; updateBarrier is the index of the first in-place
-	// parameter update. Together they bound which tensors may be degraded
-	// from swapping to recomputation: a replay after a parameter update
-	// would read modified weights and change the computed values.
-	lastUse       map[string]int
+	// Hot-path session state is interned: every per-tensor table below is
+	// a dense slice keyed by tensor.Idx (assigned by the graph reindex),
+	// so the steady-state inner loop never hashes a tensor ID string.
+	// tlist mirrors g.TensorList() and translates Idx back to the tensor.
+	tlist []*tensor.Tensor
+
+	// swapInAt/swapInOn track the completion time of in-flight prefetches
+	// and on-demand swap-ins; swapInList holds the active indices so
+	// clearing is O(in-flight), not O(tensors).
+	swapInAt   []sim.Time
+	swapInOn   []bool
+	swapInList []int32
+
+	// refsInit counts scheduled uses per tensor (static per graph); refs
+	// is the per-iteration working copy, restored by copy() each
+	// iteration. lastUse holds the schedule index of each tensor's final
+	// read (-1 when never read); updateBarrier is the index of the first
+	// in-place parameter update. Together they bound which tensors may be
+	// degraded from swapping to recomputation: a replay after a parameter
+	// update would read modified weights and change the computed values.
+	refsInit      []int32
+	refs          []int32
+	lastUse       []int32
 	updateBarrier int
-	// retained marks tensors pinned by the eager tape until iteration end.
-	retained map[string]bool
+	// retained marks tensors pinned by the eager tape until iteration end
+	// (static per graph: the tape retains every forward activation).
+	retained []bool
+
 	// lru orders resident tensors by last access for passive eviction
 	// (the paper scans the tensor access list from the beginning, §5.2).
-	lru    *list.List
-	lruPos map[string]*list.Element
+	// It is an intrusive doubly-linked list over index arrays: lruPrev and
+	// lruNext chain tensor indices, -1 terminates, and inLRU marks
+	// membership. No nodes are allocated in steady state.
+	lruPrev, lruNext []int32
+	lruHead, lruTail int32
+	lruLen           int
+	inLRU            []bool
 
 	// pinned marks tensors that the currently executing node reads or
 	// writes; they must not be chosen as passive-eviction victims.
-	pinned map[string]bool
+	// pinStack records pin order so nested scopes (executeNode, recursive
+	// replay) unwind by truncating to a saved depth — no per-node slice.
+	pinned   []bool
+	pinStack []int32
+
+	// Reusable scratch buffers for executeNode's per-input loops and
+	// replay's per-depth state; see their use sites for ownership rules.
+	scStalls   []sim.Time
+	scInflight []bool
+	scFPs      []uint64
+	scVictims  []*tensor.Tensor
+	replayBufs []replayBuf
+	regen      []bool
+	regenList  []int32
+
+	// algoCache memoizes op.Algorithms per node position: the device and
+	// every input shape are fixed for a session's lifetime, so the
+	// candidate list is computed once per node.
+	algoCache [][]ops.Algorithm
+
+	// env is the policy-facing view, allocated once per session.
+	env Env
 
 	// actionAnchor is the virtual time at which policy-triggered
 	// asynchronous actions start (the current access's effect point).
@@ -150,7 +189,7 @@ type Session struct {
 	// gradEvents records their production times each iteration for the
 	// cluster's all-reduce schedule. Pure bookkeeping: neither perturbs
 	// any virtual-time outcome.
-	gradIDs    map[string]bool
+	gradIDs    []bool
 	gradEvents []GradEvent
 
 	iter      int
@@ -158,6 +197,11 @@ type Session struct {
 	trackCost sim.Time
 	startTime sim.Time
 	failed    bool
+}
+
+// replayBuf is the per-recursion-depth scratch state of a lineage replay.
+type replayBuf struct {
+	fps []uint64
 }
 
 // NewSession prepares a session: builds the allocator, pre-allocates
@@ -185,28 +229,26 @@ func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
 	default:
 		return nil, fmt.Errorf("exec: unknown allocator %q", cfg.Allocator)
 	}
+	g.EnsureIndexed()
 	s := &Session{
-		cfg:        cfg,
-		g:          g,
-		dev:        cfg.Device,
-		policy:     cfg.Policy,
-		pool:       pool,
-		host:       memory.NewHostArena(cfg.HostMemory),
-		compute:    sim.NewStream("compute"),
-		h2d:        sim.NewStream("h2d"),
-		d2h:        sim.NewStream("d2h"),
-		swapInDone: make(map[string]sim.Time),
-		lru:        list.New(),
-		lruPos:     make(map[string]*list.Element),
-		pinned:     make(map[string]bool),
-		inj:        fault.NewInjector(cfg.Faults),
-		tr:         cfg.Tracer,
-		met:        cfg.Metrics,
-		gradIDs:    make(map[string]bool),
+		cfg:     cfg,
+		g:       g,
+		dev:     cfg.Device,
+		policy:  cfg.Policy,
+		pool:    pool,
+		host:    memory.NewHostArena(cfg.HostMemory),
+		compute: sim.NewStream("compute"),
+		h2d:     sim.NewStream("h2d"),
+		d2h:     sim.NewStream("d2h"),
+		inj:     fault.NewInjector(cfg.Faults),
+		tr:      cfg.Tracer,
+		met:     cfg.Metrics,
 	}
+	s.env = Env{s: s}
+	s.initTables()
 	for _, n := range g.Nodes {
 		if _, isUpdate := n.Op.(ops.ApplyGradient); isUpdate && len(n.Inputs) > 1 {
-			s.gradIDs[n.Inputs[1].ID] = true
+			s.gradIDs[n.Inputs[1].Idx] = true
 		}
 	}
 	if cfg.Mode == EagerMode {
@@ -244,6 +286,57 @@ func NewSession(g *graph.Graph, cfg Config) (*Session, error) {
 	return s, nil
 }
 
+// initTables sizes the interned per-tensor tables and computes the static
+// schedule analysis: reference counts, final-read positions, the update
+// barrier, eager-tape retention and the gradient-tensor marks. All of it
+// is a pure function of the (immutable) graph, so it runs once per
+// session instead of once per iteration.
+func (s *Session) initTables() {
+	s.tlist = s.g.TensorList()
+	nt := len(s.tlist)
+	s.refsInit = make([]int32, nt)
+	s.refs = make([]int32, nt)
+	s.lastUse = make([]int32, nt)
+	s.retained = make([]bool, nt)
+	s.gradIDs = make([]bool, nt)
+	s.swapInAt = make([]sim.Time, nt)
+	s.swapInOn = make([]bool, nt)
+	s.lruPrev = make([]int32, nt)
+	s.lruNext = make([]int32, nt)
+	s.inLRU = make([]bool, nt)
+	s.pinned = make([]bool, nt)
+	s.regen = make([]bool, nt)
+	s.algoCache = make([][]ops.Algorithm, len(s.g.Nodes))
+	s.lruHead, s.lruTail = -1, -1
+
+	s.updateBarrier = len(s.g.Nodes)
+	for i, n := range s.g.Nodes {
+		if _, isUpdate := n.Op.(ops.ApplyGradient); isUpdate && i < s.updateBarrier {
+			s.updateBarrier = i
+		}
+		for _, in := range n.Inputs {
+			if !in.Persistent {
+				s.refsInit[in.Idx]++
+				s.lastUse[in.Idx] = int32(i)
+			}
+		}
+	}
+	// Eager tape retention: imperative execution holds every forward
+	// activation until backward completes (§2.2, §6.4.1).
+	if s.cfg.Mode == EagerMode {
+		for _, n := range s.g.Nodes {
+			if n.Phase != graph.Forward {
+				continue
+			}
+			for _, out := range n.Outputs {
+				if !out.Persistent {
+					s.retained[out.Idx] = true
+				}
+			}
+		}
+	}
+}
+
 // Graph returns the session's graph.
 func (s *Session) Graph() *graph.Graph { return s.g }
 
@@ -273,19 +366,124 @@ func (s *Session) now() sim.Time { return s.compute.AvailableAt() }
 
 // touchLRU moves t to the most-recently-used end of the eviction order.
 func (s *Session) touchLRU(t *tensor.Tensor) {
-	if e, ok := s.lruPos[t.ID]; ok {
-		s.lru.MoveToBack(e)
-		return
+	i := t.Idx
+	if s.inLRU[i] {
+		if s.lruTail == i {
+			return
+		}
+		// Unlink from the middle (i is not the tail here).
+		p, n := s.lruPrev[i], s.lruNext[i]
+		if p >= 0 {
+			s.lruNext[p] = n
+		} else {
+			s.lruHead = n
+		}
+		s.lruPrev[n] = p
+	} else {
+		s.inLRU[i] = true
+		s.lruLen++
 	}
-	s.lruPos[t.ID] = s.lru.PushBack(t)
+	s.lruPrev[i] = s.lruTail
+	s.lruNext[i] = -1
+	if s.lruTail >= 0 {
+		s.lruNext[s.lruTail] = i
+	} else {
+		s.lruHead = i
+	}
+	s.lruTail = i
 }
 
 // dropLRU removes t from the eviction order.
 func (s *Session) dropLRU(t *tensor.Tensor) {
-	if e, ok := s.lruPos[t.ID]; ok {
-		s.lru.Remove(e)
-		delete(s.lruPos, t.ID)
+	i := t.Idx
+	if !s.inLRU[i] {
+		return
 	}
+	p, n := s.lruPrev[i], s.lruNext[i]
+	if p >= 0 {
+		s.lruNext[p] = n
+	} else {
+		s.lruHead = n
+	}
+	if n >= 0 {
+		s.lruPrev[n] = p
+	} else {
+		s.lruTail = p
+	}
+	s.inLRU[i] = false
+	s.lruPrev[i], s.lruNext[i] = 0, 0
+	s.lruLen--
+}
+
+// resetLRU empties the eviction order in O(members).
+func (s *Session) resetLRU() {
+	for i := s.lruHead; i >= 0; {
+		n := s.lruNext[i]
+		s.inLRU[i] = false
+		s.lruPrev[i], s.lruNext[i] = 0, 0
+		i = n
+	}
+	s.lruHead, s.lruTail = -1, -1
+	s.lruLen = 0
+}
+
+// pinBase reports the current pin-stack depth; unpinTo restores it.
+func (s *Session) pinBase() int { return len(s.pinStack) }
+
+// pinOne marks one tensor untouchable by passive eviction.
+func (s *Session) pinOne(t *tensor.Tensor) {
+	if !s.pinned[t.Idx] {
+		s.pinned[t.Idx] = true
+		s.pinStack = append(s.pinStack, t.Idx)
+	}
+}
+
+// pinAll pins every tensor in ts.
+func (s *Session) pinAll(ts []*tensor.Tensor) {
+	for _, t := range ts {
+		s.pinOne(t)
+	}
+}
+
+// unpinTo unwinds the pin stack to a depth saved by pinBase, clearing
+// exactly the pins taken since.
+func (s *Session) unpinTo(base int) {
+	for i := len(s.pinStack) - 1; i >= base; i-- {
+		s.pinned[s.pinStack[i]] = false
+	}
+	s.pinStack = s.pinStack[:base]
+}
+
+// swapInSet records the completion time of an in-flight swap-in.
+func (s *Session) swapInSet(t *tensor.Tensor, at sim.Time) {
+	i := t.Idx
+	if !s.swapInOn[i] {
+		s.swapInOn[i] = true
+		s.swapInList = append(s.swapInList, i)
+	}
+	s.swapInAt[i] = at
+}
+
+// swapInClear drops index i from the in-flight swap-in set.
+func (s *Session) swapInClear(i int32) {
+	if !s.swapInOn[i] {
+		return
+	}
+	s.swapInOn[i] = false
+	for k, v := range s.swapInList {
+		if v == i {
+			s.swapInList = append(s.swapInList[:k], s.swapInList[k+1:]...)
+			break
+		}
+	}
+}
+
+// clearSwapIns empties the in-flight swap-in set in O(in-flight).
+func (s *Session) clearSwapIns() {
+	for _, i := range s.swapInList {
+		s.swapInOn[i] = false
+	}
+	s.swapInList = s.swapInList[:0]
 }
 
 // The three helpers below are the only places the executor couples a
@@ -313,8 +511,8 @@ func (s *Session) landSwapIn(t *tensor.Tensor, ctx string) error {
 	if err := t.TransitionTo(tensor.In); err != nil {
 		return invariant(ctx, t.ID, err)
 	}
-	if s.host.Holds(t.ID) {
-		if err := s.host.Release(t.ID); err != nil {
+	if s.host.HoldsIdx(int(t.Idx)) {
+		if err := s.host.ReleaseIdx(int(t.Idx), t.ID); err != nil {
 			return invariant(ctx, t.ID, err)
 		}
 	}
@@ -345,22 +543,22 @@ func (s *Session) freeDevice(t *tensor.Tensor, next tensor.Status, ctx string) e
 // property and chaos tests call it at iteration boundaries; it returns
 // nil in a healthy session.
 func (s *Session) CheckResidencyInvariant() error {
-	if s.lru.Len() != len(s.lruPos) {
-		return fmt.Errorf("exec: lru list has %d entries but index has %d", s.lru.Len(), len(s.lruPos))
-	}
-	seen := make(map[string]bool, s.lru.Len())
-	for el := s.lru.Front(); el != nil; el = el.Next() {
-		t, ok := el.Value.(*tensor.Tensor)
-		if !ok || t == nil {
-			return fmt.Errorf("exec: lru holds a non-tensor element")
+	count := 0
+	prev := int32(-1)
+	for i := s.lruHead; i >= 0; i = s.lruNext[i] {
+		if count >= s.lruLen+1 {
+			return fmt.Errorf("exec: eviction order longer than its accounted length %d (cycle?)", s.lruLen)
 		}
-		if pos, ok := s.lruPos[t.ID]; !ok || pos != el {
+		if int(i) >= len(s.tlist) {
+			return fmt.Errorf("exec: eviction order links index %d beyond the tensor table", i)
+		}
+		t := s.tlist[i]
+		if !s.inLRU[i] {
+			return fmt.Errorf("exec: %s linked into the eviction order but not marked a member", t.ID)
+		}
+		if s.lruPrev[i] != prev {
 			return fmt.Errorf("exec: lru index out of sync for %s", t.ID)
 		}
-		if seen[t.ID] {
-			return fmt.Errorf("exec: %s appears twice in the eviction order", t.ID)
-		}
-		seen[t.ID] = true
 		if t.Persistent {
 			return fmt.Errorf("exec: persistent tensor %s in the eviction order", t.ID)
 		}
@@ -370,13 +568,30 @@ func (s *Session) CheckResidencyInvariant() error {
 		if t.Alloc == nil {
 			return fmt.Errorf("exec: %s in eviction order without device memory", t.ID)
 		}
+		prev = i
+		count++
+	}
+	if prev != s.lruTail {
+		return fmt.Errorf("exec: eviction order tail out of sync")
+	}
+	if count != s.lruLen {
+		return fmt.Errorf("exec: lru list has %d entries but index has %d", count, s.lruLen)
+	}
+	flagged := 0
+	for i := range s.inLRU {
+		if s.inLRU[i] {
+			flagged++
+		}
+	}
+	if flagged != count {
+		return fmt.Errorf("exec: lru membership flags (%d) disagree with the chain (%d)", flagged, count)
 	}
 	for _, n := range s.g.Nodes {
 		for _, t := range n.Outputs {
 			if t.Persistent || t.Status != tensor.In || t.Alloc == nil {
 				continue
 			}
-			if !seen[t.ID] {
+			if !s.inLRU[t.Idx] {
 				return fmt.Errorf("exec: resident tensor %s missing from the eviction order", t.ID)
 			}
 		}

@@ -1,8 +1,6 @@
 package fleet
 
 import (
-	"container/heap"
-
 	"capuchin/internal/sim"
 )
 
@@ -39,43 +37,71 @@ type event struct {
 
 // eventQueue is a binary min-heap with total (time, sequence) order —
 // the determinism backbone: ties in virtual time resolve by insertion
-// order, never by map iteration or heap internals.
+// order, never by map iteration or heap internals. The heap is
+// hand-rolled rather than container/heap so push and pop move concrete
+// event values instead of boxing each one in an interface; the (at, seq)
+// order is total, so pop order is identical to the library heap's.
 type eventQueue struct {
-	h   eventHeap
+	h   []event
 	seq int
 }
 
 func newEventQueue() *eventQueue { return &eventQueue{} }
 
 func (q *eventQueue) push(at sim.Time, kind eventKind, j *Job, gen int) {
-	heap.Push(&q.h, event{at: at, seq: q.seq, kind: kind, job: j, gen: gen})
+	q.h = append(q.h, event{at: at, seq: q.seq, kind: kind, job: j, gen: gen})
+	q.up(len(q.h) - 1)
 	q.seq++
 }
 
 func (q *eventQueue) pop() (event, bool) {
-	if len(q.h) == 0 {
+	n := len(q.h)
+	if n == 0 {
 		return event{}, false
 	}
-	return heap.Pop(&q.h).(event), true
+	q.h[0], q.h[n-1] = q.h[n-1], q.h[0]
+	q.down(0, n-1)
+	ev := q.h[n-1]
+	q.h[n-1] = event{} // drop the *Job reference held past the pop
+	q.h = q.h[:n-1]
+	return ev, true
 }
 
 func (q *eventQueue) len() int { return len(q.h) }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (q *eventQueue) less(i, j int) bool {
+	if q.h[i].at != q.h[j].at {
+		return q.h[i].at < q.h[j].at
 	}
-	return h[i].seq < h[j].seq
+	return q.h[i].seq < q.h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+func (q *eventQueue) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !q.less(j, i) {
+			break
+		}
+		q.h[i], q.h[j] = q.h[j], q.h[i]
+		j = i
+	}
+}
+
+func (q *eventQueue) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && q.less(j2, j1) {
+			j = j2 // right child
+		}
+		if !q.less(j, i) {
+			break
+		}
+		q.h[i], q.h[j] = q.h[j], q.h[i]
+		i = j
+	}
 }

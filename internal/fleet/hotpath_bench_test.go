@@ -1,0 +1,33 @@
+package fleet
+
+import (
+	"testing"
+
+	"capuchin/internal/sim"
+)
+
+// BenchmarkHotPathEventQueue cycles the scheduler's event heap. The
+// hand-rolled heap moves concrete event values — no container/heap
+// interface boxing — so a warm push/pop cycle must not allocate.
+func BenchmarkHotPathEventQueue(b *testing.B) {
+	q := newEventQueue()
+	j := &Job{ID: 1}
+	cycle := func() {
+		for i := 0; i < 8; i++ {
+			q.push(sim.Time(i*13%7), evComplete, j, j.gen)
+		}
+		for {
+			if _, ok := q.pop(); !ok {
+				break
+			}
+		}
+	}
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}

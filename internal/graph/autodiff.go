@@ -76,12 +76,24 @@ type autodiff struct {
 	g   *Graph
 	opt ops.ApplyGradient
 
-	grads map[string][]*tensor.Tensor // tensor ID -> gradient contributions
+	// grads accumulates gradient contributions keyed by Tensor.Idx — the
+	// forward graph is indexed before autodiff runs, and every tensor a
+	// gradient attaches to is a forward tensor. gradsOvf catches tensors
+	// outside the index (a custom gradient rule inventing one).
+	grads    [][]*tensor.Tensor
+	gradsOvf map[string][]*tensor.Tensor
 }
 
 // addGrad records a gradient contribution for t.
 func (ad *autodiff) addGrad(t, dt *tensor.Tensor) {
-	ad.grads[t.ID] = append(ad.grads[t.ID], dt)
+	if i := int(t.Idx); i >= 0 && i < len(ad.grads) {
+		ad.grads[i] = append(ad.grads[i], dt)
+		return
+	}
+	if ad.gradsOvf == nil {
+		ad.gradsOvf = make(map[string][]*tensor.Tensor)
+	}
+	ad.gradsOvf[t.ID] = append(ad.gradsOvf[t.ID], dt)
 }
 
 // gradChunk bounds how many contributions one AddN combines. Heavily
@@ -95,7 +107,14 @@ const gradChunk = 8
 // tensor fans out to several consumers. Returns nil when t has no
 // gradient.
 func (ad *autodiff) grad(t *tensor.Tensor) *tensor.Tensor {
-	gs := ad.grads[t.ID]
+	idx := int(t.Idx)
+	indexed := idx >= 0 && idx < len(ad.grads)
+	var gs []*tensor.Tensor
+	if indexed {
+		gs = ad.grads[idx]
+	} else {
+		gs = ad.gradsOvf[t.ID]
+	}
 	if len(gs) == 0 {
 		return nil
 	}
@@ -114,7 +133,11 @@ func (ad *autodiff) grad(t *tensor.Tensor) *tensor.Tensor {
 		}
 		gs = next
 	}
-	ad.grads[t.ID] = gs
+	if indexed {
+		ad.grads[idx] = gs
+	} else {
+		ad.gradsOvf[t.ID] = gs
+	}
 	return gs[0]
 }
 
@@ -133,7 +156,7 @@ func (ad *autodiff) apply1(name string, op ops.Op, inputs ...*tensor.Tensor) *te
 // needsGrad reports whether a tensor participates in differentiation:
 // variables and intermediates do, raw data sources do not.
 func (ad *autodiff) needsGrad(t *tensor.Tensor) bool {
-	p := ad.g.producer[t.ID]
+	p := ad.g.Producer(t)
 	if p == nil {
 		return false
 	}
@@ -146,7 +169,7 @@ func (ad *autodiff) needsGrad(t *tensor.Tensor) bool {
 // run derives gradients for every differentiable tensor reachable from
 // loss and appends optimizer updates for all variables.
 func (ad *autodiff) run(loss *tensor.Tensor) error {
-	ad.grads = make(map[string][]*tensor.Tensor)
+	ad.grads = make([][]*tensor.Tensor, len(ad.g.tensorList))
 	forward := make([]*Node, len(ad.g.Nodes))
 	copy(forward, ad.g.Nodes)
 

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"strconv"
 
 	"capuchin/internal/ops"
 	"capuchin/internal/tensor"
@@ -16,6 +17,13 @@ type Builder struct {
 	name  string
 	nodes []*Node
 	names map[string]int
+	// tensors and nodeArena block-allocate the thousands of tensors and
+	// nodes one model build creates; shapes is a scratch buffer reused
+	// across applyPhase calls (InferShapes must not retain its argument,
+	// see ops.Op).
+	tensors   tensor.Arena
+	nodeArena []Node
+	shapes    []tensor.Shape
 }
 
 // NewBuilder starts an empty graph with the given name.
@@ -30,7 +38,7 @@ func (b *Builder) unique(name string) string {
 	if n == 0 {
 		return name
 	}
-	return fmt.Sprintf("%s_%d", name, n)
+	return name + "_" + strconv.Itoa(n)
 }
 
 // Apply adds a node computing op over the inputs and returns its output
@@ -41,26 +49,38 @@ func (b *Builder) Apply(name string, op ops.Op, inputs ...*tensor.Tensor) []*ten
 
 func (b *Builder) applyPhase(phase Phase, name string, op ops.Op, inputs ...*tensor.Tensor) []*tensor.Tensor {
 	id := b.unique(name)
-	inShapes := make([]tensor.Shape, len(inputs))
+	inShapes := b.shapes[:0]
 	for i, t := range inputs {
 		if t == nil {
 			panic(fmt.Sprintf("graph: %s(%s): nil input %d", id, op.Name(), i))
 		}
-		inShapes[i] = t.Shape
+		inShapes = append(inShapes, t.Shape)
 	}
+	b.shapes = inShapes[:0]
 	outShapes, err := op.InferShapes(inShapes)
 	if err != nil {
 		panic(fmt.Sprintf("graph: %s: %v", id, err))
 	}
 	outs := make([]*tensor.Tensor, len(outShapes))
 	for i, s := range outShapes {
-		out := tensor.New(fmt.Sprintf("%s:%d", id, i), s, tensor.Float32)
+		out := b.tensors.New(id+":"+strconv.Itoa(i), s, tensor.Float32)
 		out.OpName = id
 		out.Inputs = inputs
 		outs[i] = out
 	}
-	b.nodes = append(b.nodes, &Node{ID: id, Op: op, Phase: phase, Inputs: inputs, Outputs: outs})
+	n := b.allocNode()
+	*n = Node{ID: id, Op: op, Phase: phase, Inputs: inputs, Outputs: outs}
+	b.nodes = append(b.nodes, n)
 	return outs
+}
+
+// allocNode block-allocates a zeroed node record.
+func (b *Builder) allocNode() *Node {
+	if len(b.nodeArena) == cap(b.nodeArena) {
+		b.nodeArena = make([]Node, 0, 256)
+	}
+	b.nodeArena = b.nodeArena[:len(b.nodeArena)+1]
+	return &b.nodeArena[len(b.nodeArena)-1]
 }
 
 // Apply1 is Apply for single-output ops.
@@ -115,7 +135,7 @@ func EagerModeOptions() BuildOptions {
 func (b *Builder) Build(loss *tensor.Tensor, opt BuildOptions) (*Graph, error) {
 	g := &Graph{Name: b.name, Nodes: b.nodes, Loss: loss}
 	g.reindex()
-	if loss == nil || g.producer[loss.ID] == nil {
+	if loss == nil || g.Producer(loss) == nil {
 		return nil, fmt.Errorf("graph %s: loss tensor is not produced by this builder", b.name)
 	}
 	if !opt.SkipBackward {

@@ -44,6 +44,10 @@ type Node struct {
 	Phase   Phase
 	Inputs  []*tensor.Tensor
 	Outputs []*tensor.Tensor
+	// Pos is the node's position in Graph.Nodes, assigned by reindex.
+	// Hot-path per-node caches (e.g. the executor's algorithm cache) are
+	// keyed by Pos so they never hash node ID strings.
+	Pos int
 }
 
 // String implements fmt.Stringer.
@@ -59,9 +63,15 @@ type Graph struct {
 	// Loss is the scalar loss tensor.
 	Loss *tensor.Tensor
 
-	tensors   map[string]*tensor.Tensor
-	producer  map[string]*Node   // tensor ID -> producing node
-	consumers map[string][]*Node // tensor ID -> consuming nodes
+	tensors map[string]*tensor.Tensor
+	// Dense per-tensor indexes, rebuilt by reindex. tensorList[i].Idx == i
+	// for every interned tensor; producer and the flat consumer arrays are
+	// keyed by that index so steady-state lookups never hash strings.
+	tensorList   []*tensor.Tensor
+	producer     []*Node  // tensor Idx -> producing node (nil for sources)
+	consumerOff  []int32  // tensor Idx -> offset into consumerFlat
+	consumerFlat []*Node  // consumer lists, concatenated in node order
+	cursor       []int32  // reindex scratch, reused across passes
 }
 
 // Tensor returns the tensor with the given ID, or nil.
@@ -70,17 +80,49 @@ func (g *Graph) Tensor(id string) *tensor.Tensor { return g.tensors[id] }
 // Tensors returns all tensors in the graph. The map is owned by the graph.
 func (g *Graph) Tensors() map[string]*tensor.Tensor { return g.tensors }
 
+// TensorList returns the graph's tensors densely indexed by Tensor.Idx.
+// The slice is owned by the graph and is invalidated by the next reindex.
+func (g *Graph) TensorList() []*tensor.Tensor { return g.tensorList }
+
+// owned reports whether t is interned in this graph's dense index, i.e.
+// t.Idx is a valid key into the producer/consumer arrays.
+func (g *Graph) owned(t *tensor.Tensor) bool {
+	return t != nil && t.Idx >= 0 && int(t.Idx) < len(g.tensorList) && g.tensorList[t.Idx] == t
+}
+
 // Producer returns the node that produces t, or nil for graph inputs.
-func (g *Graph) Producer(t *tensor.Tensor) *Node { return g.producer[t.ID] }
+func (g *Graph) Producer(t *tensor.Tensor) *Node {
+	if g.owned(t) {
+		return g.producer[t.Idx]
+	}
+	// Foreign object: fall back to ID identity, matching the historical
+	// map-keyed behaviour.
+	if t != nil {
+		if own := g.tensors[t.ID]; own != nil && own != t {
+			return g.Producer(own)
+		}
+	}
+	return nil
+}
 
 // Consumers returns the nodes that consume t.
-func (g *Graph) Consumers(t *tensor.Tensor) []*Node { return g.consumers[t.ID] }
+func (g *Graph) Consumers(t *tensor.Tensor) []*Node {
+	if g.owned(t) {
+		return g.consumerFlat[g.consumerOff[t.Idx]:g.consumerOff[t.Idx+1]]
+	}
+	if t != nil {
+		if own := g.tensors[t.ID]; own != nil && own != t {
+			return g.Consumers(own)
+		}
+	}
+	return nil
+}
 
 // ConsumerCount reports how many node inputs reference t (counting
 // duplicates, since each reference is a separate access).
 func (g *Graph) ConsumerCount(t *tensor.Tensor) int {
 	n := 0
-	for _, c := range g.consumers[t.ID] {
+	for _, c := range g.Consumers(t) {
 		for _, in := range c.Inputs {
 			if in == t {
 				n++
@@ -116,25 +158,125 @@ func (g *Graph) ParameterBytes() int64 {
 	return total
 }
 
-// reindex rebuilds producer/consumer maps from Nodes. Called after passes
-// mutate the node list.
+// EnsureIndexed builds the dense tensor index if it has never been built
+// (a hand-assembled graph that bypassed the Builder). Builder-produced
+// graphs are always indexed, so this never mutates a shared graph that
+// concurrent sessions might be reading.
+func (g *Graph) EnsureIndexed() {
+	if len(g.tensorList) == 0 && len(g.Nodes) > 0 {
+		g.reindex()
+	}
+}
+
+// reindex rebuilds the dense tensor index from Nodes. Called after passes
+// mutate the node list. Every tensor reachable from a node is interned and
+// assigned a dense Idx; producer and consumer lookups are then plain array
+// loads. Tensors dropped by a pass keep a stale Idx, which the owned()
+// identity check rejects, so lookups on them return nil as before.
 func (g *Graph) reindex() {
-	g.tensors = make(map[string]*tensor.Tensor)
-	g.producer = make(map[string]*Node)
-	g.consumers = make(map[string][]*Node)
+	est := 0
 	for _, n := range g.Nodes {
+		est += len(n.Outputs) + len(n.Inputs)
+	}
+	if g.tensors == nil {
+		g.tensors = make(map[string]*tensor.Tensor, est)
+	} else {
+		clear(g.tensors)
+	}
+	list := g.tensorList[:0]
+	intern := func(t *tensor.Tensor) int32 {
+		if prev, ok := g.tensors[t.ID]; ok {
+			if prev != t {
+				// Two objects share an ID; last one wins, matching the
+				// historical map-overwrite behaviour.
+				t.Idx = prev.Idx
+				list[t.Idx] = t
+				g.tensors[t.ID] = t
+			}
+			return t.Idx
+		}
+		t.Idx = int32(len(list))
+		list = append(list, t)
+		g.tensors[t.ID] = t
+		return t.Idx
+	}
+	for pos, n := range g.Nodes {
+		n.Pos = pos
 		for _, out := range n.Outputs {
-			g.tensors[out.ID] = out
-			g.producer[out.ID] = n
+			intern(out)
 		}
 	}
 	for _, n := range g.Nodes {
-		seen := make(map[string]bool)
 		for _, in := range n.Inputs {
-			g.tensors[in.ID] = in
-			if !seen[in.ID] {
-				g.consumers[in.ID] = append(g.consumers[in.ID], n)
-				seen[in.ID] = true
+			intern(in)
+		}
+	}
+	nt := len(list)
+	g.tensorList = list
+
+	if cap(g.producer) < nt {
+		g.producer = make([]*Node, nt)
+	} else {
+		g.producer = g.producer[:nt]
+		clear(g.producer)
+	}
+	for _, n := range g.Nodes {
+		for _, out := range n.Outputs {
+			g.producer[out.Idx] = n
+		}
+	}
+
+	// Consumer lists dedup within one node by tensor ID (a node reading a
+	// tensor twice is still one consumer), exactly as the old map-of-slices
+	// did; the dedup is a linear scan because input lists are short.
+	// Build runs reindex up to four times on the same graph; reuse the
+	// previous pass's arrays when they are big enough.
+	counts := g.consumerOff
+	if cap(counts) < nt+1 {
+		counts = make([]int32, nt+1)
+	} else {
+		counts = counts[:nt+1]
+		clear(counts)
+	}
+	dedup := func(ins []*tensor.Tensor, i int) bool {
+		for j := 0; j < i; j++ {
+			if ins[j].Idx == ins[i].Idx {
+				return true
+			}
+		}
+		return false
+	}
+	for _, n := range g.Nodes {
+		for i, in := range n.Inputs {
+			if !dedup(n.Inputs, i) {
+				counts[in.Idx+1]++
+			}
+		}
+	}
+	for i := 0; i < nt; i++ {
+		counts[i+1] += counts[i]
+	}
+	g.consumerOff = counts
+	// Every slot up to counts[nt] is written by the cursor pass below, so
+	// a reused array needs no clearing.
+	if need := int(counts[nt]); cap(g.consumerFlat) < need {
+		g.consumerFlat = make([]*Node, need)
+	} else {
+		g.consumerFlat = g.consumerFlat[:need]
+	}
+	cursor := g.cursor
+	if cap(cursor) < nt {
+		cursor = make([]int32, nt)
+	} else {
+		cursor = cursor[:nt]
+		clear(cursor)
+	}
+	g.cursor = cursor
+	for _, n := range g.Nodes {
+		for i, in := range n.Inputs {
+			if !dedup(n.Inputs, i) {
+				g.consumerFlat[g.consumerOff[in.Idx]+cursor[in.Idx]] = n
+				cursor[in.Idx]++
 			}
 		}
 	}
@@ -144,18 +286,21 @@ func (g *Graph) reindex() {
 // earlier node or is a source tensor, and IDs are unique. It returns the
 // first problem found.
 func (g *Graph) Validate() error {
-	produced := make(map[string]bool)
+	// Tensors sharing an ID intern to the same Idx, so an Idx-keyed slice
+	// is equivalent to the historical ID-keyed map without the hashing.
+	g.EnsureIndexed()
+	produced := make([]bool, len(g.tensorList))
 	for _, n := range g.Nodes {
 		for _, in := range n.Inputs {
-			if !produced[in.ID] && g.producer[in.ID] != nil {
+			if !produced[in.Idx] && g.Producer(in) != nil {
 				return fmt.Errorf("graph %s: node %s consumes %s before it is produced", g.Name, n.ID, in.ID)
 			}
 		}
 		for _, out := range n.Outputs {
-			if produced[out.ID] {
+			if produced[out.Idx] {
 				return fmt.Errorf("graph %s: tensor %s produced twice", g.Name, out.ID)
 			}
-			produced[out.ID] = true
+			produced[out.Idx] = true
 		}
 	}
 	if g.Loss == nil {

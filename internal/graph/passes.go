@@ -17,7 +17,7 @@ func fuseBiasAdd(g *Graph) {
 			continue
 		}
 		pre := b.Inputs[0]
-		p := g.producer[pre.ID]
+		p := g.Producer(pre)
 		if p == nil || p.Phase != Forward {
 			continue
 		}
@@ -26,7 +26,7 @@ func fuseBiasAdd(g *Graph) {
 		default:
 			continue
 		}
-		if cs := g.consumers[pre.ID]; len(cs) != 1 || cs[0] != b {
+		if cs := g.Consumers(pre); len(cs) != 1 || cs[0] != b {
 			continue
 		}
 		p.Op = ops.FusedBias{Inner: p.Op}
@@ -53,18 +53,20 @@ func fuseBiasAdd(g *Graph) {
 // prune removes nodes that contribute neither to the loss nor to any
 // variable update (dead branches, unused variables).
 func prune(g *Graph) {
-	live := make(map[*Node]bool)
+	// Build has reindexed by the time prune runs, so Node.Pos is dense
+	// and current; a slice replaces the map of visited nodes.
+	live := make([]bool, len(g.Nodes))
 	var mark func(n *Node)
 	mark = func(n *Node) {
-		if n == nil || live[n] {
+		if n == nil || live[n.Pos] {
 			return
 		}
-		live[n] = true
+		live[n.Pos] = true
 		for _, in := range n.Inputs {
-			mark(g.producer[in.ID])
+			mark(g.Producer(in))
 		}
 	}
-	mark(g.producer[g.Loss.ID])
+	mark(g.Producer(g.Loss))
 	for _, n := range g.Nodes {
 		if n.Phase == Update {
 			mark(n)
@@ -73,7 +75,7 @@ func prune(g *Graph) {
 	kept := g.Nodes[:0]
 	removed := false
 	for _, n := range g.Nodes {
-		if live[n] {
+		if live[n.Pos] {
 			kept = append(kept, n)
 		} else {
 			removed = true
@@ -115,7 +117,7 @@ func ArticulationTensors(g *Graph) []*tensor.Tensor {
 				continue
 			}
 			last := i
-			for _, c := range g.consumers[out.ID] {
+			for _, c := range g.Consumers(out) {
 				if c.Phase != Forward {
 					continue
 				}

@@ -2,7 +2,7 @@ package memory
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 )
 
 const (
@@ -23,6 +23,11 @@ type chunk struct {
 	inUse     bool
 	prev      *chunk
 	next      *chunk
+	// alloc is the Allocation handle returned while the chunk is in use,
+	// embedded so Alloc never heap-allocates a handle. A chunk absorbed by
+	// coalescing is parked on the allocator's spare list and reused by the
+	// next split, so steady-state alloc/free cycles allocate nothing.
+	alloc Allocation
 }
 
 // bin holds the free chunks of one size class, ordered by (size, offset) so
@@ -31,21 +36,32 @@ type bin struct {
 	free []*chunk
 }
 
+// rank returns the first index whose chunk orders at or after c by
+// (size, offset). The binary search is hand-rolled: this runs on every
+// alloc and free, and sort.Search's closure call is measurable there.
+func (b *bin) rank(c *chunk) int {
+	lo, hi := 0, len(b.free)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		f := b.free[mid]
+		if f.size > c.size || (f.size == c.size && f.offset >= c.offset) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
 func (b *bin) insert(c *chunk) {
-	i := sort.Search(len(b.free), func(i int) bool {
-		f := b.free[i]
-		return f.size > c.size || (f.size == c.size && f.offset >= c.offset)
-	})
+	i := b.rank(c)
 	b.free = append(b.free, nil)
 	copy(b.free[i+1:], b.free[i:])
 	b.free[i] = c
 }
 
 func (b *bin) remove(c *chunk) bool {
-	i := sort.Search(len(b.free), func(i int) bool {
-		f := b.free[i]
-		return f.size > c.size || (f.size == c.size && f.offset >= c.offset)
-	})
+	i := b.rank(c)
 	if i < len(b.free) && b.free[i] == c {
 		b.free = append(b.free[:i], b.free[i+1:]...)
 		return true
@@ -55,9 +71,17 @@ func (b *bin) remove(c *chunk) bool {
 
 // bestFit returns the smallest chunk in the bin with size >= want, or nil.
 func (b *bin) bestFit(want int64) *chunk {
-	i := sort.Search(len(b.free), func(i int) bool { return b.free[i].size >= want })
-	if i < len(b.free) {
-		return b.free[i]
+	lo, hi := 0, len(b.free)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.free[mid].size >= want {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < len(b.free) {
+		return b.free[lo]
 	}
 	return nil
 }
@@ -72,6 +96,31 @@ type BFC struct {
 	frees    int64
 	head     *chunk
 	bins     [numBins]bin
+	// spare is a free list of chunk records absorbed by coalescing,
+	// singly linked through next, reused by newChunk.
+	spare *chunk
+}
+
+// newChunk returns a reset chunk record, reusing a spare one when
+// available. The embedded alloc is deliberately left untouched: a stale
+// freed handle may still point at it, and preserving its freed flag keeps
+// double-free detection intact until the chunk is actually re-allocated.
+func (a *BFC) newChunk() *chunk {
+	c := a.spare
+	if c == nil {
+		return &chunk{}
+	}
+	a.spare = c.next
+	c.offset, c.size, c.requested, c.inUse, c.prev, c.next = 0, 0, 0, false, nil, nil
+	return c
+}
+
+// recycle parks an absorbed chunk record on the spare list, linked through
+// next. The embedded alloc keeps its state (see newChunk).
+func (a *BFC) recycle(c *chunk) {
+	c.offset, c.size, c.requested, c.inUse, c.prev = 0, 0, 0, false, nil
+	c.next = a.spare
+	a.spare = c
 }
 
 var _ Pool = (*BFC)(nil)
@@ -95,9 +144,13 @@ func (a *BFC) Name() string { return "bfc" }
 // binIndex maps a size to its bin: bin i holds chunks in
 // [256*2^i, 256*2^(i+1)).
 func binIndex(size int64) int {
-	i := 0
-	for s := size / minChunkSize; s > 1 && i < numBins-1; s >>= 1 {
-		i++
+	s := size / minChunkSize
+	if s <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(s)) - 1
+	if i > numBins-1 {
+		i = numBins - 1
 	}
 	return i
 }
@@ -113,25 +166,27 @@ func roundUp(size int64) int64 {
 
 // Alloc implements Pool.
 func (a *BFC) Alloc(size int64) (*Allocation, error) {
+	if al := a.TryAlloc(size); al != nil {
+		return al, nil
+	}
+	return nil, NewOOMError(a, size)
+}
+
+// TryAlloc implements Pool.
+func (a *BFC) TryAlloc(size int64) *Allocation {
 	rounded := roundUp(size)
 	c := a.findChunk(rounded)
 	if c == nil {
-		return nil, &OOMError{
-			Requested:   size,
-			FreeBytes:   a.FreeBytes(),
-			LargestFree: a.LargestFree(),
-			Capacity:    a.capacity,
-		}
+		return nil
 	}
 	a.binFor(c.size).remove(c)
 	// Split when the remainder is itself a usable chunk.
 	if c.size-rounded >= minChunkSize {
-		rest := &chunk{
-			offset: c.offset + rounded,
-			size:   c.size - rounded,
-			prev:   c,
-			next:   c.next,
-		}
+		rest := a.newChunk()
+		rest.offset = c.offset + rounded
+		rest.size = c.size - rounded
+		rest.prev = c
+		rest.next = c.next
 		if c.next != nil {
 			c.next.prev = rest
 		}
@@ -147,13 +202,14 @@ func (a *BFC) Alloc(size int64) (*Allocation, error) {
 		a.peak = a.used
 	}
 	a.allocs++
-	return &Allocation{
+	c.alloc = Allocation{
 		Offset:    c.offset,
 		Size:      c.size,
 		Requested: size,
 		chunk:     c,
 		owner:     a,
-	}, nil
+	}
+	return &c.alloc
 }
 
 // findChunk searches the bin for rounded and all larger bins for the
@@ -186,6 +242,7 @@ func (a *BFC) Free(al *Allocation) error {
 		if n.next != nil {
 			n.next.prev = c
 		}
+		a.recycle(n)
 	}
 	// Coalesce with a free predecessor.
 	if p := c.prev; p != nil && !p.inUse {
@@ -195,6 +252,7 @@ func (a *BFC) Free(al *Allocation) error {
 		if c.next != nil {
 			c.next.prev = p
 		}
+		a.recycle(c)
 		c = p
 	}
 	a.binFor(c.size).insert(c)

@@ -15,6 +15,26 @@ type FirstFit struct {
 	allocs   int64
 	frees    int64
 	head     *chunk
+	// spare is a free list of chunk records absorbed by coalescing,
+	// singly linked through next (see BFC.newChunk for the aliasing
+	// rules around the embedded alloc).
+	spare *chunk
+}
+
+func (a *FirstFit) newChunk() *chunk {
+	c := a.spare
+	if c == nil {
+		return &chunk{}
+	}
+	a.spare = c.next
+	c.offset, c.size, c.requested, c.inUse, c.prev, c.next = 0, 0, 0, false, nil, nil
+	return c
+}
+
+func (a *FirstFit) recycle(c *chunk) {
+	c.offset, c.size, c.requested, c.inUse, c.prev = 0, 0, 0, false, nil
+	c.next = a.spare
+	a.spare = c
 }
 
 var _ Pool = (*FirstFit)(nil)
@@ -36,18 +56,25 @@ func (a *FirstFit) Name() string { return "firstfit" }
 
 // Alloc implements Pool.
 func (a *FirstFit) Alloc(size int64) (*Allocation, error) {
+	if al := a.TryAlloc(size); al != nil {
+		return al, nil
+	}
+	return nil, NewOOMError(a, size)
+}
+
+// TryAlloc implements Pool.
+func (a *FirstFit) TryAlloc(size int64) *Allocation {
 	rounded := roundUp(size)
 	for c := a.head; c != nil; c = c.next {
 		if c.inUse || c.size < rounded {
 			continue
 		}
 		if c.size-rounded >= minChunkSize {
-			rest := &chunk{
-				offset: c.offset + rounded,
-				size:   c.size - rounded,
-				prev:   c,
-				next:   c.next,
-			}
+			rest := a.newChunk()
+			rest.offset = c.offset + rounded
+			rest.size = c.size - rounded
+			rest.prev = c
+			rest.next = c.next
 			if c.next != nil {
 				c.next.prev = rest
 			}
@@ -62,14 +89,10 @@ func (a *FirstFit) Alloc(size int64) (*Allocation, error) {
 			a.peak = a.used
 		}
 		a.allocs++
-		return &Allocation{Offset: c.offset, Size: c.size, Requested: size, chunk: c, owner: a}, nil
+		c.alloc = Allocation{Offset: c.offset, Size: c.size, Requested: size, chunk: c, owner: a}
+		return &c.alloc
 	}
-	return nil, &OOMError{
-		Requested:   size,
-		FreeBytes:   a.FreeBytes(),
-		LargestFree: a.LargestFree(),
-		Capacity:    a.capacity,
-	}
+	return nil
 }
 
 // Free implements Pool.
@@ -89,6 +112,7 @@ func (a *FirstFit) Free(al *Allocation) error {
 		if n.next != nil {
 			n.next.prev = c
 		}
+		a.recycle(n)
 	}
 	if p := c.prev; p != nil && !p.inUse {
 		p.size += c.size
@@ -96,6 +120,7 @@ func (a *FirstFit) Free(al *Allocation) error {
 		if c.next != nil {
 			c.next.prev = p
 		}
+		a.recycle(c)
 	}
 	return nil
 }

@@ -14,6 +14,13 @@ type HostArena struct {
 	used     int64
 	peak     int64
 	live     map[string]int64 // key (tensor ID) -> bytes
+	// Index-keyed reservations: the executor keys by dense tensor index
+	// (tensor.Idx) so steady-state swap traffic never hashes ID strings.
+	// Both keyspaces share the same byte accounting; a caller must use one
+	// keyspace per reservation.
+	idxBytes []int64
+	idxOn    []bool
+	idxLive  int
 }
 
 // NewHostArena creates a pinned-memory arena of the given capacity.
@@ -66,6 +73,56 @@ func (h *HostArena) Holds(key string) bool {
 	return ok
 }
 
+// grow ensures the index-keyed tables cover index i.
+func (h *HostArena) grow(i int) {
+	for len(h.idxBytes) <= i {
+		h.idxBytes = append(h.idxBytes, 0)
+		h.idxOn = append(h.idxOn, false)
+	}
+}
+
+// ReserveIdx pins size bytes under dense index i. key is used only for
+// error messages (it names the tensor), so the happy path allocates
+// nothing. Semantics match Reserve exactly.
+func (h *HostArena) ReserveIdx(i int, key string, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("memory: negative host reservation %d for %q", size, key)
+	}
+	h.grow(i)
+	if h.idxOn[i] {
+		return fmt.Errorf("memory: duplicate host reservation for %q", key)
+	}
+	if h.used+size > h.capacity {
+		return &OOMError{Requested: size, FreeBytes: h.capacity - h.used, Capacity: h.capacity, Host: true}
+	}
+	h.idxOn[i] = true
+	h.idxBytes[i] = size
+	h.idxLive++
+	h.used += size
+	if h.used > h.peak {
+		h.peak = h.used
+	}
+	return nil
+}
+
+// ReleaseIdx frees the reservation held under index i; key names the
+// tensor in the error on an absent reservation.
+func (h *HostArena) ReleaseIdx(i int, key string) error {
+	if i >= len(h.idxOn) || !h.idxOn[i] {
+		return fmt.Errorf("memory: release of unknown host reservation %q", key)
+	}
+	h.idxOn[i] = false
+	h.idxLive--
+	h.used -= h.idxBytes[i]
+	h.idxBytes[i] = 0
+	return nil
+}
+
+// HoldsIdx reports whether index i currently has a reservation.
+func (h *HostArena) HoldsIdx(i int) bool {
+	return i < len(h.idxOn) && h.idxOn[i]
+}
+
 // Used reports the pinned bytes currently reserved.
 func (h *HostArena) Used() int64 { return h.used }
 
@@ -80,4 +137,4 @@ func (h *HostArena) ResetPeak() { h.peak = h.used }
 func (h *HostArena) Capacity() int64 { return h.capacity }
 
 // Live reports the number of live reservations.
-func (h *HostArena) Live() int { return len(h.live) }
+func (h *HostArena) Live() int { return len(h.live) + h.idxLive }

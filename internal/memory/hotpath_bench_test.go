@@ -1,0 +1,89 @@
+package memory
+
+import "testing"
+
+// hotPathSizes is a mixed working set: small rounded chunks, a bin
+// boundary, and a multi-megabyte activation-sized block.
+var hotPathSizes = [...]int64{256, 4 << 10, 60 << 10, 1 << 20, 3 << 20}
+
+// BenchmarkHotPathBFCAllocFree cycles a mixed working set through the
+// BFC allocator. Steady state must not allocate: chunk records are
+// recycled through the spare list, bin membership moves through the
+// hand-rolled binary searches, and TryAlloc builds no error values.
+func BenchmarkHotPathBFCAllocFree(b *testing.B) {
+	p := NewBFC(64 << 20)
+	live := make([]*Allocation, 0, len(hotPathSizes))
+	cycle := func() {
+		for _, s := range hotPathSizes {
+			a := p.TryAlloc(s)
+			if a == nil {
+				b.Fatalf("TryAlloc(%d) failed with %d free", s, p.FreeBytes())
+			}
+			live = append(live, a)
+		}
+		for _, a := range live {
+			if err := p.Free(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		live = live[:0]
+	}
+	// Warm the spare-chunk list and the bins' free-list capacity so the
+	// timed region measures the steady state, not first-touch growth.
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}
+
+// BenchmarkHotPathBFCTryAllocFail pins the OOM probe path: a failing
+// TryAlloc must construct nothing — no error, no diagnostics — because
+// the executor probes the pool between evictions in a loop.
+func BenchmarkHotPathBFCTryAllocFail(b *testing.B) {
+	p := NewBFC(1 << 20)
+	hold := p.TryAlloc(512 << 10)
+	if hold == nil {
+		b.Fatal("setup alloc failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a := p.TryAlloc(1 << 20); a != nil {
+			b.Fatal("oversized TryAlloc unexpectedly succeeded")
+		}
+	}
+}
+
+// BenchmarkHotPathFirstFitAllocFree is the FirstFit counterpart of the
+// BFC cycle; the simpler allocator must also hold the zero-alloc line.
+func BenchmarkHotPathFirstFitAllocFree(b *testing.B) {
+	p := NewFirstFit(64 << 20)
+	live := make([]*Allocation, 0, len(hotPathSizes))
+	cycle := func() {
+		for _, s := range hotPathSizes {
+			a := p.TryAlloc(s)
+			if a == nil {
+				b.Fatalf("TryAlloc(%d) failed with %d free", s, p.FreeBytes())
+			}
+			live = append(live, a)
+		}
+		for _, a := range live {
+			if err := p.Free(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		live = live[:0]
+	}
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}

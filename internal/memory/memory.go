@@ -70,6 +70,17 @@ func (e *OOMError) Error() string {
 // Unwrap lets errors.Is(err, ErrOOM) match.
 func (e *OOMError) Unwrap() error { return ErrOOM }
 
+// NewOOMError builds the device-side OOM diagnostic a failed TryAlloc
+// elided, sampling the pool's occupancy now.
+func NewOOMError(p Pool, requested int64) *OOMError {
+	return &OOMError{
+		Requested:   requested,
+		FreeBytes:   p.FreeBytes(),
+		LargestFree: p.LargestFree(),
+		Capacity:    p.Capacity(),
+	}
+}
+
 // Allocation is a live region of device memory. Offset and Size describe
 // the rounded chunk actually reserved; Requested is the caller's size.
 type Allocation struct {
@@ -87,6 +98,13 @@ type Pool interface {
 	// Alloc reserves size bytes, returning an *OOMError (matching ErrOOM)
 	// on failure. Alloc(0) is legal and reserves a minimum-sized chunk.
 	Alloc(size int64) (*Allocation, error)
+	// TryAlloc is Alloc without the failure diagnostics: it returns nil
+	// when the pool cannot satisfy the request, constructing nothing on
+	// that path. OOM-driven retry loops (the executor probes the pool
+	// between evictions) use it so a failed probe costs no allocation;
+	// use NewOOMError to build the structured error when finally giving
+	// up.
+	TryAlloc(size int64) *Allocation
 	// Free releases an allocation. A double free or a free to the wrong
 	// allocator returns an *InvariantError (matching ErrInvariant): the
 	// simulator's ref-counting must never double-free, and a violation is

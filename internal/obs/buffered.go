@@ -1,0 +1,111 @@
+package obs
+
+// BatchTracer is implemented by sinks that can absorb many records under
+// one lock acquisition. Collector implements it; Buffered.Flush uses it
+// when available and falls back to per-record forwarding otherwise.
+type BatchTracer interface {
+	Tracer
+	EmitBatch([]Event)
+	DecideBatch([]Decision)
+}
+
+// EmitBatch appends evs under a single lock acquisition.
+func (c *Collector) EmitBatch(evs []Event) {
+	c.mu.Lock()
+	c.events = append(c.events, evs...)
+	c.mu.Unlock()
+}
+
+// DecideBatch appends ds under a single lock acquisition.
+func (c *Collector) DecideBatch(ds []Decision) {
+	c.mu.Lock()
+	c.decisions = append(c.decisions, ds...)
+	c.mu.Unlock()
+}
+
+var _ BatchTracer = (*Collector)(nil)
+
+// Buffered wraps a Tracer and forwards records in batches, amortizing
+// the sink's per-record locking and append over batchSize records. Each
+// log's order is preserved exactly (events and decisions live in
+// separate downstream logs, so buffering them independently changes
+// nothing observable).
+//
+// Buffered is single-producer by design and is strictly opt-in: it must
+// NOT be interposed where several sessions share one sink — the cluster
+// runner hands each replica a GroupTracer over one shared Collector, and
+// buffering there would batch one replica's records past another's.
+// Call Flush before reading the sink; Flush is idempotent.
+type Buffered struct {
+	t    Tracer
+	evs  []Event
+	decs []Decision
+}
+
+var _ Tracer = (*Buffered)(nil)
+
+// defaultBatch bounds buffered records per log between flushes.
+const defaultBatch = 256
+
+// NewBuffered wraps t. size is the per-log batch capacity; size <= 0
+// selects the default.
+func NewBuffered(t Tracer, size int) *Buffered {
+	if size <= 0 {
+		size = defaultBatch
+	}
+	return &Buffered{
+		t:    t,
+		evs:  make([]Event, 0, size),
+		decs: make([]Decision, 0, size),
+	}
+}
+
+// Emit implements Tracer.
+func (b *Buffered) Emit(ev Event) {
+	b.evs = append(b.evs, ev)
+	if len(b.evs) == cap(b.evs) {
+		b.flushEvents()
+	}
+}
+
+// Decide implements Tracer.
+func (b *Buffered) Decide(d Decision) {
+	b.decs = append(b.decs, d)
+	if len(b.decs) == cap(b.decs) {
+		b.flushDecisions()
+	}
+}
+
+// Flush forwards everything buffered to the underlying sink.
+func (b *Buffered) Flush() {
+	b.flushEvents()
+	b.flushDecisions()
+}
+
+func (b *Buffered) flushEvents() {
+	if len(b.evs) == 0 {
+		return
+	}
+	if bt, ok := b.t.(BatchTracer); ok {
+		bt.EmitBatch(b.evs)
+	} else {
+		for _, ev := range b.evs {
+			b.t.Emit(ev)
+		}
+	}
+	b.evs = b.evs[:0]
+}
+
+func (b *Buffered) flushDecisions() {
+	if len(b.decs) == 0 {
+		return
+	}
+	if bt, ok := b.t.(BatchTracer); ok {
+		bt.DecideBatch(b.decs)
+	} else {
+		for _, d := range b.decs {
+			b.t.Decide(d)
+		}
+	}
+	b.decs = b.decs[:0]
+}

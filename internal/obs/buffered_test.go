@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestBufferedOrderPreserved checks that a Buffered tracer over a
+// Collector yields exactly the record streams direct emission would,
+// across auto-flush boundaries and a final explicit Flush.
+func TestBufferedOrderPreserved(t *testing.T) {
+	direct := NewCollector()
+	sink := NewCollector()
+	buf := NewBuffered(sink, 4) // small batch to cross flush boundaries
+
+	for i := 0; i < 11; i++ {
+		ev := Event{Kind: KindInstant, Cat: "alloc", Name: fmt.Sprintf("ev%d", i)}
+		d := Decision{Action: "plan", Tensor: fmt.Sprintf("t%d", i)}
+		direct.Emit(ev)
+		direct.Decide(d)
+		buf.Emit(ev)
+		buf.Decide(d)
+	}
+	buf.Flush()
+
+	if got, want := sink.Events(), direct.Events(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("buffered events diverge from direct emission:\n got %d events\nwant %d events", len(got), len(want))
+	}
+	if got, want := sink.Decisions(), direct.Decisions(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("buffered decisions diverge from direct emission")
+	}
+
+	// Flush is idempotent: nothing new appears.
+	n := sink.Len()
+	buf.Flush()
+	if sink.Len() != n {
+		t.Fatalf("second Flush added events: %d -> %d", n, sink.Len())
+	}
+}
+
+// TestBufferedPlainTracerFallback checks per-record forwarding when the
+// sink lacks batch methods.
+type plainTracer struct {
+	evs  []Event
+	decs []Decision
+}
+
+func (p *plainTracer) Emit(ev Event)     { p.evs = append(p.evs, ev) }
+func (p *plainTracer) Decide(d Decision) { p.decs = append(p.decs, d) }
+
+func TestBufferedPlainTracerFallback(t *testing.T) {
+	sink := &plainTracer{}
+	buf := NewBuffered(sink, 2)
+	for i := 0; i < 5; i++ {
+		buf.Emit(Event{Name: fmt.Sprintf("e%d", i)})
+	}
+	buf.Flush()
+	if len(sink.evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(sink.evs))
+	}
+	for i, ev := range sink.evs {
+		if ev.Name != fmt.Sprintf("e%d", i) {
+			t.Fatalf("event %d out of order: %q", i, ev.Name)
+		}
+	}
+}

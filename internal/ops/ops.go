@@ -33,7 +33,9 @@ type Algorithm struct {
 type Op interface {
 	// Name is the operation kind, e.g. "Conv2D".
 	Name() string
-	// InferShapes derives output shapes from input shapes.
+	// InferShapes derives output shapes from input shapes. The in slice
+	// is a caller-owned scratch buffer: implementations must not retain
+	// or return it (returning a fresh slice, as all built-ins do).
 	InferShapes(in []tensor.Shape) ([]tensor.Shape, error)
 	// FLOPs is the floating-point work of the operation.
 	FLOPs(in []tensor.Shape) float64

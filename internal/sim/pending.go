@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // Pending is an asynchronous completion scheduled at a future virtual time:
 // a deferred memory free, an in-flight swap-out, or any other event whose
 // effect must be applied once simulated time passes At.
@@ -16,12 +14,22 @@ type Pending struct {
 // freed by a swap-out only becomes visible to the allocator once the
 // transfer completes, and an OOM can choose to block on the earliest
 // in-flight completion rather than on all of them.
+//
+// The heap is hand-rolled over a plain slice with the exact sift-up /
+// sift-down algorithms of container/heap, so Add and the Pop variants are
+// allocation-free in steady state while items tied on At still pop in the
+// same order the boxed container/heap implementation produced (tie order on
+// equal At is determined by heap internals, and golden traces pin it).
 type PendingSet struct {
-	h pendingHeap
+	h   []Pending
+	due []Pending // reused by PopDue; contents valid until the next call
 }
 
 // Add schedules a pending completion.
-func (ps *PendingSet) Add(p Pending) { heap.Push(&ps.h, p) }
+func (ps *PendingSet) Add(p Pending) {
+	ps.h = append(ps.h, p)
+	ps.up(len(ps.h) - 1)
+}
 
 // Len reports the number of pending completions.
 func (ps *PendingSet) Len() int { return len(ps.h) }
@@ -29,8 +37,8 @@ func (ps *PendingSet) Len() int { return len(ps.h) }
 // TotalSize reports the sum of Size over all pending completions.
 func (ps *PendingSet) TotalSize() int64 {
 	var total int64
-	for _, p := range ps.h {
-		total += p.Size
+	for i := range ps.h {
+		total += ps.h[i].Size
 	}
 	return total
 }
@@ -50,29 +58,69 @@ func (ps *PendingSet) PopEarliest() (Pending, bool) {
 	if len(ps.h) == 0 {
 		return Pending{}, false
 	}
-	return heap.Pop(&ps.h).(Pending), true
+	return ps.pop(), true
 }
 
 // PopDue removes and returns all completions with At <= now, in time order.
-// It returns nil when none are due.
+// It returns nil when none are due. The returned slice is reused by the
+// next PopDue call; callers must consume it before touching the set again.
 func (ps *PendingSet) PopDue(now Time) []Pending {
-	var due []Pending
+	ps.due = ps.due[:0]
 	for len(ps.h) > 0 && ps.h[0].At <= now {
-		due = append(due, heap.Pop(&ps.h).(Pending))
+		ps.due = append(ps.due, ps.pop())
 	}
-	return due
+	if len(ps.due) == 0 {
+		return nil
+	}
+	return ps.due
 }
 
-type pendingHeap []Pending
+// less orders only by At: ties resolve by heap position, exactly as the
+// previous container/heap-backed implementation did.
+func (ps *PendingSet) less(i, j int) bool { return ps.h[i].At < ps.h[j].At }
 
-func (h pendingHeap) Len() int            { return len(h) }
-func (h pendingHeap) Less(i, j int) bool  { return h[i].At < h[j].At }
-func (h pendingHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pendingHeap) Push(x interface{}) { *h = append(*h, x.(Pending)) }
-func (h *pendingHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	p := old[n-1]
-	*h = old[:n-1]
+// pop removes and returns the root, mirroring container/heap.Pop: swap the
+// root with the last element, sift it down over the shortened heap, then
+// shrink.
+func (ps *PendingSet) pop() Pending {
+	h := ps.h
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	ps.down(0, n)
+	p := h[n]
+	h[n] = Pending{}
+	ps.h = h[:n]
 	return p
+}
+
+// up is container/heap's sift-up.
+func (ps *PendingSet) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !ps.less(j, i) {
+			break
+		}
+		ps.h[i], ps.h[j] = ps.h[j], ps.h[i]
+		j = i
+	}
+}
+
+// down is container/heap's sift-down over h[:n].
+func (ps *PendingSet) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && ps.less(j2, j1) {
+			j = j2 // right child
+		}
+		if !ps.less(j, i) {
+			break
+		}
+		ps.h[i], ps.h[j] = ps.h[j], ps.h[i]
+		i = j
+	}
 }

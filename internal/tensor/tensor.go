@@ -183,6 +183,11 @@ type Tensor struct {
 	// freed immediately after their use (§2.1).
 	Gradient bool
 
+	// Idx is the tensor's dense index within its graph, assigned by the
+	// graph reindex pass. Hot-path session state is keyed by Idx so the
+	// inner loop never hashes tensor ID strings. -1 until assigned.
+	Idx int32
+
 	// Runtime state.
 	Status      Status
 	AccessCount int
@@ -192,7 +197,27 @@ type Tensor struct {
 
 // New creates a tensor with the given identity and shape.
 func New(id string, shape Shape, dtype DType) *Tensor {
-	return &Tensor{ID: id, Shape: shape, DType: dtype, Status: Freed}
+	return &Tensor{ID: id, Shape: shape, DType: dtype, Status: Freed, Idx: -1}
+}
+
+// Arena block-allocates tensors for bulk producers (the graph builder
+// creates thousands per model). Tensors from an arena are identical to
+// New's and live as long as any tensor in their block is referenced.
+type Arena struct {
+	chunk []Tensor
+}
+
+// arenaChunk is the arena block size; one ResNet-50 build fills a few.
+const arenaChunk = 512
+
+// New creates a tensor inside the arena, equivalent to the package-level
+// New.
+func (a *Arena) New(id string, shape Shape, dtype DType) *Tensor {
+	if len(a.chunk) == cap(a.chunk) {
+		a.chunk = make([]Tensor, 0, arenaChunk)
+	}
+	a.chunk = append(a.chunk, Tensor{ID: id, Shape: shape, DType: dtype, Status: Freed, Idx: -1})
+	return &a.chunk[len(a.chunk)-1]
 }
 
 // Bytes reports the tensor's device memory footprint.
