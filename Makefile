@@ -3,9 +3,9 @@
 # parallel experiment engine touches + the chaos soak suite.
 GO ?= go
 
-.PHONY: check vet build test race soak bench goldens profile-smoke fuzz-smoke scale-smoke arena-smoke fleet-smoke regress-smoke perf-smoke hotpath-profiles
+.PHONY: check vet build test race soak bench goldens profile-smoke fuzz-smoke scale-smoke arena-smoke fleet-smoke regress-smoke perf-smoke serve-smoke hotpath-profiles
 
-check: vet build test race soak profile-smoke scale-smoke arena-smoke fleet-smoke regress-smoke perf-smoke
+check: vet build test race soak profile-smoke scale-smoke arena-smoke fleet-smoke regress-smoke perf-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -89,7 +89,7 @@ fleet-smoke:
 # observability exports must be byte-identical across -jobs values.
 regress-smoke:
 	$(GO) run ./cmd/capuchin-regress -slack 3
-	if $(GO) run ./cmd/capuchin-regress -slack 3 -runner '' -hotpath '' \
+	if $(GO) run ./cmd/capuchin-regress -slack 3 -runner '' -hotpath '' -serve '' \
 		-fleet internal/bench/testdata/fleet_regressed_baseline.json >/dev/null; then \
 		echo "regress-smoke: gate passed a degraded baseline"; exit 1; fi
 	$(GO) run ./cmd/capuchin-trace -fleet -fleet-jobs 60 -fleet-devices 4 \
@@ -129,6 +129,21 @@ hotpath-profiles:
 	$(GO) test -run '^$$' -bench 'BenchmarkHotPathIteration$$' -benchmem -benchtime 100x \
 		-cpuprofile hotpath_pprof/cpu.out -memprofile hotpath_pprof/mem.out \
 		-memprofilerate 1 . | tee hotpath_pprof/bench.txt
+
+# serve-smoke guards the serving layer: the serve and loadgen suites
+# under the race detector (drain, backpressure, byte-identity and the
+# runner cancellation stress all live there), then a quick CLI selftest
+# whose artifact must pass the serve gate — and, like the other gates,
+# the deliberately degraded fixture must fail it.
+serve-smoke:
+	$(GO) test -race ./internal/serve/...
+	$(GO) run ./cmd/capuchin-serve -selftest -quick -json /tmp/capuchin-serve-smoke.json
+	$(GO) run ./cmd/capuchin-regress -fleet '' -runner '' -hotpath '' \
+		-serve /tmp/capuchin-serve-smoke.json
+	if $(GO) run ./cmd/capuchin-regress -fleet '' -runner '' -hotpath '' \
+		-serve internal/bench/testdata/serve_regressed_baseline.json >/dev/null; then \
+		echo "serve-smoke: gate passed a degraded serve baseline"; exit 1; fi
+	rm -f /tmp/capuchin-serve-smoke.json
 
 # profile-smoke drives the observability stack end to end: the exporter
 # tests (golden Chrome trace, memory profile, audit log, metrics) plus a

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	capuchin-regress [-fleet BENCH_fleet.json] [-runner BENCH_parallel_runner.json]
-//	                 [-hotpath BENCH_hotpath.json] [-slack N] [-jobs N]
+//	                 [-hotpath BENCH_hotpath.json] [-serve BENCH_serve.json]
+//	                 [-slack N] [-jobs N]
 //
 // Each baseline artifact carries a meta provenance block (tool, seed,
 // toolchain, semantic flags) that the gate validates and reads the
@@ -33,6 +34,7 @@ func main() {
 	fleetPath := flag.String("fleet", "BENCH_fleet.json", "fleet baseline artifact (\"\" = skip)")
 	runnerPath := flag.String("runner", "BENCH_parallel_runner.json", "parallel-runner baseline artifact (\"\" = skip)")
 	hotpathPath := flag.String("hotpath", "BENCH_hotpath.json", "hot-path baseline artifact (\"\" = skip)")
+	servePath := flag.String("serve", "BENCH_serve.json", "serving-layer baseline artifact (\"\" = skip)")
 	slack := flag.Float64("slack", 1, "tolerance multiplier (>1 loosens every gate)")
 	jobs := flag.Int("jobs", 0, "parallel worker count for the reproduction runs (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -42,8 +44,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *fleetPath == "" && *runnerPath == "" && *hotpathPath == "" {
-		fmt.Fprintln(os.Stderr, "nothing to gate: -fleet, -runner and -hotpath are all empty")
+	if *fleetPath == "" && *runnerPath == "" && *hotpathPath == "" && *servePath == "" {
+		fmt.Fprintln(os.Stderr, "nothing to gate: -fleet, -runner, -hotpath and -serve are all empty")
 		os.Exit(2)
 	}
 	o := bench.Options{Jobs: *jobs}
@@ -76,6 +78,17 @@ func main() {
 		}
 		fmt.Printf("hotpath gate: %s: speedup + alloc-budget consistency checked, %d regressed\n",
 			*hotpathPath, len(r))
+		regs = append(regs, r...)
+	}
+
+	if *servePath != "" {
+		r, err := bench.RegressServe(*servePath, *slack)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve gate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("serve gate: %s: ledger + byte-identity + drain checked, %d regressed\n",
+			*servePath, len(r))
 		regs = append(regs, r...)
 	}
 

@@ -77,8 +77,12 @@ type RunConfig struct {
 	// Profile attaches the observability stack (tracer, metrics, memory
 	// profile) to the run and fills Result.Profile. Tracing is
 	// outcome-neutral — profiled and unprofiled runs report identical
-	// IterStats — but the flag stays part of the cache key so a profiled
-	// Result is never served to a caller that did not ask for one.
+	// IterStats — so the Runner canonicalizes the flag out of its cache
+	// key and applies it after keying: an explicit Profile:true config
+	// and a caller relying on the runner-wide EnableProfiling switch
+	// share one entry per cell. Whether a cached Result carries a
+	// Profile is therefore decided by the caller that actually simulated
+	// the cell; everything else in the Result is identical either way.
 	Profile bool
 	// Schedule selects a dynamic shape schedule kind (a models.Schedule*
 	// constant); "" runs the static path. Any non-empty kind — including
@@ -151,8 +155,10 @@ func buildOptions(mode exec.Mode) graph.BuildOptions {
 // shape signature: the graph-keyed baseline policies (vDNN, SuperNeurons,
 // the checkpointing baselines) cannot follow a moving graph and are
 // rejected there, while TF-ori and the Capuchin variants are
-// graph-agnostic (Capuchin re-keys its plan per signature).
-func execConfig(cfg RunConfig, g *graph.Graph) (exec.Config, *core.Capuchin, *obs.Collector, *obs.Metrics, error) {
+// graph-agnostic (Capuchin re-keys its plan per signature). extra, when
+// non-nil, receives the run's live event stream alongside whatever
+// Profile wires up (the RunTraced path).
+func execConfig(cfg RunConfig, g *graph.Graph, extra obs.Tracer) (exec.Config, *core.Capuchin, *obs.Collector, *obs.Metrics, error) {
 	ec := exec.Config{
 		Device:      cfg.Device,
 		Mode:        cfg.Mode,
@@ -166,8 +172,10 @@ func execConfig(cfg RunConfig, g *graph.Graph) (exec.Config, *core.Capuchin, *ob
 	if cfg.Profile {
 		col = obs.NewCollector()
 		met = obs.NewMetrics()
-		ec.Tracer = col
+		ec.Tracer = obs.Tee(col, extra)
 		ec.Metrics = met
+	} else if extra != nil {
+		ec.Tracer = extra
 	}
 	spec, ok := exec.LookupPolicy(string(cfg.System))
 	if !ok {
@@ -191,7 +199,18 @@ func execConfig(cfg RunConfig, g *graph.Graph) (exec.Config, *core.Capuchin, *ob
 }
 
 // Run executes one configuration.
-func Run(cfg RunConfig) Result {
+func Run(cfg RunConfig) Result { return run(cfg, nil) }
+
+// RunTraced executes one configuration like Run, additionally streaming
+// the run's observability events and policy decisions to tr as they are
+// emitted. Tracing is outcome-neutral — the Result is identical to
+// Run's for the same configuration — which is what lets the Runner
+// serve traced and untraced callers from one cache entry and what lets
+// capuchin-serve stream live progress without perturbing results.
+func RunTraced(cfg RunConfig, tr obs.Tracer) Result { return run(cfg, tr) }
+
+// run is the shared body of Run and RunTraced.
+func run(cfg RunConfig, extra obs.Tracer) Result {
 	res := Result{Config: cfg}
 	if cfg.Iterations == 0 {
 		cfg.Iterations = 3
@@ -206,17 +225,17 @@ func Run(cfg RunConfig) Result {
 			res.Err = fmt.Errorf("bench: %w", ErrDynamicCluster)
 			return res
 		}
-		return runCluster(cfg, spec, res)
+		return runCluster(cfg, spec, res, extra)
 	}
 	if cfg.Schedule != "" {
-		return runDynamic(cfg, spec, res)
+		return runDynamic(cfg, spec, res, extra)
 	}
 	g, err := spec.Build(cfg.Batch, buildOptions(cfg.Mode))
 	if err != nil {
 		res.Err = err
 		return res
 	}
-	ec, cap, col, met, err := execConfig(cfg, g)
+	ec, cap, col, met, err := execConfig(cfg, g, extra)
 	if err != nil {
 		res.Err = err
 		return res

@@ -30,8 +30,9 @@ type ClusterReport struct {
 }
 
 // runCluster executes one multi-device configuration: N replicas of the
-// model over a shared PCIe-ring interconnect.
-func runCluster(cfg RunConfig, spec models.Spec, res Result) Result {
+// model over a shared PCIe-ring interconnect. extra, when non-nil,
+// receives the live (replica-grouped) event stream (RunTraced).
+func runCluster(cfg RunConfig, spec models.Spec, res Result, extra obs.Tracer) Result {
 	var col *obs.Collector
 	var met *obs.Metrics
 	if cfg.Profile {
@@ -44,12 +45,12 @@ func runCluster(cfg RunConfig, spec models.Spec, res Result) Result {
 		Devices:      cfg.Devices,
 		Interconnect: hw.PCIeRing(),
 		CommAware:    !cfg.CommOblivious,
-		Tracer:       collectorOrNil(col),
+		Tracer:       obs.Tee(collectorOrNil(col), extra),
 		Build: func(replica int) (*graph.Graph, error) {
 			return spec.Build(cfg.Batch, buildOptions(cfg.Mode))
 		},
 		Exec: func(replica int, g *graph.Graph) (exec.Config, error) {
-			ec, cap, _, _, err := execConfig(baseCfg, g)
+			ec, cap, _, _, err := execConfig(baseCfg, g, nil)
 			if err != nil {
 				return ec, err
 			}

@@ -6,6 +6,7 @@ import (
 	"capuchin/internal/exec"
 	"capuchin/internal/graph"
 	"capuchin/internal/models"
+	"capuchin/internal/obs"
 	"capuchin/internal/sim"
 )
 
@@ -30,13 +31,14 @@ type DynamicReport struct {
 // runDynamic executes one configuration through the dynamic engine. It
 // mirrors the static tail of Run: stats, steady state, throughput and
 // plan summary are populated the same way, plus the DynamicReport.
-func runDynamic(cfg RunConfig, spec models.Spec, res Result) Result {
+// extra, when non-nil, receives the live event stream (RunTraced).
+func runDynamic(cfg RunConfig, spec models.Spec, res Result, extra obs.Tracer) Result {
 	sched, err := models.NewSchedule(cfg.Schedule, spec, cfg.Batch, cfg.ScheduleSeed, cfg.SchedulePeriod)
 	if err != nil {
 		res.Err = err
 		return res
 	}
-	ec, cap, col, met, err := execConfig(cfg, nil)
+	ec, cap, col, met, err := execConfig(cfg, nil, extra)
 	if err != nil {
 		res.Err = err
 		return res

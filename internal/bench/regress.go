@@ -233,6 +233,140 @@ func RegressParallelRunner(path string, o Options, slack float64) ([]Regression,
 	return regs, nil
 }
 
+// serveBaseline is the shape of BENCH_serve.json the gate reads: the
+// capuchin-serve selftest's load, byte-identity and drain records.
+// bench cannot import internal/serve (serve builds on this package), so
+// the gate reads the artifact through this mirror; fields it ignores
+// stay in the raw JSON.
+type serveBaseline struct {
+	Meta RunMeta `json:"meta"`
+	Load struct {
+		Clients        int     `json:"clients"`
+		Requests       int     `json:"requests"`
+		Total          int64   `json:"total"`
+		OK             int64   `json:"ok"`
+		Shed           int64   `json:"shed"`
+		Errors         int64   `json:"errors"`
+		Accepted       int64   `json:"accepted"`
+		Deduped        int64   `json:"deduped"`
+		DurationMillis float64 `json:"durationMillis"`
+		RPS            float64 `json:"rps"`
+		P50Millis      float64 `json:"p50Millis"`
+		P99Millis      float64 `json:"p99Millis"`
+		MaxMillis      float64 `json:"maxMillis"`
+		ShedRatePct    float64 `json:"shedRatePct"`
+		DedupRatePct   float64 `json:"dedupRatePct"`
+	} `json:"load"`
+	ByteIdentity struct {
+		Config    string `json:"config"`
+		Identical bool   `json:"identical"`
+	} `json:"byte_identity"`
+	Drain struct {
+		InFlightAtDrain     int  `json:"inFlightAtDrain"`
+		CompletedAfterDrain int  `json:"completedAfterDrain"`
+		Dropped             int  `json:"dropped"`
+		RejectedDuringDrain int  `json:"rejectedDuringDrain"`
+		ShedObserved        bool `json:"shedObserved"`
+	} `json:"drain"`
+}
+
+// RegressServe gates the serving-layer artifact. Load-test wall-clock
+// numbers are host-dependent, so — like the hot-path gate — this is a
+// consistency gate over the claims the artifact records, not a re-run:
+//
+//   - internal consistency is an error, not a regression: the request
+//     ledger must balance (total = ok + shed + errors, ok = accepted +
+//     deduped submissions), the latency percentiles must be ordered,
+//     and the recorded RPS must match ok/duration (within 2% x slack);
+//   - the acceptance floors are regressions when missed: >= 1000
+//     concurrent clients unless the meta block records a quick run,
+//     zero request errors, a byte-identical served result, and a drain
+//     that completed every accepted run (zero dropped), rejected new
+//     work with 503, and observed the 429 backpressure path.
+func RegressServe(path string, slack float64) ([]Regression, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base serveBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if err := base.Meta.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s has no provenance block: %w", path, err)
+	}
+	if slack <= 0 {
+		slack = 1
+	}
+	l := base.Load
+
+	// Ledger and percentile consistency: a violated identity means the
+	// artifact is corrupt or hand-edited, which no slack excuses.
+	if l.Total != l.OK+l.Shed+l.Errors {
+		return nil, fmt.Errorf("bench: %s request ledger off: total %d != ok %d + shed %d + errors %d",
+			path, l.Total, l.OK, l.Shed, l.Errors)
+	}
+	if l.OK != l.Accepted+l.Deduped {
+		return nil, fmt.Errorf("bench: %s submission ledger off: ok %d != accepted %d + deduped %d",
+			path, l.OK, l.Accepted, l.Deduped)
+	}
+	if l.P50Millis > l.P99Millis || l.P99Millis > l.MaxMillis {
+		return nil, fmt.Errorf("bench: %s latency percentiles unordered: p50 %.2f p99 %.2f max %.2f",
+			path, l.P50Millis, l.P99Millis, l.MaxMillis)
+	}
+	if l.ShedRatePct < 0 || l.ShedRatePct > 100 || l.DedupRatePct < 0 || l.DedupRatePct > 100 {
+		return nil, fmt.Errorf("bench: %s rates out of range: shed %.2f%% dedup %.2f%%",
+			path, l.ShedRatePct, l.DedupRatePct)
+	}
+	if l.DurationMillis > 0 && l.RPS > 0 {
+		derived := float64(l.OK) / (l.DurationMillis / 1000)
+		if rel := math.Abs(derived-l.RPS) / l.RPS; rel > 0.02*slack {
+			return nil, fmt.Errorf("bench: %s rps %.1f inconsistent with ok/duration (%.1f)",
+				path, l.RPS, derived)
+		}
+	}
+
+	var regs []Regression
+	if !base.Meta.Quick && l.Clients < 1000 {
+		regs = append(regs, Regression{
+			Scenario: "serve", Metric: "clients_floor",
+			Baseline: 1000, Fresh: float64(l.Clients), Allowed: 1000,
+		})
+	}
+	if l.Errors != 0 {
+		regs = append(regs, Regression{
+			Scenario: "serve", Metric: "request_errors",
+			Baseline: 0, Fresh: float64(l.Errors), Allowed: 0,
+		})
+	}
+	if !base.ByteIdentity.Identical {
+		regs = append(regs, Regression{
+			Scenario: "serve", Metric: "byte_identity",
+			Baseline: 1, Fresh: 0, Allowed: 0,
+		})
+	}
+	d := base.Drain
+	if d.Dropped != 0 || d.CompletedAfterDrain != d.InFlightAtDrain {
+		regs = append(regs, Regression{
+			Scenario: "serve", Metric: "drain_dropped",
+			Baseline: 0, Fresh: float64(d.InFlightAtDrain - d.CompletedAfterDrain), Allowed: 0,
+		})
+	}
+	if d.RejectedDuringDrain < 1 {
+		regs = append(regs, Regression{
+			Scenario: "serve", Metric: "drain_rejects_new_work",
+			Baseline: 1, Fresh: float64(d.RejectedDuringDrain), Allowed: 1,
+		})
+	}
+	if !d.ShedObserved {
+		regs = append(regs, Regression{
+			Scenario: "serve", Metric: "backpressure_observed",
+			Baseline: 1, Fresh: 0, Allowed: 1,
+		})
+	}
+	return regs, nil
+}
+
 // hotpathBaseline is the shape of BENCH_hotpath.json the gate reads:
 // the before/after record of the zero-alloc hot-path work. Fields the
 // gate ignores stay in the raw JSON.

@@ -28,16 +28,27 @@ import (
 //     byte-identical to serial ones and caching is sound.
 //
 // A panicking cell is recovered into a failed Result rather than killing
-// the sweep, and a cancelled context aborts queued cells with a failed
-// Result that is not cached (a later sweep may retry them).
+// the sweep. Cancellation follows one rule this package stress-tests: an
+// aborted cell is never memoized, and a caller whose own context is live
+// never receives another caller's cancellation — it retries the cell on
+// a fresh flight instead. Only callers whose context (or the runner's)
+// is actually done see a failed Result wrapping the context error.
 type Runner struct {
 	jobs int
 	ctx  context.Context
 	sem  chan struct{}
 
 	// runFn executes one cell; it is Run except in tests that inject
-	// failures.
-	runFn func(RunConfig) Result
+	// failures. runTracedFn is its tracing twin (RunTraced), used when an
+	// Observe hook returns a tracer for the cell.
+	runFn       func(RunConfig) Result
+	runTracedFn func(RunConfig, obs.Tracer) Result
+
+	// traceFor, when set via Observe, is consulted once per actually
+	// simulated cell (cache hits never re-observe) with the cell's
+	// canonical key; a non-nil tracer receives the run's live event
+	// stream.
+	traceFor func(RunConfig) obs.Tracer
 
 	// profile forces RunConfig.Profile on every executed cell; set via
 	// EnableProfiling before submitting work.
@@ -55,7 +66,10 @@ type Runner struct {
 }
 
 // cacheEntry is a single-flight slot: the goroutine that installs it
-// computes the result; everyone else waits on done.
+// computes the result; everyone else waits on done. Completion and cache
+// finalization happen under the runner lock in one step — an entry
+// observable in the map after done is closed is always a completed,
+// non-aborted result.
 type cacheEntry struct {
 	done chan struct{}
 	res  Result
@@ -74,20 +88,31 @@ func NewRunnerContext(ctx context.Context, jobs int) *Runner {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	return &Runner{
-		jobs:  jobs,
-		ctx:   ctx,
-		sem:   make(chan struct{}, jobs),
-		runFn: Run,
-		agg:   obs.NewMetrics(),
-		cache: make(map[RunConfig]*cacheEntry),
+		jobs:        jobs,
+		ctx:         ctx,
+		sem:         make(chan struct{}, jobs),
+		runFn:       Run,
+		runTracedFn: RunTraced,
+		agg:         obs.NewMetrics(),
+		cache:       make(map[RunConfig]*cacheEntry),
 	}
 }
 
 // EnableProfiling makes every cell run with RunConfig.Profile set, feeding
-// the sweep-wide metrics aggregate. Call it before submitting work; the
-// flag is applied after cache keying, so callers profiling explicitly and
-// callers relying on the runner-wide switch share entries.
+// the sweep-wide metrics aggregate. Call it before submitting work. The
+// flag is applied after cache keying — Profile is canonicalized out of
+// the key entirely — so callers profiling explicitly and callers relying
+// on the runner-wide switch share one entry per cell and never
+// re-simulate it.
 func (r *Runner) EnableProfiling() { r.profile = true }
+
+// Observe registers a tracer factory consulted once per actually
+// simulated cell (cache misses only), keyed by the cell's canonical
+// config. A non-nil tracer receives the cell's live event and decision
+// stream via RunTraced; tracing is outcome-neutral, so observed and
+// unobserved cells stay cache-compatible. Call it before submitting
+// work; capuchin-serve uses it to stream per-run progress events.
+func (r *Runner) Observe(f func(RunConfig) obs.Tracer) { r.traceFor = f }
 
 // Metrics returns the aggregate metrics registry merged across every
 // profiled cell this runner simulated. Cells served from the cache are
@@ -120,6 +145,13 @@ func (r *Runner) Stats() RunnerStats {
 	}
 }
 
+// CanonicalConfig returns the cache key the Runner files cfg under:
+// defaulted fields are canonicalized so equivalent configurations share
+// one entry, and Profile is cleared (it is applied after keying; see
+// EnableProfiling). capuchin-serve derives result IDs from this key so
+// its store dedupes exactly the configurations the runner cache does.
+func CanonicalConfig(cfg RunConfig) RunConfig { return cacheKey(cfg) }
+
 // cacheKey canonicalizes defaulted RunConfig fields so equivalent
 // configurations share one cache entry. It must mirror Run's defaults.
 func cacheKey(cfg RunConfig) RunConfig {
@@ -140,37 +172,70 @@ func cacheKey(cfg RunConfig) RunConfig {
 		cfg.Devices = 1
 		cfg.CommOblivious = false
 	}
+	// Profile is applied after keying (tracing is outcome-neutral), so an
+	// explicit Profile:true config and a runner-wide EnableProfiling
+	// caller share one entry instead of re-simulating the cell.
+	cfg.Profile = false
 	return cfg
 }
 
 // Run executes one configuration, serving repeats from the cache.
 // Concurrent calls for the same key coalesce into a single simulation.
-func (r *Runner) Run(cfg RunConfig) Result {
-	key := cacheKey(cfg)
-	r.mu.Lock()
-	if e, ok := r.cache[key]; ok {
-		r.hits++
-		r.mu.Unlock()
-		<-e.done
-		return e.res
-	}
-	r.miss++
-	e := &cacheEntry{done: make(chan struct{})}
-	r.cache[key] = e
-	r.mu.Unlock()
+func (r *Runner) Run(cfg RunConfig) Result { return r.RunContext(r.ctx, cfg) }
 
-	e.res = r.execute(key)
-	close(e.done)
-	if aborted(e.res.Err) {
-		// Do not memoize cancellation: a later sweep with a live context
-		// must be able to retry the cell.
+// RunContext is Run with a per-call context layered over the runner's
+// own: the call aborts (with a failed, uncached Result) once either
+// context is done. A caller that coalesces into a flight cancelled by
+// someone else's context does not inherit the cancellation — the aborted
+// entry is dropped and the caller retries the cell under its own, live
+// context. A cell already simulating is never interrupted mid-flight;
+// cancellation gates queue admission, which is what lets capuchin-serve
+// drain by finishing in-flight runs.
+func (r *Runner) RunContext(ctx context.Context, cfg RunConfig) Result {
+	if ctx == nil {
+		ctx = r.ctx
+	}
+	profile := cfg.Profile || r.profile
+	key := cacheKey(cfg)
+	for {
 		r.mu.Lock()
-		if r.cache[key] == e {
+		if e, ok := r.cache[key]; ok {
+			r.hits++
+			r.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return Result{Config: key, Err: fmt.Errorf("bench: run aborted: %w", ctx.Err())}
+			case <-r.ctx.Done():
+				return Result{Config: key, Err: fmt.Errorf("bench: run aborted: %w", r.ctx.Err())}
+			}
+			if aborted(e.res.Err) && ctx.Err() == nil && r.ctx.Err() == nil {
+				// The flight we coalesced into was cancelled, but this
+				// caller was not: the entry is already gone from the cache
+				// (removed in the same critical section that completed
+				// it), so retry the cell on a fresh flight.
+				continue
+			}
+			return e.res
+		}
+		r.miss++
+		e := &cacheEntry{done: make(chan struct{})}
+		r.cache[key] = e
+		r.mu.Unlock()
+
+		e.res = r.execute(ctx, key, profile)
+		// Completion and cache finalization are one critical section:
+		// removing an aborted entry after closing done would open a window
+		// where late arrivals observe the abort as a memoized hit,
+		// violating the "not cached, may retry" guarantee.
+		r.mu.Lock()
+		if aborted(e.res.Err) && r.cache[key] == e {
 			delete(r.cache, key)
 		}
+		close(e.done)
 		r.mu.Unlock()
+		return e.res
 	}
-	return e.res
 }
 
 // aborted reports whether err came from context cancellation.
@@ -181,14 +246,20 @@ func aborted(err error) bool {
 // execute acquires a worker slot and runs one cell with panic recovery.
 // Only computing goroutines hold slots — cache waiters do not — so a
 // MaxBatch search waiting on another search's probe cannot deadlock the
-// pool.
-func (r *Runner) execute(cfg RunConfig) (res Result) {
+// pool. cfg is the cell's canonical key; profile is the post-keying
+// profiling decision (explicit Profile or the runner-wide switch).
+func (r *Runner) execute(ctx context.Context, cfg RunConfig, profile bool) (res Result) {
 	select {
 	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return Result{Config: cfg, Err: fmt.Errorf("bench: run aborted: %w", ctx.Err())}
 	case <-r.ctx.Done():
 		return Result{Config: cfg, Err: fmt.Errorf("bench: run aborted: %w", r.ctx.Err())}
 	}
 	defer func() { <-r.sem }()
+	if err := ctx.Err(); err != nil {
+		return Result{Config: cfg, Err: fmt.Errorf("bench: run aborted: %w", err)}
+	}
 	if err := r.ctx.Err(); err != nil {
 		return Result{Config: cfg, Err: fmt.Errorf("bench: run aborted: %w", err)}
 	}
@@ -201,8 +272,17 @@ func (r *Runner) execute(cfg RunConfig) (res Result) {
 			r.agg.Merge(res.Profile.Metrics)
 		}
 	}()
-	if r.profile {
+	// The Observe hook sees the canonical key, before the post-keying
+	// Profile decision is stamped on.
+	var tr obs.Tracer
+	if r.traceFor != nil {
+		tr = r.traceFor(cfg)
+	}
+	if profile {
 		cfg.Profile = true
+	}
+	if tr != nil {
+		return r.runTracedFn(cfg, tr)
 	}
 	return r.runFn(cfg)
 }

@@ -68,10 +68,10 @@ type Graph struct {
 	// for every interned tensor; producer and the flat consumer arrays are
 	// keyed by that index so steady-state lookups never hash strings.
 	tensorList   []*tensor.Tensor
-	producer     []*Node  // tensor Idx -> producing node (nil for sources)
-	consumerOff  []int32  // tensor Idx -> offset into consumerFlat
-	consumerFlat []*Node  // consumer lists, concatenated in node order
-	cursor       []int32  // reindex scratch, reused across passes
+	producer     []*Node // tensor Idx -> producing node (nil for sources)
+	consumerOff  []int32 // tensor Idx -> offset into consumerFlat
+	consumerFlat []*Node // consumer lists, concatenated in node order
+	cursor       []int32 // reindex scratch, reused across passes
 }
 
 // Tensor returns the tensor with the given ID, or nil.

@@ -6,9 +6,9 @@ import "testing"
 // Buffered wrapper's own bookkeeping, not the sink.
 type nullBatchSink struct{}
 
-func (nullBatchSink) Emit(Event)            {}
-func (nullBatchSink) Decide(Decision)       {}
-func (nullBatchSink) EmitBatch([]Event)     {}
+func (nullBatchSink) Emit(Event)             {}
+func (nullBatchSink) Decide(Decision)        {}
+func (nullBatchSink) EmitBatch([]Event)      {}
 func (nullBatchSink) DecideBatch([]Decision) {}
 
 // BenchmarkHotPathBufferedEmit pins the batched span-recording path:

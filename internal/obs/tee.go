@@ -1,0 +1,44 @@
+package obs
+
+// Tee fans one event stream out to several tracers: every Emit and
+// Decide is forwarded to each member in argument order. Nil members are
+// dropped, so call sites can pass optional tracers without guarding;
+// with zero live members Tee returns nil (the executor's "tracing off"
+// sentinel), and with exactly one it returns that tracer unwrapped.
+//
+// Tee itself adds no synchronization: it forwards on the caller's
+// goroutine, so the usual Tracer contract applies to each member
+// individually (the Collector and JSONLTracer lock internally).
+func Tee(tracers ...Tracer) Tracer {
+	live := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeTracer(live)
+}
+
+type teeTracer []Tracer
+
+var _ Tracer = teeTracer(nil)
+
+// Emit implements Tracer.
+func (t teeTracer) Emit(ev Event) {
+	for _, tr := range t {
+		tr.Emit(ev)
+	}
+}
+
+// Decide implements Tracer.
+func (t teeTracer) Decide(d Decision) {
+	for _, tr := range t {
+		tr.Decide(d)
+	}
+}

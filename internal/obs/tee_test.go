@@ -1,0 +1,22 @@
+package obs
+
+import "testing"
+
+func TestTeeFansOutAndDropsNils(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	tr := Tee(nil, a, nil, b)
+	tr.Emit(Event{Kind: KindInstant, Name: "x"})
+	tr.Decide(Decision{Action: "y"})
+	for i, c := range []*Collector{a, b} {
+		if len(c.Events()) != 1 || len(c.Decisions()) != 1 {
+			t.Errorf("member %d: got %d events, %d decisions, want 1 and 1",
+				i, len(c.Events()), len(c.Decisions()))
+		}
+	}
+	if Tee(nil, nil) != nil {
+		t.Error("Tee with no live members should be nil (tracing off)")
+	}
+	if got := Tee(nil, a); got != Tracer(a) {
+		t.Error("Tee with one live member should return it unwrapped")
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import "sync"
+
+// eventHub is the per-run progress buffer: the run's obs.JSONLTracer
+// writes complete JSON lines into it as the simulation emits events and
+// decisions, and any number of stream readers replay the buffer from
+// the start and then follow live appends. Writes are whole lines (one
+// Encode call each), so every read cut falls on a line boundary — which
+// is what lets the SSE framing wrap lines without reassembly.
+type eventHub struct {
+	mu     sync.Mutex
+	buf    []byte
+	closed bool
+	// pulse is closed and re-made on every append and on close, waking
+	// blocked readers without tracking them individually.
+	pulse chan struct{}
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{pulse: make(chan struct{})}
+}
+
+// Write implements io.Writer for the run's JSONLTracer.
+func (h *eventHub) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	h.buf = append(h.buf, p...)
+	close(h.pulse)
+	h.pulse = make(chan struct{})
+	h.mu.Unlock()
+	return len(p), nil
+}
+
+// close marks the stream complete and wakes all readers. Appends after
+// close are not expected (the run is over); the tracer is quiesced
+// before close is called.
+func (h *eventHub) close() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		close(h.pulse)
+		h.pulse = make(chan struct{})
+	}
+	h.mu.Unlock()
+}
+
+// next returns the bytes appended since off and whether the stream is
+// complete. When there is nothing new and the stream is still open, it
+// returns a channel that closes on the next append (or on close); the
+// caller blocks on it and retries. The returned slice aliases the
+// buffer — readers must not mutate it — and stays valid because appends
+// only ever grow the buffer.
+func (h *eventHub) next(off int) (chunk []byte, done bool, wait <-chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if off < len(h.buf) {
+		return h.buf[off:], h.closed, nil
+	}
+	if h.closed {
+		return nil, true, nil
+	}
+	return nil, false, h.pulse
+}
+
+// snapshot returns a copy of everything buffered so far.
+func (h *eventHub) snapshot() []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]byte, len(h.buf))
+	copy(out, h.buf)
+	return out
+}

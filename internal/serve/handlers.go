@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"capuchin/internal/bench"
+	"capuchin/internal/obs"
+)
+
+// submitReply is the wire response of POST /v1/runs.
+type submitReply struct {
+	ID      string `json:"id"`
+	Status  string `json:"status"`
+	Deduped bool   `json:"deduped"`
+}
+
+// statusReply is the wire response of GET /v1/runs/{id} before the run
+// completes.
+type statusReply struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+}
+
+// Handler returns the daemon's HTTP surface. It is safe to serve from
+// any number of goroutines; every handler is a thin shell over the
+// admission path and the result store.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleResult)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// handleSubmit admits one run. 202 accepted (new entry), 200 deduped
+// (the config is already known — queued, running or done), 400 invalid,
+// 429 + Retry-After shed under backpressure, 503 draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var rr RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rr); err != nil {
+		writeError(w, http.StatusBadRequest, "serve: bad request body: "+err.Error())
+		return
+	}
+	cfg, err := rr.ToRunConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := bench.CanonicalConfig(cfg)
+	e, created, err := s.admit(key)
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, submitReply{
+		ID:      e.id,
+		Status:  statusString(e.status.Load()),
+		Deduped: !created,
+	})
+}
+
+// handleResult serves a run's result JSON. A completed run answers 200
+// with the canonical result document (byte-identical to EncodeResult of
+// a direct bench.Run). An incomplete run answers 202 with its status —
+// unless ?wait=1, which long-polls until completion or the client
+// disconnects.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "serve: unknown run ID")
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-e.done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	body, done := e.resultBytes()
+	if !done {
+		writeJSON(w, http.StatusAccepted, statusReply{ID: e.id, Status: statusString(e.status.Load())})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// handleEvents streams the run's event log: JSON Lines by default, or
+// Server-Sent Events when the client asks for text/event-stream (or
+// ?sse=1). The stream replays everything buffered so far, then follows
+// live appends until the run completes or the client disconnects. Every
+// write is whole JSONL lines, so the SSE framing wraps lines exactly.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "serve: unknown run ID")
+		return
+	}
+	sse := r.URL.Query().Get("sse") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	off := 0
+	for {
+		chunk, done, wait := e.hub.next(off)
+		if len(chunk) > 0 {
+			off += len(chunk)
+			if sse {
+				// One SSE data frame per JSONL line; chunks end on line
+				// boundaries because hub writes are whole lines.
+				for _, line := range strings.Split(strings.TrimRight(string(chunk), "\n"), "\n") {
+					fmt.Fprintf(w, "data: %s\n\n", line)
+				}
+			} else {
+				if _, err := w.Write(chunk); err != nil {
+					return
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if done {
+			if sse {
+				fmt.Fprint(w, "event: done\ndata: {}\n\n")
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+			return
+		}
+		if wait != nil {
+			select {
+			case <-wait:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}
+
+// handleTrace serves the run's Chrome trace (chrome://tracing /
+// Perfetto format). The trace covers the whole run, so an incomplete
+// run answers 202 — unless ?wait=1, which blocks until completion.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "serve: unknown run ID")
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-e.done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if e.status.Load() != statusDone {
+		writeJSON(w, http.StatusAccepted, statusReply{ID: e.id, Status: statusString(e.status.Load())})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteChromeTrace(w, e.col.Events())
+}
+
+// handleStats serves the machine-readable server snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// handleMetrics merges the serve-layer registry (admission, shed, run
+// latency) with the runner's profiled-cell aggregate and writes the
+// Prometheus exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	merged := obs.NewMetrics()
+	merged.Merge(s.metrics)
+	merged.Merge(s.runner.Metrics())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = merged.WritePrometheus(w)
+}
+
+// handleHealthz reports liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleReadyz reports readiness: 200 while admitting, 503 once
+// draining — load balancers stop routing before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	_, _ = w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestMenuDeterministic(t *testing.T) {
+	a, b := Menu(1, 16), Menu(1, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different menus")
+	}
+	if reflect.DeepEqual(Menu(1, 16), Menu(2, 16)) {
+		t.Fatal("different seeds produced identical menus")
+	}
+	for i, rr := range a {
+		if rr.Model == "" || rr.Batch < 1 {
+			t.Errorf("menu[%d] malformed: %+v", i, rr)
+		}
+	}
+}
+
+// fakeServe is a minimal stand-in for the capuchin-serve API: instant
+// results keyed by request body, with an optional burst of 429s to
+// exercise the retry path.
+func fakeServe(t *testing.T, shedFirst int) http.Handler {
+	t.Helper()
+	var (
+		mu   sync.Mutex
+		seen int
+		ids  = map[string]bool{}
+	)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		var rr RunRequest
+		if err := json.NewDecoder(r.Body).Decode(&rr); err != nil {
+			t.Errorf("fake server: bad submit body: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		seen++
+		if seen <= shedFirst {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		id := fmt.Sprintf("%s-b%d-%s", rr.Model, rr.Batch, rr.System)
+		code := http.StatusAccepted
+		if ids[id] {
+			code = http.StatusOK
+		}
+		ids[id] = true
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(submitReply{ID: id, Status: "queued", Deduped: code == http.StatusOK})
+	})
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte("{\"ok\":true}\n"))
+	})
+	return mux
+}
+
+func TestRunLedgerAndPercentiles(t *testing.T) {
+	ts := httptest.NewServer(fakeServe(t, 0))
+	defer ts.Close()
+	rep, err := Run(Options{BaseURL: ts.URL, Clients: 8, Requests: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 64 || rep.Total != rep.OK+rep.Shed+rep.Errors {
+		t.Errorf("ledger off: %+v", rep)
+	}
+	if rep.OK != rep.Accepted+rep.Deduped {
+		t.Errorf("submission ledger off: %+v", rep)
+	}
+	if rep.Errors != 0 || rep.Shed != 0 {
+		t.Errorf("clean fake produced shed/errors: %+v", rep)
+	}
+	if rep.P50Millis > rep.P99Millis || rep.P99Millis > rep.MaxMillis {
+		t.Errorf("percentiles unordered: %+v", rep)
+	}
+	if rep.RPS <= 0 || rep.DurationMillis <= 0 {
+		t.Errorf("no throughput recorded: %+v", rep)
+	}
+	if len(rep.Menu) != 16 {
+		t.Errorf("menu labels missing: %v", rep.Menu)
+	}
+}
+
+func TestRunRetriesThenSheds(t *testing.T) {
+	// Shed the first 3 submission attempts: with MaxRetries 2 the first
+	// request burns attempts 1..3 (2 retried + 1 final shed) and every
+	// later request succeeds.
+	ts := httptest.NewServer(fakeServe(t, 3))
+	defer ts.Close()
+	rep, err := Run(Options{BaseURL: ts.URL, Clients: 1, Requests: 8, Seed: 1, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed != 1 || rep.Retries != 2 {
+		t.Errorf("shed=%d retries=%d, want 1/2: %+v", rep.Shed, rep.Retries, rep)
+	}
+	if rep.OK != 7 || rep.Total != 8 {
+		t.Errorf("ledger off after sheds: %+v", rep)
+	}
+	if rep.ShedRatePct != 100*1.0/8 {
+		t.Errorf("shed rate %.2f", rep.ShedRatePct)
+	}
+}

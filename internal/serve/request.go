@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"fmt"
+
+	"capuchin/internal/bench"
+	"capuchin/internal/exec"
+	"capuchin/internal/fault"
+	"capuchin/internal/hw"
+	"capuchin/internal/models"
+)
+
+// RunRequest is the wire form of a run submission: the semantic knobs of
+// bench.RunConfig, with device memory in GiB and the fault plan in its
+// flag syntax. Zero-valued fields take the same defaults the CLI tools
+// use (P100 device, graph mode, capuchin system, 3 iterations, BFC).
+type RunRequest struct {
+	// Model names a registered workload (resnet50, bert, lstm, ...).
+	Model string `json:"model"`
+	// Batch is the per-iteration batch size; required, >= 1.
+	Batch int64 `json:"batch"`
+	// System selects the memory-management policy; "" means capuchin.
+	System string `json:"system,omitempty"`
+	// Iterations to run; 0 means 3.
+	Iterations int `json:"iterations,omitempty"`
+	// Allocator selects "bfc" (default) or "firstfit".
+	Allocator string `json:"allocator,omitempty"`
+	// Mode is "graph" (default) or "eager".
+	Mode string `json:"mode,omitempty"`
+	// MemGiB overrides the P100's 16 GiB device memory.
+	MemGiB float64 `json:"memGiB,omitempty"`
+	// HostMemGiB overrides the 256 GiB pinned-host default.
+	HostMemGiB float64 `json:"hostMemGiB,omitempty"`
+	// Faults is a fault-injection plan in fault.ParsePlan syntax.
+	Faults string `json:"faults,omitempty"`
+	// Schedule, ScheduleSeed and SchedulePeriod select a dynamic shape
+	// schedule (see bench.RunConfig).
+	Schedule       string `json:"schedule,omitempty"`
+	ScheduleSeed   uint64 `json:"scheduleSeed,omitempty"`
+	SchedulePeriod int    `json:"schedulePeriod,omitempty"`
+	// Devices > 1 runs the data-parallel cluster path; CommOblivious
+	// disables comm-aware swap scheduling there.
+	Devices       int  `json:"devices,omitempty"`
+	CommOblivious bool `json:"commOblivious,omitempty"`
+}
+
+// ToRunConfig validates the request and maps it onto a bench.RunConfig.
+// Validation covers what can be checked without running: the model and
+// system must be registered, the mode known, the batch positive, and
+// the fault plan parseable. Config products the engine rejects (for
+// example Schedule with Devices > 1) surface as failed run results, the
+// same way they do on the CLI.
+func (rr RunRequest) ToRunConfig() (bench.RunConfig, error) {
+	var cfg bench.RunConfig
+	if rr.Model == "" {
+		return cfg, fmt.Errorf("serve: model is required")
+	}
+	if _, err := models.Get(rr.Model); err != nil {
+		return cfg, fmt.Errorf("serve: %w", err)
+	}
+	if rr.Batch < 1 {
+		return cfg, fmt.Errorf("serve: batch must be >= 1, got %d", rr.Batch)
+	}
+	system := rr.System
+	if system == "" {
+		system = string(bench.SystemCapuchin)
+	}
+	if _, ok := exec.LookupPolicy(system); !ok {
+		return cfg, fmt.Errorf("serve: unknown system %q (known: %v)", system, exec.PolicyNames())
+	}
+	var mode exec.Mode
+	switch rr.Mode {
+	case "", "graph":
+		mode = exec.GraphMode
+	case "eager":
+		mode = exec.EagerMode
+	default:
+		return cfg, fmt.Errorf("serve: unknown mode %q (want graph or eager)", rr.Mode)
+	}
+	var plan fault.Plan
+	if rr.Faults != "" {
+		var err error
+		if plan, err = fault.ParsePlan(rr.Faults); err != nil {
+			return cfg, fmt.Errorf("serve: %w", err)
+		}
+	}
+	dev := hw.P100()
+	if rr.MemGiB > 0 {
+		dev = dev.WithMemory(int64(rr.MemGiB * float64(hw.GiB)))
+	}
+	cfg = bench.RunConfig{
+		Model:          rr.Model,
+		Batch:          rr.Batch,
+		System:         bench.System(system),
+		Device:         dev,
+		Mode:           mode,
+		Iterations:     rr.Iterations,
+		Allocator:      rr.Allocator,
+		Faults:         plan,
+		Schedule:       rr.Schedule,
+		ScheduleSeed:   rr.ScheduleSeed,
+		SchedulePeriod: rr.SchedulePeriod,
+		Devices:        rr.Devices,
+		CommOblivious:  rr.CommOblivious,
+	}
+	if rr.HostMemGiB > 0 {
+		cfg.HostMemory = int64(rr.HostMemGiB * float64(hw.GiB))
+	}
+	return cfg, nil
+}

@@ -1,0 +1,486 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"capuchin/internal/bench"
+)
+
+// testConfig keeps serve tests fast and deterministic.
+func testConfig() Config {
+	return Config{Workers: 2, QueueDepth: 8, Shards: 4, Jobs: 2}
+}
+
+// testRequest is a cell small enough to simulate in milliseconds.
+func testRequest() RunRequest {
+	return RunRequest{Model: "resnet50", Batch: 8, System: "tf-ori",
+		Iterations: 2, MemGiB: 2}
+}
+
+func postRun(t *testing.T, client *http.Client, base string, rr RunRequest) (*http.Response, submitReply) {
+	t.Helper()
+	body, err := json.Marshal(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(base+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep submitReply
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatalf("decoding submit reply: %v", err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp, rep
+}
+
+func getBody(t *testing.T, client *http.Client, url string) (int, []byte) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestSubmitFetchByteIdentity is the core serving contract: a result
+// fetched over HTTP is byte-identical to encoding a direct bench.Run of
+// the same canonical configuration.
+func TestSubmitFetchByteIdentity(t *testing.T) {
+	s := NewServer(testConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rr := testRequest()
+	resp, rep := postRun(t, ts.Client(), ts.URL, rr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: got %d, want 202", resp.StatusCode)
+	}
+	if rep.Deduped || rep.ID == "" {
+		t.Fatalf("submit reply: %+v", rep)
+	}
+
+	code, served := getBody(t, ts.Client(), ts.URL+"/v1/runs/"+rep.ID+"?wait=1")
+	if code != http.StatusOK {
+		t.Fatalf("result: got %d, want 200 (%s)", code, served)
+	}
+
+	cfg, err := rr.ToRunConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := EncodeResult(bench.Run(bench.CanonicalConfig(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, direct) {
+		t.Errorf("served result differs from direct bench.Run encoding:\nserved: %s\ndirect: %s", served, direct)
+	}
+	var wire resultWire
+	if err := json.Unmarshal(served, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if !wire.OK || wire.Throughput <= 0 {
+		t.Errorf("served run not OK: %s", served)
+	}
+}
+
+// TestSubmitDedup: resubmitting a config — even spelled with different
+// defaulted fields — answers 200 deduped and simulates nothing new.
+func TestSubmitDedup(t *testing.T) {
+	s := NewServer(testConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp1, rep1 := postRun(t, ts.Client(), ts.URL, testRequest())
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: got %d", resp1.StatusCode)
+	}
+	// Same cell, defaults spelled explicitly: must collapse to one ID.
+	alias := testRequest()
+	alias.Allocator = "bfc"
+	alias.Mode = "graph"
+	resp2, rep2 := postRun(t, ts.Client(), ts.URL, alias)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("dup submit: got %d, want 200", resp2.StatusCode)
+	}
+	if !rep2.Deduped || rep2.ID != rep1.ID {
+		t.Errorf("dup reply %+v, want deduped with ID %s", rep2, rep1.ID)
+	}
+	if code, _ := getBody(t, ts.Client(), ts.URL+"/v1/runs/"+rep1.ID+"?wait=1"); code != http.StatusOK {
+		t.Fatalf("result: got %d", code)
+	}
+	st := s.Snapshot()
+	if st.Admitted != 1 || st.Deduped != 1 || st.Runner.Misses != 1 {
+		t.Errorf("stats admitted=%d deduped=%d misses=%d, want 1/1/1",
+			st.Admitted, st.Deduped, st.Runner.Misses)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := NewServer(testConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for name, body := range map[string]string{
+		"unknown model": `{"model":"nonesuch","batch":8}`,
+		"zero batch":    `{"model":"resnet50"}`,
+		"bad mode":      `{"model":"resnet50","batch":8,"mode":"lazy"}`,
+		"bad system":    `{"model":"resnet50","batch":8,"system":"magic"}`,
+		"bad faults":    `{"model":"resnet50","batch":8,"faults":"oops"}`,
+		"unknown field": `{"model":"resnet50","batch":8,"turbo":true}`,
+		"not json":      `batch=8`,
+	} {
+		resp, err := ts.Client().Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: got %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if code, _ := getBody(t, ts.Client(), ts.URL+"/v1/runs/ffffffffffffffff"); code != http.StatusNotFound {
+		t.Errorf("unknown ID: got %d, want 404", code)
+	}
+}
+
+// blockingServer builds a server whose worker pool parks each run on
+// release until the test lets it go; entered signals one token per run
+// reaching a worker.
+func blockingServer(t *testing.T, cfg Config) (*Server, chan struct{}, chan struct{}) {
+	t.Helper()
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	s := NewServer(cfg)
+	s.beforeRun = func(*runEntry) {
+		entered <- struct{}{}
+		<-release
+	}
+	return s, entered, release
+}
+
+// distinctRequests returns n cells with distinct cache keys.
+func distinctRequests(n int) []RunRequest {
+	out := make([]RunRequest, n)
+	for i := range out {
+		rr := testRequest()
+		rr.Batch = int64(2 + i)
+		out[i] = rr
+	}
+	return out
+}
+
+// TestBackpressureShed: with one worker parked and the queue full, the
+// next distinct submission is shed with 429 + Retry-After, while a
+// duplicate of an accepted run still dedupes.
+func TestBackpressureShed(t *testing.T) {
+	s, entered, release := blockingServer(t, Config{Workers: 1, QueueDepth: 1, Shards: 4, Jobs: 1})
+	defer s.Close()      // LIFO: release the parked worker first,
+	defer close(release) // then close the server.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	reqs := distinctRequests(3)
+
+	respA, repA := postRun(t, ts.Client(), ts.URL, reqs[0])
+	if respA.StatusCode != http.StatusAccepted {
+		t.Fatalf("A: got %d", respA.StatusCode)
+	}
+	<-entered // A is on the worker: the queue is empty again
+	respB, _ := postRun(t, ts.Client(), ts.URL, reqs[1])
+	if respB.StatusCode != http.StatusAccepted {
+		t.Fatalf("B: got %d", respB.StatusCode)
+	}
+	respC, _ := postRun(t, ts.Client(), ts.URL, reqs[2])
+	if respC.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("C: got %d, want 429", respC.StatusCode)
+	}
+	if respC.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	// Duplicates are never shed: they are not new work.
+	respDup, repDup := postRun(t, ts.Client(), ts.URL, reqs[0])
+	if respDup.StatusCode != http.StatusOK || !repDup.Deduped || repDup.ID != repA.ID {
+		t.Errorf("dup under load: %d %+v", respDup.StatusCode, repDup)
+	}
+	if got := s.Snapshot().Shed; got != 1 {
+		t.Errorf("shed=%d, want 1", got)
+	}
+}
+
+// TestDrainCompletesInFlight is the graceful-shutdown contract: once a
+// drain begins, new submissions get 503 and readiness flips, but every
+// already-accepted run — running or still queued — completes with a
+// fetchable result. Zero accepted runs are dropped.
+func TestDrainCompletesInFlight(t *testing.T) {
+	s, entered, release := blockingServer(t, Config{Workers: 1, QueueDepth: 4, Shards: 4, Jobs: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	reqs := distinctRequests(3)
+
+	_, repA := postRun(t, ts.Client(), ts.URL, reqs[0])
+	<-entered // A running (parked on release)
+	_, repB := postRun(t, ts.Client(), ts.URL, reqs[1])
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(t.Context()) }()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	if code, _ := getBody(t, ts.Client(), ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: got %d, want 503", code)
+	}
+	respC, _ := postRun(t, ts.Client(), ts.URL, reqs[2])
+	if respC.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: got %d, want 503", respC.StatusCode)
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range []string{repA.ID, repB.ID} {
+		code, body := getBody(t, ts.Client(), ts.URL+"/v1/runs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("post-drain result %s: got %d", id, code)
+		}
+		var wire resultWire
+		if err := json.Unmarshal(body, &wire); err != nil || !wire.OK {
+			t.Errorf("post-drain run %s not OK: %s", id, body)
+		}
+	}
+	if st := s.Snapshot(); st.Completed != 2 || st.Failed != 0 || st.Queued != 0 {
+		t.Errorf("post-drain stats: %+v", st)
+	}
+}
+
+// TestCloseAbandonsQueued: Close unblocks waiters on never-started runs
+// with failed, aborted results instead of leaving them hanging.
+func TestCloseAbandonsQueued(t *testing.T) {
+	s, entered, release := blockingServer(t, Config{Workers: 1, QueueDepth: 4, Shards: 4, Jobs: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	reqs := distinctRequests(2)
+
+	postRun(t, ts.Client(), ts.URL, reqs[0])
+	<-entered
+	_, repB := postRun(t, ts.Client(), ts.URL, reqs[1]) // queued, never starts
+
+	done := make(chan struct{})
+	go func() { close(release); s.Close(); close(done) }()
+	<-done
+	code, body := getBody(t, ts.Client(), ts.URL+"/v1/runs/"+repB.ID)
+	if code != http.StatusOK {
+		t.Fatalf("abandoned run result: got %d", code)
+	}
+	var wire resultWire
+	if err := json.Unmarshal(body, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.OK || !strings.Contains(wire.Error, "abandoned") {
+		t.Errorf("abandoned run: %s", body)
+	}
+}
+
+// TestEventsStream: the per-run event stream replays the full JSONL
+// buffer, every line is valid JSON, and the SSE variant frames each
+// line as a data event ending with event: done.
+func TestEventsStream(t *testing.T) {
+	s := NewServer(testConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, rep := postRun(t, ts.Client(), ts.URL, testRequest())
+	if code, _ := getBody(t, ts.Client(), ts.URL+"/v1/runs/"+rep.ID+"?wait=1"); code != http.StatusOK {
+		t.Fatalf("result: got %d", code)
+	}
+
+	code, body := getBody(t, ts.Client(), ts.URL+"/v1/runs/"+rep.ID+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("events: got %d", code)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("event stream is empty")
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line %d is not JSON: %q", i, line)
+		}
+	}
+
+	code, sse := getBody(t, ts.Client(), ts.URL+"/v1/runs/"+rep.ID+"/events?sse=1")
+	if code != http.StatusOK {
+		t.Fatalf("sse events: got %d", code)
+	}
+	text := string(sse)
+	if !strings.HasPrefix(text, "data: ") || !strings.HasSuffix(text, "event: done\ndata: {}\n\n") {
+		t.Errorf("sse framing off:\n%.200s...\n...%s", text, text[max(0, len(text)-60):])
+	}
+	frames := strings.Count(text, "data: ") - 1 // minus the done frame
+	if frames != len(lines) {
+		t.Errorf("sse frames=%d, jsonl lines=%d", frames, len(lines))
+	}
+}
+
+// TestTraceEndpoint: a completed run serves a valid Chrome trace.
+func TestTraceEndpoint(t *testing.T) {
+	s := NewServer(testConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, rep := postRun(t, ts.Client(), ts.URL, testRequest())
+	code, body := getBody(t, ts.Client(), ts.URL+"/v1/runs/"+rep.ID+"/trace?wait=1")
+	if code != http.StatusOK {
+		t.Fatalf("trace: got %d", code)
+	}
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &trace); err != nil {
+		t.Fatalf("trace is not JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+}
+
+// TestObservabilityEndpoints: healthz, stats and the merged Prometheus
+// exposition.
+func TestObservabilityEndpoints(t *testing.T) {
+	s := NewServer(testConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, body := getBody(t, ts.Client(), ts.URL+"/healthz"); code != 200 || string(body) != "ok\n" {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+	if code, _ := getBody(t, ts.Client(), ts.URL+"/readyz"); code != 200 {
+		t.Errorf("readyz: %d", code)
+	}
+
+	_, rep := postRun(t, ts.Client(), ts.URL, testRequest())
+	if code, _ := getBody(t, ts.Client(), ts.URL+"/v1/runs/"+rep.ID+"?wait=1"); code != 200 {
+		t.Fatal("run did not complete")
+	}
+
+	code, body := getBody(t, ts.Client(), ts.URL+"/v1/stats")
+	if code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admitted != 1 || st.Completed != 1 || st.Workers != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+
+	code, body = getBody(t, ts.Client(), ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{"capuchin_serve_admitted_total 1", "capuchin_serve_completed_total 1", "capuchin_serve_run_latency_seconds_count"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestStoreShardingAndIDs(t *testing.T) {
+	st := newStore(3)
+	if len(st.shards) != 4 {
+		t.Errorf("shards=%d, want rounded up to 4", len(st.shards))
+	}
+	cfgA := bench.CanonicalConfig(bench.RunConfig{Model: "resnet50", Batch: 8, System: bench.SystemTF})
+	cfgB := bench.CanonicalConfig(bench.RunConfig{Model: "resnet50", Batch: 16, System: bench.SystemTF})
+	if runID(cfgA) != runID(cfgA) || runID(cfgA) == runID(cfgB) {
+		t.Fatalf("runID not a stable injective-ish hash: %s vs %s", runID(cfgA), runID(cfgB))
+	}
+	e := newRunEntry(runID(cfgA), cfgA)
+	st.insert(e)
+	if got, ok := st.lookupConfig(cfgA); !ok || got != e {
+		t.Error("lookupConfig missed an inserted entry")
+	}
+	if _, ok := st.lookupConfig(cfgB); ok {
+		t.Error("lookupConfig matched a different config")
+	}
+	if _, ok := st.get("no-such-id"); ok {
+		t.Error("get matched an absent ID")
+	}
+	if st.len() != 1 {
+		t.Errorf("len=%d, want 1", st.len())
+	}
+}
+
+func TestEventHub(t *testing.T) {
+	h := newEventHub()
+	chunk, done, wait := h.next(0)
+	if chunk != nil || done || wait == nil {
+		t.Fatalf("empty open hub: %v %v %v", chunk, done, wait)
+	}
+	go func() {
+		h.Write([]byte("{\"a\":1}\n"))
+		h.Write([]byte("{\"b\":2}\n"))
+		h.close()
+	}()
+	var got []byte
+	off := 0
+	for {
+		chunk, done, wait := h.next(off)
+		got = append(got, chunk...)
+		off += len(chunk)
+		if done {
+			break
+		}
+		if wait != nil {
+			<-wait
+		}
+	}
+	if string(got) != "{\"a\":1}\n{\"b\":2}\n" {
+		t.Errorf("streamed %q", got)
+	}
+	if string(h.snapshot()) != string(got) {
+		t.Error("snapshot differs from streamed bytes")
+	}
+}
+
+// TestIDCollisionGuard: a stored entry whose config does not match the
+// submitted key is surfaced as a 500, never as a silent wrong result.
+func TestIDCollisionGuard(t *testing.T) {
+	s := NewServer(testConfig())
+	defer s.Close()
+	cfgA := bench.CanonicalConfig(bench.RunConfig{Model: "resnet50", Batch: 8, System: bench.SystemTF})
+	cfgB := bench.CanonicalConfig(bench.RunConfig{Model: "resnet50", Batch: 16, System: bench.SystemTF})
+	// Forge a collision: file cfgA's entry under cfgB's ID.
+	s.store.insert(newRunEntry(runID(cfgB), cfgA))
+	if _, _, err := s.admit(cfgB); !errors.Is(err, errIDCollision) {
+		t.Errorf("collision admit: err=%v, want errIDCollision", err)
+	}
+}
